@@ -1,0 +1,39 @@
+"""Benchmark E1/E2 — Fig. 7: testbed routing stretch and load balance.
+
+Paper result: both GRED variants have average stretch close to 1 on the
+6-switch prototype; GRED's CVT refinement yields a visibly lower
+``max/avg`` than GRED-NoCVT.
+"""
+
+from repro.experiments import print_table, run_fig7a, run_fig7b
+
+
+def test_fig7a_testbed_stretch(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_fig7a, kwargs={"num_items": scale["fig7_items"]},
+        rounds=1, iterations=1,
+    )
+    print_table(rows,
+                ["protocol", "stretch_mean", "stretch_ci_low",
+                 "stretch_ci_high"],
+                "Fig 7(a): testbed routing stretch")
+    for row in rows:
+        assert row["stretch_mean"] < 1.5, (
+            f"{row['protocol']} stretch should be near-optimal on the "
+            f"testbed"
+        )
+
+
+def test_fig7b_testbed_load_balance(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_fig7b, kwargs={"num_items": scale["fig7b_items"]},
+        rounds=1, iterations=1,
+    )
+    print_table(rows, ["protocol", "max_avg", "items", "servers"],
+                "Fig 7(b): testbed load balance (max/avg)")
+    nocvt = next(r for r in rows if r["protocol"] == "GRED-NoCVT")
+    gred = next(r for r in rows if r["protocol"] == "GRED")
+    assert gred["max_avg"] <= nocvt["max_avg"], (
+        "CVT refinement must not worsen the testbed load balance"
+    )
+    assert gred["max_avg"] < 2.0

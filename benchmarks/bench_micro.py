@@ -1,0 +1,149 @@
+"""Microbenchmarks of the hot paths.
+
+Unlike the figure benches (single-shot experiment reproductions), these
+use pytest-benchmark's statistical timing to track the cost of the
+per-packet and control-plane primitives:
+
+* greedy forwarding of one request through the data plane;
+* Chord lookup (overlay walk + physical expansion);
+* control-plane construction (embedding + CVT + DT + rules);
+* incremental DT insertion;
+* SHA-256 position hashing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork, attach_uniform, brite_waxman_graph
+from repro.chord import ChordNetwork
+from repro.geometry import DelaunayTriangulation
+from repro.hashing import data_position
+
+
+@pytest.fixture(scope="module")
+def topology():
+    g, _ = brite_waxman_graph(60, min_degree=3,
+                              rng=np.random.default_rng(0))
+    return g
+
+
+@pytest.fixture(scope="module")
+def gred(topology):
+    return GredNetwork(topology, attach_uniform(topology.nodes(), 5),
+                       cvt_iterations=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def chord(topology):
+    return ChordNetwork(topology, attach_uniform(topology.nodes(), 5))
+
+
+def test_micro_gred_route(benchmark, gred):
+    counter = iter(range(10 ** 9))
+
+    def route_one():
+        return gred.route_for(f"micro-{next(counter)}", entry_switch=0)
+
+    result = benchmark(route_one)
+    assert result.destination_switch in gred.switch_ids()
+
+
+def test_micro_chord_lookup(benchmark, chord):
+    counter = iter(range(10 ** 9))
+
+    def lookup_one():
+        return chord.route_for(f"micro-{next(counter)}", entry_switch=0)
+
+    result = benchmark(lookup_one)
+    assert result.physical_hops >= 0
+
+
+def test_micro_control_plane_construction(benchmark, topology):
+    def build():
+        return GredNetwork(
+            topology, attach_uniform(topology.nodes(), 5),
+            cvt_iterations=10, seed=0,
+        )
+
+    net = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(net.controller.switches) == 60
+
+
+def test_micro_delaunay_construction(benchmark):
+    rng = np.random.default_rng(1)
+    pts = [tuple(p) for p in rng.uniform(0, 1, size=(100, 2))]
+
+    def build():
+        return DelaunayTriangulation(pts, rng=np.random.default_rng(0))
+
+    dt = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert dt.num_vertices() == 100
+
+
+def test_micro_delaunay_incremental_insert(benchmark):
+    rng = np.random.default_rng(2)
+    pts = [tuple(p) for p in rng.uniform(0, 1, size=(100, 2))]
+    extra = iter(
+        tuple(p) for p in rng.uniform(0.001, 0.999, size=(100000, 2))
+    )
+    dt = DelaunayTriangulation(pts, rng=np.random.default_rng(0))
+
+    def insert_one():
+        return dt.insert_point(next(extra))
+
+    benchmark(insert_one)
+
+
+def test_micro_position_hashing(benchmark):
+    counter = iter(range(10 ** 9))
+
+    def hash_one():
+        return data_position(f"object-{next(counter)}")
+
+    x, y = benchmark(hash_one)
+    assert 0.0 <= x <= 1.0
+
+
+def test_micro_p4_route(benchmark, gred):
+    from repro.p4 import P4Network
+
+    p4 = P4Network(gred.controller)
+    counter = iter(range(10 ** 9))
+
+    def route_one():
+        return p4.route_for(f"p4micro-{next(counter)}", entry_switch=0)
+
+    result = benchmark(route_one)
+    assert result.destination_switch in p4.switches
+
+
+def test_micro_mdt_join(benchmark):
+    from repro.mdt import MdtSystem
+
+    rng = np.random.default_rng(3)
+    base_points = [tuple(p) for p in rng.uniform(0, 1, size=(60, 2))]
+    extra = iter(
+        (i, tuple(p)) for i, p in
+        enumerate(rng.uniform(0.001, 0.999, size=(100000, 2)),
+                  start=1000)
+    )
+    system = MdtSystem()
+    for i, p in enumerate(base_points):
+        system.join(i, p)
+
+    def join_one():
+        node_id, position = next(extra)
+        return system.join(node_id, position)
+
+    node = benchmark.pedantic(join_one, rounds=20, iterations=1)
+    assert node.neighbors
+
+
+def test_micro_snapshot_round_trip(benchmark, gred):
+    from repro.io import from_snapshot, to_snapshot
+
+    def round_trip():
+        return from_snapshot(to_snapshot(gred))
+
+    restored = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert len(restored.switch_ids()) == 60

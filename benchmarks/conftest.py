@@ -1,0 +1,57 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each ``bench_fig*`` module reproduces one table/figure of the paper: it
+runs the corresponding experiment from :mod:`repro.experiments`, prints
+the same rows/series the paper reports, and asserts the qualitative
+shape (who wins, by roughly what factor).
+
+Scales default to a laptop-friendly subset; set ``REPRO_FULL=1`` to run
+the paper's full parameters (e.g. 1,000,000 data items, 1000 servers).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the full paper-scale parameters were requested."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scales, keyed by figure."""
+    if full_scale():
+        return {
+            "fig7_items": 100,
+            "fig7b_items": 1000,
+            "fig8_requests": (100, 200, 400, 600, 800, 1000),
+            "fig9_sizes": (20, 40, 60, 80, 100),
+            "fig9_degrees": (3, 4, 5, 6, 7, 8, 9, 10),
+            "fig9_items": 100,
+            "fig10a_servers": (200, 400, 600, 800, 1000),
+            "fig10a_items": 100_000,
+            "fig10b_counts": (100_000, 250_000, 500_000, 750_000,
+                              1_000_000),
+            "fig10b_servers": 1000,
+            "fig10c_iterations": (0, 10, 20, 30, 40, 50, 60, 70, 80,
+                                  90, 100),
+            "fig10c_servers": 1000,
+            "fig10c_items": 100_000,
+        }
+    return {
+        "fig7_items": 100,
+        "fig7b_items": 1000,
+        "fig8_requests": (100, 400, 1000),
+        "fig9_sizes": (20, 60, 100),
+        "fig9_degrees": (3, 6, 10),
+        "fig9_items": 100,
+        "fig10a_servers": (200, 600, 1000),
+        "fig10a_items": 50_000,
+        "fig10b_counts": (100_000, 500_000, 1_000_000),
+        "fig10b_servers": 500,
+        "fig10c_iterations": (0, 10, 30, 50, 70, 100),
+        "fig10c_servers": 500,
+        "fig10c_items": 50_000,
+    }

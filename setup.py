@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` needs ``bdist_wheel`` unless a ``setup.py`` is
+present for the legacy develop path; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Theoretical companions: closed forms the measurements are checked
+against."""
+
+from .theory import (
+    average_delaunay_degree,
+    expected_chord_hops,
+    expected_max_avg_balls_in_bins,
+    expected_max_avg_consistent_hashing,
+    expected_max_load_balls_in_bins,
+    gred_expected_state,
+)
+
+__all__ = [
+    "expected_chord_hops",
+    "expected_max_load_balls_in_bins",
+    "expected_max_avg_balls_in_bins",
+    "expected_max_avg_consistent_hashing",
+    "average_delaunay_degree",
+    "gred_expected_state",
+]

@@ -1,0 +1,14 @@
+"""Extra baselines beyond Chord: one-hop consistent hashing (global
+membership) and random placement (load-balance floor)."""
+
+from .consistent_hashing import (
+    ConsistentHashingNetwork,
+    OneHopRouteResult,
+)
+from .random_placement import RandomPlacementNetwork
+
+__all__ = [
+    "ConsistentHashingNetwork",
+    "OneHopRouteResult",
+    "RandomPlacementNetwork",
+]

@@ -1,0 +1,136 @@
+"""One-hop consistent hashing: the global-membership baseline.
+
+GRED's pitch is one *overlay* hop with only O(degree) state per switch.
+The natural alternative one-hop design gives every access point the
+full server membership (a classic one-hop DHT / consistent-hashing
+ring): lookups then take the physical shortest path (stretch exactly 1)
+but every node stores O(total servers) routing state and must learn
+every membership change.
+
+This baseline quantifies that trade-off for the evaluation: GRED pays a
+little stretch (~1.3-1.6) to shrink per-switch state from O(n) to
+O(degree + DT degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..chord import server_name
+from ..edge import ServerMap, all_servers, attach_uniform, load_vector
+from ..graph import Graph, bfs_path
+from ..hashing import chord_id
+
+
+@dataclass
+class OneHopRouteResult:
+    """Outcome of a one-hop consistent-hashing lookup."""
+
+    data_id: str
+    entry_switch: int
+    owner: str
+    destination_switch: int
+    physical_hops: int
+    trace: List[int] = field(default_factory=list)
+
+
+class ConsistentHashingNetwork:
+    """A one-hop DHT over the physical topology.
+
+    Every node knows the whole ring; a request travels the physical
+    shortest path from the access switch to the owner's switch.
+
+    Parameters
+    ----------
+    topology:
+        Physical switch graph.
+    server_map:
+        Edge servers per switch (defaults to uniform attachment).
+    virtual_nodes:
+        Ring positions per server (more positions smooth the arc-length
+        imbalance of plain consistent hashing).
+    """
+
+    def __init__(self, topology: Graph,
+                 server_map: Optional[ServerMap] = None,
+                 servers_per_switch: int = 10,
+                 bits: int = 32,
+                 virtual_nodes: int = 1) -> None:
+        if server_map is None:
+            server_map = attach_uniform(
+                topology.nodes(), servers_per_switch=servers_per_switch
+            )
+        self.topology = topology
+        self.server_map = server_map
+        self.bits = bits
+        self._ring: List[tuple] = []  # (ring id, owner name, switch)
+        self._server_by_name = {}
+        used = set()
+        for server in all_servers(server_map):
+            name = server_name(server.switch, server.serial)
+            self._server_by_name[name] = server
+            for v in range(virtual_nodes):
+                label = name if v == 0 else f"{name}@v{v}"
+                ring_id = chord_id(label, bits)
+                while ring_id in used:
+                    label += "'"
+                    ring_id = chord_id(label, bits)
+                used.add(ring_id)
+                self._ring.append((ring_id, name, server.switch))
+        self._ring.sort()
+
+    # ------------------------------------------------------------------
+    def owner_of(self, data_id: str) -> tuple:
+        """``(owner name, switch)`` responsible for ``data_id``."""
+        key = chord_id(data_id, self.bits)
+        from bisect import bisect_left
+
+        ids = [r[0] for r in self._ring]
+        idx = bisect_left(ids, key)
+        if idx == len(ids):
+            idx = 0
+        _, owner, switch = self._ring[idx]
+        return owner, switch
+
+    def route_for(self, data_id: str,
+                  entry_switch: int) -> OneHopRouteResult:
+        """Route a request along the physical shortest path (the access
+        point resolved the owner locally from its full membership)."""
+        owner, switch = self.owner_of(data_id)
+        path = bfs_path(self.topology, entry_switch, switch)
+        return OneHopRouteResult(
+            data_id=data_id,
+            entry_switch=entry_switch,
+            owner=owner,
+            destination_switch=switch,
+            physical_hops=len(path) - 1,
+            trace=path,
+        )
+
+    def place(self, data_id: str, payload=None,
+              entry_switch: Optional[int] = None,
+              rng: Optional[np.random.Generator] = None
+              ) -> OneHopRouteResult:
+        entry = self._resolve_entry(entry_switch, rng)
+        result = self.route_for(data_id, entry)
+        self._server_by_name[result.owner].store(data_id, payload)
+        return result
+
+    def load_vector(self) -> List[int]:
+        return load_vector(self.server_map)
+
+    def routing_state_per_node(self) -> int:
+        """Ring entries every access point must hold — the cost GRED
+        avoids."""
+        return len(self._ring)
+
+    def _resolve_entry(self, entry_switch, rng) -> int:
+        if entry_switch is not None:
+            return entry_switch
+        ids = self.topology.nodes()
+        if rng is None:
+            rng = np.random.default_rng()
+        return ids[int(rng.integers(0, len(ids)))]

@@ -1,0 +1,21 @@
+"""Chord baseline: the DHT the paper compares GRED against."""
+
+from .ring import (
+    ChordError,
+    ChordRing,
+    RingNode,
+    in_half_open_interval,
+    in_open_interval,
+)
+from .network import ChordNetwork, ChordRouteResult, server_name
+
+__all__ = [
+    "ChordRing",
+    "ChordError",
+    "RingNode",
+    "in_half_open_interval",
+    "in_open_interval",
+    "ChordNetwork",
+    "ChordRouteResult",
+    "server_name",
+]

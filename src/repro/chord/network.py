@@ -1,0 +1,167 @@
+"""Chord overlaid on the physical edge network.
+
+``ChordNetwork`` mirrors the :class:`repro.core.GredNetwork` API closely
+enough that the experiment harness can drive both systems with the same
+workload: place items, retrieve them from random access switches, and
+report physical-hop routing cost and per-server load.
+
+Cost model (paper Section VII): every overlay hop between two Chord
+nodes costs the physical shortest-path hop count between their host
+switches; the routing stretch of a lookup is the total physical cost
+divided by the direct shortest path from the access switch to the
+storage server's switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..edge import ServerMap, all_servers, attach_uniform, load_vector
+from ..graph import Graph, all_pairs_hop_matrix
+from .ring import ChordError, ChordRing, RingNode
+
+
+def server_name(switch: int, serial: int) -> str:
+    """Canonical Chord member name of an edge server."""
+    return f"server-{switch}-{serial}"
+
+
+@dataclass
+class ChordRouteResult:
+    """Outcome of one Chord lookup, with physical cost accounting."""
+
+    data_id: str
+    entry_switch: int
+    owner: str
+    destination_switch: int
+    overlay_path: List[str] = field(default_factory=list)
+    overlay_hops: int = 0
+    physical_hops: int = 0
+
+
+class ChordNetwork:
+    """The Chord baseline running over a physical switch topology.
+
+    Parameters
+    ----------
+    topology:
+        Physical switch graph.
+    server_map:
+        Edge servers per switch (defaults to ``servers_per_switch``
+        uniform unbounded servers, like :class:`GredNetwork`).
+    bits:
+        Chord ring size exponent.
+    virtual_nodes:
+        Ring positions per server (1 = plain Chord).
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        server_map: Optional[ServerMap] = None,
+        servers_per_switch: int = 10,
+        bits: int = 32,
+        virtual_nodes: int = 1,
+    ) -> None:
+        if server_map is None:
+            server_map = attach_uniform(
+                topology.nodes(), servers_per_switch=servers_per_switch
+            )
+        self.topology = topology
+        self.server_map = server_map
+        members: Dict[str, int] = {}
+        self._server_by_name = {}
+        for server in all_servers(server_map):
+            name = server_name(server.switch, server.serial)
+            members[name] = server.switch
+            self._server_by_name[name] = server
+        self.ring = ChordRing(members, bits=bits,
+                              virtual_nodes=virtual_nodes)
+        self._hops, order = all_pairs_hop_matrix(topology)
+        self._index = {node: i for i, node in enumerate(order)}
+
+    # ------------------------------------------------------------------
+    # physical-cost helpers
+    # ------------------------------------------------------------------
+    def physical_distance(self, switch_a: int, switch_b: int) -> int:
+        """Shortest-path hops between two switches (precomputed)."""
+        return int(self._hops[self._index[switch_a],
+                              self._index[switch_b]])
+
+    def _entry_node(self, entry_switch: int) -> RingNode:
+        """The Chord node co-located with the access switch (the user
+        enters the overlay at a server on its access switch)."""
+        servers = self.server_map.get(entry_switch)
+        if not servers:
+            raise ChordError(
+                f"access switch {entry_switch} hosts no Chord node"
+            )
+        return self.ring.node_of_owner(
+            server_name(entry_switch, servers[0].serial)
+        )
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def route_for(self, data_id: str,
+                  entry_switch: int) -> ChordRouteResult:
+        """Simulate the lookup for ``data_id`` from ``entry_switch``."""
+        start = self._entry_node(entry_switch)
+        path = self.ring.lookup_path(data_id, start)
+        physical = 0
+        for a, b in zip(path, path[1:]):
+            physical += self.physical_distance(a.host_switch,
+                                               b.host_switch)
+        owner_node = path[-1]
+        return ChordRouteResult(
+            data_id=data_id,
+            entry_switch=entry_switch,
+            owner=owner_node.owner,
+            destination_switch=owner_node.host_switch,
+            overlay_path=[n.owner for n in path],
+            overlay_hops=len(path) - 1,
+            physical_hops=physical,
+        )
+
+    def place(self, data_id: str, payload=None,
+              entry_switch: Optional[int] = None,
+              rng: Optional[np.random.Generator] = None
+              ) -> ChordRouteResult:
+        """Place a data item at its Chord successor."""
+        entry = self._resolve_entry(entry_switch, rng)
+        result = self.route_for(data_id, entry)
+        self._server_by_name[result.owner].store(data_id, payload)
+        return result
+
+    def retrieve(self, data_id: str,
+                 entry_switch: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None
+                 ) -> ChordRouteResult:
+        """Look up a data item (storage contents are not modified)."""
+        entry = self._resolve_entry(entry_switch, rng)
+        return self.route_for(data_id, entry)
+
+    def load_vector(self) -> List[int]:
+        """Per-server stored-item counts."""
+        return load_vector(self.server_map)
+
+    def average_finger_table_size(self) -> float:
+        """Mean distinct routing entries per ring node (for the table
+        size comparison against GRED)."""
+        nodes = self.ring.ring_nodes()
+        total = sum(
+            self.ring.finger_table_size(n.node_id) for n in nodes
+        )
+        return total / len(nodes)
+
+    def _resolve_entry(self, entry_switch: Optional[int],
+                       rng: Optional[np.random.Generator]) -> int:
+        if entry_switch is not None:
+            return entry_switch
+        ids = self.topology.nodes()
+        if rng is None:
+            rng = np.random.default_rng()
+        return ids[int(rng.integers(0, len(ids)))]

@@ -1,0 +1,376 @@
+"""Command-line interface for the GRED reproduction.
+
+File-backed workflows over a saved deployment snapshot::
+
+    gred generate --switches 30 --servers 4 -o net.json
+    gred place -n net.json videos/a.mp4 --payload '"h264..."' --entry 0
+    gred retrieve -n net.json videos/a.mp4 --entry 7
+    gred stats -n net.json
+    gred extend -n net.json 4 0
+    gred experiment fig9a
+
+(Installed as the ``gred`` console script; also runnable via
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gred",
+        description="GRED: data placement/retrieval for edge computing "
+                    "(ICDCS'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate",
+                         help="generate a network and save a snapshot")
+    gen.add_argument("--switches", type=int, default=20)
+    gen.add_argument("--min-degree", type=int, default=3)
+    gen.add_argument("--servers", type=int, default=4,
+                     help="servers per switch")
+    gen.add_argument("--cvt-iterations", type=int, default=50)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+
+    place = sub.add_parser("place", help="place a data item")
+    place.add_argument("-n", "--network", required=True)
+    place.add_argument("data_id")
+    place.add_argument("--payload", default=None,
+                       help="JSON-encoded payload")
+    place.add_argument("--entry", type=int, default=None)
+    place.add_argument("--copies", type=int, default=1)
+
+    retrieve = sub.add_parser("retrieve", help="retrieve a data item")
+    retrieve.add_argument("-n", "--network", required=True)
+    retrieve.add_argument("data_id")
+    retrieve.add_argument("--entry", type=int, default=None)
+    retrieve.add_argument("--copies", type=int, default=1)
+
+    delete = sub.add_parser("delete", help="delete a data item")
+    delete.add_argument("-n", "--network", required=True)
+    delete.add_argument("data_id")
+    delete.add_argument("--copies", type=int, default=1)
+
+    stats = sub.add_parser("stats", help="deployment statistics")
+    stats.add_argument("-n", "--network", required=True)
+
+    extend = sub.add_parser("extend",
+                            help="activate a range extension")
+    extend.add_argument("-n", "--network", required=True)
+    extend.add_argument("switch", type=int)
+    extend.add_argument("serial", type=int)
+
+    retract = sub.add_parser("retract",
+                             help="retract a range extension")
+    retract.add_argument("-n", "--network", required=True)
+    retract.add_argument("switch", type=int)
+    retract.add_argument("serial", type=int)
+
+    verify = sub.add_parser(
+        "verify", help="audit installed data-plane state")
+    verify.add_argument("-n", "--network", required=True)
+
+    render = sub.add_parser(
+        "render", help="render the virtual space to an SVG file")
+    render.add_argument("-n", "--network", required=True)
+    render.add_argument("-o", "--output", required=True)
+    render.add_argument("--voronoi", action="store_true",
+                        help="draw exact Voronoi cell boundaries")
+    render.add_argument("--data", nargs="*", default=[],
+                        help="data ids to mark as crosses")
+    render.add_argument("--route", default=None,
+                        help="highlight the route of this data id")
+    render.add_argument("--entry", type=int, default=None,
+                        help="entry switch for --route")
+
+    trace = sub.add_parser(
+        "trace", help="explain a request's forwarding decisions")
+    trace.add_argument("-n", "--network", required=True)
+    trace.add_argument("data_id")
+    trace.add_argument("--entry", type=int, required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a paper-figure experiment")
+    experiment.add_argument(
+        "figure",
+        choices=["fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig9c",
+                 "fig9d", "fig10a", "fig10b", "fig10c", "ablations",
+                 "extensions"],
+    )
+    return parser
+
+
+def _load(path: str):
+    from .io import load_network
+
+    return load_network(path)
+
+
+def _save(net, path: str) -> None:
+    from .io import save_network
+
+    save_network(net, path)
+
+
+def _cmd_generate(args) -> int:
+    from . import GredNetwork, attach_uniform, brite_waxman_graph
+
+    topology, _ = brite_waxman_graph(
+        args.switches, min_degree=args.min_degree,
+        rng=np.random.default_rng(args.seed),
+    )
+    servers = attach_uniform(topology.nodes(),
+                             servers_per_switch=args.servers)
+    net = GredNetwork(topology, servers,
+                      cvt_iterations=args.cvt_iterations,
+                      seed=args.seed)
+    _save(net, args.output)
+    print(f"generated {args.switches} switches x {args.servers} servers "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_place(args) -> int:
+    net = _load(args.network)
+    payload = json.loads(args.payload) if args.payload else None
+    result = net.place(args.data_id, payload=payload,
+                       entry_switch=args.entry, copies=args.copies,
+                       rng=np.random.default_rng(0))
+    _save(net, args.network)
+    for record in result.records:
+        print(f"placed {record.data_id} on server {record.server_id} "
+              f"({record.physical_hops} hops"
+              f"{', extended' if record.extended else ''})")
+    return 0
+
+
+def _cmd_retrieve(args) -> int:
+    net = _load(args.network)
+    result = net.retrieve(args.data_id, entry_switch=args.entry,
+                          copies=args.copies,
+                          rng=np.random.default_rng(0))
+    if not result.found:
+        print(f"not found: {args.data_id}")
+        return 1
+    print(f"found {args.data_id} on server {result.server_id} "
+          f"(round trip {result.round_trip_hops} hops)")
+    print(json.dumps(result.payload))
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    net = _load(args.network)
+    removed = net.delete(args.data_id, copies=args.copies,
+                         entry_switch=net.switch_ids()[0])
+    _save(net, args.network)
+    print(f"deleted {removed} copies of {args.data_id}")
+    return 0 if removed else 1
+
+
+def _cmd_stats(args) -> int:
+    from .controlplane import average_table_entries
+    from .metrics import load_imbalance_summary
+
+    net = _load(args.network)
+    topology = net.topology
+    loads = net.load_vector()
+    print(f"switches          : {topology.num_nodes()}")
+    print(f"links             : {topology.num_edges()}")
+    print(f"servers           : {len(loads)}")
+    print(f"stored items      : {sum(loads)}")
+    if sum(loads):
+        summary = load_imbalance_summary(loads)
+        print(f"load max/avg      : {summary['max_avg']:.3f}")
+        print(f"load Jain index   : {summary['jain']:.3f}")
+    avg_entries = average_table_entries(
+        net.controller.switches.values())
+    print(f"avg table entries : {avg_entries:.1f}")
+    extensions = sum(
+        len(s.table.extensions())
+        for s in net.controller.switches.values()
+    )
+    print(f"active extensions : {extensions}")
+    return 0
+
+
+def _cmd_extend(args) -> int:
+    net = _load(args.network)
+    net.extend_range(args.switch, args.serial)
+    _save(net, args.network)
+    entry = net.controller.switches[args.switch].table.extension_for(
+        args.serial)
+    print(f"extended ({args.switch}, {args.serial}) -> "
+          f"({entry.target_switch}, {entry.target_serial})")
+    return 0
+
+
+def _cmd_retract(args) -> int:
+    net = _load(args.network)
+    moved = net.retract_range(args.switch, args.serial)
+    _save(net, args.network)
+    print(f"retracted ({args.switch}, {args.serial}); "
+          f"{moved} items migrated home")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .controlplane import verify_installed_state
+
+    net = _load(args.network)
+    violations = verify_installed_state(net.controller)
+    if not violations:
+        print("installed state is consistent")
+        return 0
+    for violation in violations:
+        print(violation)
+    print(f"{len(violations)} violations found")
+    return 1
+
+
+def _cmd_render(args) -> int:
+    from .viz import render_virtual_space
+
+    net = _load(args.network)
+    route_trace = None
+    if args.route is not None:
+        entry = args.entry if args.entry is not None \
+            else net.switch_ids()[0]
+        route_trace = net.route_for(args.route, entry).trace
+    svg = render_virtual_space(
+        net.controller,
+        show_voronoi=args.voronoi,
+        data_ids=args.data,
+        route_trace=route_trace,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    net = _load(args.network)
+    route, tracer = net.trace_route(args.data_id, args.entry)
+    print(tracer.render())
+    print(f"-> destination switch {route.destination_switch}, "
+          f"{route.physical_hops} physical hops, "
+          f"{route.overlay_hops} overlay hops")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments as exp
+
+    runners = {
+        "fig7a": lambda: exp.print_table(
+            exp.run_fig7a(), ["protocol", "stretch_mean",
+                              "stretch_ci_low", "stretch_ci_high"],
+            "Fig 7(a): testbed routing stretch"),
+        "fig7b": lambda: exp.print_table(
+            exp.run_fig7b(), ["protocol", "max_avg", "items", "servers"],
+            "Fig 7(b): testbed load balance"),
+        "fig8": lambda: exp.print_table(
+            exp.run_fig8(), ["protocol", "requests", "avg_delay_ms",
+                             "avg_request_hops"],
+            "Fig 8: response delay"),
+        "fig9a": lambda: exp.print_table(
+            exp.run_fig9a(), ["switches", "protocol", "stretch_mean",
+                              "ci_low", "ci_high"],
+            "Fig 9(a): stretch vs size"),
+        "fig9b": lambda: exp.print_table(
+            exp.run_fig9b(), ["min_degree", "protocol", "stretch_mean",
+                              "ci_low", "ci_high"],
+            "Fig 9(b): stretch vs degree"),
+        "fig9c": lambda: exp.print_table(
+            exp.run_fig9c(), ["switches", "protocol", "stretch_mean"],
+            "Fig 9(c): extension stretch"),
+        "fig9d": lambda: exp.print_table(
+            exp.run_fig9d(), ["switches", "avg_entries", "ci_low",
+                              "ci_high", "max_entries"],
+            "Fig 9(d): table entries"),
+        "fig10a": lambda: exp.print_table(
+            exp.run_fig10a(), ["servers", "protocol", "max_avg"],
+            "Fig 10(a): load vs size"),
+        "fig10b": lambda: exp.print_table(
+            exp.run_fig10b(), ["items", "protocol", "max_avg"],
+            "Fig 10(b): load vs data"),
+        "fig10c": lambda: exp.print_table(
+            exp.run_fig10c(), ["T", "protocol", "max_avg"],
+            "Fig 10(c): load vs iterations"),
+        "extensions": lambda: (
+            exp.print_table(exp.run_mobility(),
+                            ["copies", "mean_request_hops", "p_max"],
+                            "X1: mobility"),
+            exp.print_table(exp.run_failure_availability(),
+                            ["failed_fraction", "copies",
+                             "availability"],
+                            "X2: failure availability"),
+            exp.print_table(exp.run_state_stretch_tradeoff(),
+                            ["switches", "protocol", "state_per_node",
+                             "stretch_mean"],
+                            "X3: state vs stretch"),
+            exp.print_table(exp.run_link_utilization(),
+                            ["protocol", "total_link_traversals",
+                             "max_link_load", "mean_link_load",
+                             "links_used"],
+                            "X4: link utilization"),
+            exp.print_table(exp.run_overflow_protection(),
+                            ["small_fraction", "rejected_unmanaged",
+                             "rejected_managed", "extensions_used"],
+                            "X9: overflow protection"),
+        ),
+        "ablations": lambda: (
+            exp.print_table(exp.run_cvt_samples(),
+                            ["samples", "energy_at_10", "energy_at_30",
+                             "energy_final"],
+                            "A1: CVT samples"),
+            exp.print_table(exp.run_embedding_quality(),
+                            ["switches", "protocol", "stress",
+                             "stretch_mean"],
+                            "A2: embedding quality"),
+            exp.print_table(exp.run_chord_virtual_nodes(),
+                            ["virtual_nodes", "max_avg",
+                             "avg_finger_entries"],
+                            "A3: Chord virtual nodes"),
+        ),
+    }
+    runners[args.figure]()
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "place": _cmd_place,
+    "retrieve": _cmd_retrieve,
+    "delete": _cmd_delete,
+    "stats": _cmd_stats,
+    "extend": _cmd_extend,
+    "retract": _cmd_retract,
+    "verify": _cmd_verify,
+    "render": _cmd_render,
+    "trace": _cmd_trace,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as exc:  # surface library errors as CLI errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

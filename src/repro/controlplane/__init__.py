@@ -1,0 +1,39 @@
+"""Control plane: the SDN controller (discovery, embedding, DT, rule
+installation, range extension, dynamics) and the rule compiler."""
+
+from .controller import ControlPlaneError, Controller, ControllerConfig
+from .verification import Violation, verify_installed_state
+from .southbound import (
+    RecordingChannel,
+    SouthboundMessage,
+    apply_message,
+    compile_messages,
+    install_via_messages,
+)
+from .rules import (
+    average_table_entries,
+    bfs_parent_tree,
+    compile_port_map,
+    install_all_rules,
+    path_toward,
+    table_entry_counts,
+)
+
+__all__ = [
+    "Controller",
+    "ControllerConfig",
+    "ControlPlaneError",
+    "install_all_rules",
+    "compile_port_map",
+    "bfs_parent_tree",
+    "path_toward",
+    "average_table_entries",
+    "table_entry_counts",
+    "verify_installed_state",
+    "Violation",
+    "SouthboundMessage",
+    "RecordingChannel",
+    "compile_messages",
+    "apply_message",
+    "install_via_messages",
+]

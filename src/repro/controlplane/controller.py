@@ -1,0 +1,489 @@
+"""The SDN controller of the software-defined edge network (SDEN).
+
+The controller centralizes the GRED control plane (paper Section III):
+
+1. discover the switch topology and the attached edge servers;
+2. compute virtual positions with the M-position algorithm (classical
+   MDS over the all-pairs hop matrix);
+3. refine the positions of DT-participating switches toward a CVT with
+   C-regulation (``cvt_iterations = 0`` yields the GRED-NoCVT variant);
+4. build the Delaunay triangulation of the refined positions;
+5. compile and install per-switch forwarding state (greedy candidates,
+   multi-hop relay tuples);
+6. serve range-extension requests from overloaded switches;
+7. absorb network dynamics (switch join/leave) with incremental DT
+   updates.
+
+The controller is proactive: all rules are pushed before any data-plane
+traffic, so switches never consult the controller per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..dataplane import ExtensionEntry, GredSwitch
+from ..edge import EdgeServer, ServerMap
+from ..embedding import c_regulation, m_position
+from ..geometry import (
+    DelaunayTriangulation,
+    Point,
+    deduplicate_points,
+    euclidean,
+)
+from ..graph import Graph, all_pairs_hop_matrix, is_connected
+from . import rules
+
+
+class ControlPlaneError(Exception):
+    """Raised for invalid control-plane requests or inconsistent state."""
+
+
+@dataclass
+class ControllerConfig:
+    """Tunables of the control plane.
+
+    ``cvt_iterations`` is the paper's ``T``; 0 disables C-regulation
+    (GRED-NoCVT).  ``samples_per_iteration`` is the Monte-Carlo sample
+    count (paper: 1000).  ``density_sampler`` optionally realizes a
+    non-uniform data-position density rho for C-regulation (paper
+    Equation 2); ``None`` means uniform (SHA-256 positions).
+    """
+
+    cvt_iterations: int = 50
+    samples_per_iteration: int = 1000
+    relaxation: float = 1.0
+    margin: float = 0.05
+    seed: int = 0
+    density_sampler: Optional[object] = None
+    #: Embedding back end: "classical" (the paper's M-position) or
+    #: "smacof" (stress majorization, ablation A4).
+    embedding: str = "classical"
+
+
+class Controller:
+    """The GRED control plane.
+
+    Parameters
+    ----------
+    topology:
+        Physical switch graph (must be connected).
+    server_map:
+        Edge servers attached to each switch; switches absent from the
+        map (or mapped to an empty list) are relay-only and do not
+        participate in the DT.
+    config:
+        Control-plane tunables.
+    """
+
+    def __init__(self, topology: Graph, server_map: ServerMap,
+                 config: Optional[ControllerConfig] = None) -> None:
+        if not is_connected(topology):
+            raise ControlPlaneError("the switch topology must be connected")
+        unknown = [s for s in server_map if not topology.has_node(s)]
+        if unknown:
+            raise ControlPlaneError(
+                f"server map references unknown switches: {unknown}"
+            )
+        self.config = config or ControllerConfig()
+        self.topology = topology.copy()
+        self.server_map: ServerMap = {
+            node: list(server_map.get(node, []))
+            for node in topology.nodes()
+        }
+        self.positions: Dict[int, Point] = {}
+        self.switches: Dict[int, GredSwitch] = {}
+        self._dt: Optional[DelaunayTriangulation] = None
+        self._dt_vertex_to_switch: Dict[int, int] = {}
+        self._dt_switch_to_vertex: Dict[int, int] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self.recompute()
+
+    # ------------------------------------------------------------------
+    # main pipeline
+    # ------------------------------------------------------------------
+    def dt_participants(self) -> List[int]:
+        """Switches that host at least one edge server (DT members)."""
+        return [node for node in self.topology.nodes()
+                if self.server_map.get(node)]
+
+    def recompute(self, positions: Optional[Dict[int, Point]] = None
+                  ) -> None:
+        """Run the full control-plane pipeline and install all rules.
+
+        Parameters
+        ----------
+        positions:
+            Optional precomputed virtual positions (e.g. restored from a
+            snapshot).  When given, the embedding and CVT stages are
+            skipped and the DT/rules are built over these positions;
+            every topology switch must be covered.
+        """
+        participants = self.dt_participants()
+        if not participants:
+            raise ControlPlaneError(
+                "at least one switch must host an edge server"
+            )
+        if positions is not None:
+            missing = [n for n in self.topology.nodes()
+                       if n not in positions]
+            if missing:
+                raise ControlPlaneError(
+                    f"precomputed positions missing switches: {missing}"
+                )
+            positions = {n: (float(p[0]), float(p[1]))
+                         for n, p in positions.items()}
+        else:
+            positions = self._compute_positions(participants)
+        self.positions = positions
+        self._build_dt(participants)
+        self._build_switches()
+        self._install_rules()
+
+    def _compute_positions(
+        self, participants: List[int]
+    ) -> Dict[int, Point]:
+        order = self.topology.nodes()
+        matrix, order = all_pairs_hop_matrix(self.topology, order=order)
+        if self.config.embedding == "classical":
+            embedded = m_position(matrix, margin=self.config.margin)
+        elif self.config.embedding == "smacof":
+            from ..embedding import smacof_position
+
+            embedded = smacof_position(matrix, margin=self.config.margin)
+        else:
+            raise ControlPlaneError(
+                f"unknown embedding back end "
+                f"{self.config.embedding!r}; expected 'classical' or "
+                f"'smacof'"
+            )
+        positions = dict(zip(order, embedded))
+        participant_sites = [positions[node] for node in participants]
+        if self.config.cvt_iterations > 0:
+            result = c_regulation(
+                participant_sites,
+                iterations=self.config.cvt_iterations,
+                samples_per_iteration=self.config.samples_per_iteration,
+                relaxation=self.config.relaxation,
+                rng=np.random.default_rng(self.config.seed + 1),
+                sampler=self.config.density_sampler,
+            )
+            participant_sites = result.sites
+        participant_sites = deduplicate_points(participant_sites)
+        for node, site in zip(participants, participant_sites):
+            positions[node] = site
+        return positions
+
+    def _build_dt(self, participants: List[int]) -> None:
+        sites = [self.positions[node] for node in participants]
+        self._dt = DelaunayTriangulation(
+            sites, rng=np.random.default_rng(self.config.seed + 2)
+        )
+        # DelaunayTriangulation assigns vertex id == input index.
+        self._dt_vertex_to_switch = dict(enumerate(participants))
+        self._dt_switch_to_vertex = {
+            switch: vertex
+            for vertex, switch in self._dt_vertex_to_switch.items()
+        }
+
+    def dt_adjacency(self) -> Dict[int, Set[int]]:
+        """DT neighbor sets in switch-id space."""
+        if self._dt is None:
+            raise ControlPlaneError("control plane has not been computed")
+        adjacency: Dict[int, Set[int]] = {}
+        for vertex, nbrs in self._dt.neighbor_map().items():
+            switch = self._dt_vertex_to_switch[vertex]
+            adjacency[switch] = {
+                self._dt_vertex_to_switch[v] for v in nbrs
+            }
+        return adjacency
+
+    def _build_switches(self) -> None:
+        existing = self.switches
+        self.switches = {}
+        for node in self.topology.nodes():
+            num_servers = len(self.server_map.get(node, []))
+            if node in existing:
+                switch = existing[node]
+                switch.num_servers = num_servers
+            else:
+                switch = GredSwitch(
+                    switch_id=node,
+                    position=self.positions[node],
+                    num_servers=num_servers,
+                )
+            self.switches[node] = switch
+
+    def _install_rules(self) -> None:
+        rules.install_all_rules(
+            self.topology, self.switches, self.positions,
+            self.dt_adjacency(),
+        )
+
+    # ------------------------------------------------------------------
+    # range extension (paper Section V-B)
+    # ------------------------------------------------------------------
+    def extend_range(self, switch_id: int, serial: int) -> ExtensionEntry:
+        """Offload an overloaded server to a neighboring switch.
+
+        Picks, among the physical neighbors' servers, the one with the
+        most remaining capacity (unbounded servers count as infinite,
+        broken by lowest current load), installs the rewrite entry at the
+        overloaded switch, and returns it.
+
+        Raises
+        ------
+        ControlPlaneError
+            If the switch/serial is unknown, an extension is already
+            active for that server, or no neighbor hosts any server.
+        """
+        servers = self.server_map.get(switch_id)
+        if servers is None or serial >= len(servers):
+            raise ControlPlaneError(
+                f"unknown server ({switch_id}, {serial})"
+            )
+        table = self.switches[switch_id].table
+        if table.extension_for(serial) is not None:
+            raise ControlPlaneError(
+                f"server ({switch_id}, {serial}) already has an active "
+                f"range extension"
+            )
+        candidate = self._pick_takeover_server(switch_id)
+        if candidate is None:
+            raise ControlPlaneError(
+                f"no physical neighbor of switch {switch_id} hosts a "
+                f"server to take over"
+            )
+        entry = ExtensionEntry(
+            local_serial=serial,
+            target_switch=candidate.switch,
+            target_serial=candidate.serial,
+        )
+        table.install_extension(entry)
+        return entry
+
+    def _pick_takeover_server(self,
+                              switch_id: int) -> Optional[EdgeServer]:
+        best: Optional[EdgeServer] = None
+        best_key = None
+        for neighbor in sorted(self.topology.neighbors(switch_id)):
+            for server in self.server_map.get(neighbor, []):
+                if server.capacity is None:
+                    remaining = float("inf")
+                else:
+                    remaining = server.capacity - server.load
+                    if remaining <= 0:
+                        continue
+                key = (-remaining, server.load, server.switch, server.serial)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = server
+        return best
+
+    def retract_range(self, switch_id: int, serial: int) -> None:
+        """Remove an active range extension (after its data migrated
+        back, paper Section V-B end)."""
+        table = self.switches[switch_id].table
+        if table.extension_for(serial) is None:
+            raise ControlPlaneError(
+                f"server ({switch_id}, {serial}) has no active extension"
+            )
+        table.remove_extension(serial)
+
+    # ------------------------------------------------------------------
+    # network dynamics (paper Section VI)
+    # ------------------------------------------------------------------
+    def add_switch(self, switch_id: int, links: List[int],
+                   servers: List[EdgeServer]) -> None:
+        """A new switch joins the network.
+
+        The new switch's virtual position is computed *locally* — the
+        existing switches keep their positions (the paper: a new node
+        "only affects its neighbors") — by minimizing the squared error
+        between embedded and network distances against all existing
+        switches, then the DT is extended incrementally and rules are
+        recompiled.
+        """
+        if self.topology.has_node(switch_id):
+            raise ControlPlaneError(f"switch {switch_id} already exists")
+        if not links:
+            raise ControlPlaneError("a joining switch needs at least one "
+                                    "physical link")
+        for peer in links:
+            if not self.topology.has_node(peer):
+                raise ControlPlaneError(f"unknown link peer {peer}")
+        self.topology.add_node(switch_id)
+        for peer in links:
+            self.topology.add_edge(switch_id, peer)
+        self.server_map[switch_id] = list(servers)
+        position = self._solve_join_position(switch_id)
+        position = deduplicate_points(
+            [self.positions[n] for n in self.topology.nodes()
+             if n != switch_id] + [position]
+        )[-1]
+        self.positions[switch_id] = position
+        if servers:
+            vertex = self._dt.insert_point(position)
+            self._dt_vertex_to_switch[vertex] = switch_id
+            self._dt_switch_to_vertex[switch_id] = vertex
+        self._build_switches()
+        self._install_rules()
+
+    def _solve_join_position(self, switch_id: int) -> Point:
+        """Least-squares position for a joining switch against the
+        existing embedding."""
+        from ..graph import bfs_distances
+
+        anchors = []
+        hop = bfs_distances(self.topology, switch_id)
+        for node, d in hop.items():
+            if node != switch_id and node in self.positions and d > 0:
+                anchors.append((self.positions[node], float(d)))
+        if not anchors:
+            return (0.5, 0.5)
+        scale = self._embedding_scale()
+        neighbor_positions = [
+            self.positions[n] for n in self.topology.neighbors(switch_id)
+            if n in self.positions
+        ]
+        if neighbor_positions:
+            x0 = (
+                sum(p[0] for p in neighbor_positions)
+                / len(neighbor_positions),
+                sum(p[1] for p in neighbor_positions)
+                / len(neighbor_positions),
+            )
+        else:
+            x0 = (0.5, 0.5)
+        try:
+            from scipy.optimize import least_squares
+
+            def residuals(q):
+                return [
+                    euclidean((q[0], q[1]), pos) - scale * d
+                    for pos, d in anchors
+                ]
+
+            solution = least_squares(residuals, x0=list(x0))
+            return (float(solution.x[0]), float(solution.x[1]))
+        except Exception:  # pragma: no cover - scipy should be present
+            return x0
+
+    def _embedding_scale(self) -> float:
+        """Least-squares factor mapping hop distances to embedded
+        distances over a sample of existing pairs."""
+        nodes = [n for n in self.topology.nodes() if n in self.positions]
+        if len(nodes) < 2:
+            return 0.1
+        from ..graph import bfs_distances
+
+        num = 0.0
+        den = 0.0
+        sample = nodes[: min(len(nodes), 20)]
+        for node in sample:
+            hops = bfs_distances(self.topology, node)
+            for other in nodes:
+                d = hops.get(other)
+                if other == node or not d:
+                    continue
+                e = euclidean(self.positions[node], self.positions[other])
+                num += e * d
+                den += d * d
+        if den == 0.0:
+            return 0.1
+        return num / den
+
+    def add_link(self, u: int, v: int) -> None:
+        """A new physical link comes up between two known switches.
+
+        Positions and the DT are unchanged (the virtual space reflects
+        distances only approximately and the paper recomputes the
+        embedding on its own schedule); the rule compiler re-derives
+        ports, greedy candidates and relay paths so the new link is
+        used immediately.
+        """
+        if not self.topology.has_node(u) or not self.topology.has_node(v):
+            raise ControlPlaneError(f"unknown link endpoint in ({u}, {v})")
+        if self.topology.has_edge(u, v):
+            raise ControlPlaneError(f"link ({u}, {v}) already exists")
+        self.topology.add_edge(u, v)
+        self._install_rules()
+
+    def remove_link(self, u: int, v: int) -> None:
+        """A physical link fails.
+
+        The topology must stay connected (a partition cannot be routed
+        around).  Relay paths that crossed the failed link are
+        recompiled over the surviving topology; positions and the DT
+        are kept.
+        """
+        if not self.topology.has_edge(u, v):
+            raise ControlPlaneError(f"no link ({u}, {v})")
+        candidate = self.topology.copy()
+        candidate.remove_edge(u, v)
+        if not is_connected(candidate):
+            raise ControlPlaneError(
+                f"removing link ({u}, {v}) would partition the network"
+            )
+        self.topology = candidate
+        self._install_rules()
+
+    def remove_switch(self, switch_id: int) -> None:
+        """A switch leaves (or fails).
+
+        The remaining positions are kept; the DT is rebuilt over the
+        remaining participants (vertex deletion in a DT is rare enough at
+        control-plane scale that a rebuild is the simplest correct
+        response) and the rules are recompiled.
+
+        Raises
+        ------
+        ControlPlaneError
+            If removing the switch would disconnect the topology or
+            remove the last DT participant.
+        """
+        if not self.topology.has_node(switch_id):
+            raise ControlPlaneError(f"unknown switch {switch_id}")
+        candidate = self.topology.copy()
+        candidate.remove_node(switch_id)
+        if candidate.num_nodes() and not is_connected(candidate):
+            raise ControlPlaneError(
+                f"removing switch {switch_id} would disconnect the network"
+            )
+        self.topology = candidate
+        self.server_map.pop(switch_id, None)
+        self.positions.pop(switch_id, None)
+        self.switches.pop(switch_id, None)
+        participants = self.dt_participants()
+        if not participants:
+            raise ControlPlaneError(
+                "cannot remove the last server-hosting switch"
+            )
+        self._build_dt(participants)
+        self._build_switches()
+        self._install_rules()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def switch_position(self, switch_id: int) -> Point:
+        if switch_id not in self.positions:
+            raise ControlPlaneError(f"unknown switch {switch_id}")
+        return self.positions[switch_id]
+
+    def closest_switch(self, point: Point) -> int:
+        """The DT participant whose position is nearest to ``point``
+        (ties: lowest x, then y — the paper's rule)."""
+        participants = self.dt_participants()
+        best = None
+        best_key = None
+        for node in participants:
+            pos = self.positions[node]
+            key = (euclidean(pos, point), pos[0], pos[1])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = node
+        return best

@@ -1,0 +1,12 @@
+"""GRED core: the public placement/retrieval facade."""
+
+from .network import GredError, GredNetwork
+from .results import PlacementRecord, PlacementResult, RetrievalResult
+
+__all__ = [
+    "GredNetwork",
+    "GredError",
+    "PlacementRecord",
+    "PlacementResult",
+    "RetrievalResult",
+]

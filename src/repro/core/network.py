@@ -1,0 +1,482 @@
+"""``GredNetwork``: the public facade of the GRED system.
+
+Wires the control plane, the data plane and the edge plane together and
+exposes the two services the paper defines — *data placement* (deliver a
+data item to an edge server for storage) and *data retrieval* (find the
+storage server of an item and bring the data back to the user) — plus
+range extension, replication and network dynamics.
+
+Typical use::
+
+    from repro import GredNetwork, attach_uniform, brite_waxman_graph
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    topology, _ = brite_waxman_graph(50, min_degree=3, rng=rng)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=10)
+    net = GredNetwork(topology, servers, cvt_iterations=50)
+
+    placement = net.place("videos/cam3/frame-001", payload=b"...")
+    result = net.retrieve("videos/cam3/frame-001", entry_switch=4)
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..controlplane import Controller, ControllerConfig
+from ..dataplane import (
+    Packet,
+    PacketKind,
+    RouteResult,
+    route_packet,
+)
+from ..edge import EdgeServer, ServerMap, attach_uniform, load_vector
+from ..geometry import euclidean
+from ..graph import Graph, hop_count
+from ..hashing import data_position, replica_id
+from .results import PlacementRecord, PlacementResult, RetrievalResult
+
+
+class GredError(Exception):
+    """Raised for invalid requests against a :class:`GredNetwork`."""
+
+
+class GredNetwork:
+    """A complete software-defined edge network running GRED.
+
+    Parameters
+    ----------
+    topology:
+        Physical switch graph (connected).
+    server_map:
+        Servers per switch; when omitted, ``servers_per_switch``
+        identical unbounded servers are attached to every switch.
+    servers_per_switch:
+        Used only when ``server_map`` is omitted.
+    cvt_iterations:
+        The paper's ``T``.  ``0`` gives the GRED-NoCVT variant.
+    samples_per_iteration, seed:
+        Forwarded to the control plane.
+    position_fn:
+        Mapping from a data identifier to its virtual-space position.
+        Defaults to the paper's SHA-256 scheme
+        (:func:`repro.hashing.data_position`, uniform over the unit
+        square).  Deployments with locality-preserving naming pass
+        their own deterministic mapping here — and a matching
+        ``density_sampler`` so C-regulation equalizes load under that
+        density (paper Equation 2).
+    density_sampler:
+        Optional ``(k, rng) -> (k, 2)`` sampler of the data-position
+        density, forwarded to C-regulation.
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        server_map: Optional[ServerMap] = None,
+        servers_per_switch: int = 10,
+        cvt_iterations: int = 50,
+        samples_per_iteration: int = 1000,
+        seed: int = 0,
+        position_fn=None,
+        density_sampler=None,
+    ) -> None:
+        if server_map is None:
+            server_map = attach_uniform(
+                topology.nodes(), servers_per_switch=servers_per_switch
+            )
+        config = ControllerConfig(
+            cvt_iterations=cvt_iterations,
+            samples_per_iteration=samples_per_iteration,
+            seed=seed,
+            density_sampler=density_sampler,
+        )
+        self._position_fn = position_fn or data_position
+        self.controller = Controller(topology, server_map, config=config)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Graph:
+        return self.controller.topology
+
+    @property
+    def server_map(self) -> ServerMap:
+        return self.controller.server_map
+
+    def switch_ids(self) -> List[int]:
+        return self.topology.nodes()
+
+    def servers(self) -> List[EdgeServer]:
+        from ..edge import all_servers
+
+        return all_servers(self.server_map)
+
+    def server(self, switch: int, serial: int) -> EdgeServer:
+        servers = self.server_map.get(switch)
+        if servers is None or serial >= len(servers) or serial < 0:
+            raise GredError(f"unknown server ({switch}, {serial})")
+        return servers[serial]
+
+    def load_vector(self) -> List[int]:
+        """Per-server stored-item counts (deterministic order)."""
+        return load_vector(self.server_map)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        data_id: str,
+        payload: Any = None,
+        entry_switch: Optional[int] = None,
+        copies: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PlacementResult:
+        """Place ``data_id`` (and ``copies - 1`` extra replicas).
+
+        Each copy ``i`` is routed independently toward ``H(d || i)``
+        (paper Section VI) from ``entry_switch`` (random when omitted).
+        """
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        entry = self._resolve_entry(entry_switch, rng)
+        records = []
+        for i in range(copies):
+            records.append(self._place_one(replica_id(data_id, i),
+                                           payload, entry))
+        return PlacementResult(data_id=data_id, records=records)
+
+    def _place_one(self, copy_id: str, payload: Any,
+                   entry: int) -> PlacementRecord:
+        packet = Packet(
+            kind=PacketKind.PLACEMENT,
+            data_id=copy_id,
+            position=self._position_fn(copy_id),
+            payload=payload,
+        )
+        route = route_packet(self.controller.switches, entry, packet)
+        delivery = route.delivery
+        extended = delivery.extension is not None
+        if extended:
+            target = self.server(delivery.extension.target_switch,
+                                 delivery.extension.target_serial)
+            physical_hops = route.physical_hops + hop_count(
+                self.topology, delivery.switch,
+                delivery.extension.target_switch,
+            )
+        else:
+            target = self.server(delivery.switch, delivery.primary_serial)
+            physical_hops = route.physical_hops
+        target.store(copy_id, payload)
+        return PlacementRecord(
+            data_id=copy_id,
+            entry_switch=entry,
+            destination_switch=delivery.switch,
+            server_id=target.server_id,
+            physical_hops=physical_hops,
+            overlay_hops=route.overlay_hops,
+            trace=route.trace,
+            extended=extended,
+        )
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def retrieve(
+        self,
+        data_id: str,
+        entry_switch: Optional[int] = None,
+        copies: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RetrievalResult:
+        """Retrieve ``data_id`` from the copy nearest to the entry point.
+
+        With ``copies > 1`` the access point computes the position of
+        every replica and sends the request toward the one closest (in
+        the virtual space) to its own switch — the paper's nearest-copy
+        selection (Section VI).
+        """
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        entry = self._resolve_entry(entry_switch, rng)
+        copy_index = self._nearest_copy(data_id, copies, entry)
+        copy_id = replica_id(data_id, copy_index)
+        packet = Packet(
+            kind=PacketKind.RETRIEVAL,
+            data_id=copy_id,
+            position=self._position_fn(copy_id),
+        )
+        route = route_packet(self.controller.switches, entry, packet)
+        delivery = route.delivery
+        candidates = [
+            (self.server(delivery.switch, delivery.primary_serial), 0)
+        ]
+        forked = False
+        if delivery.extension is not None:
+            # Fork: the request goes to both possible locations (paper
+            # Section V-C); the remote one costs the extra hops to the
+            # neighbor switch.
+            forked = True
+            remote = self.server(delivery.extension.target_switch,
+                                 delivery.extension.target_serial)
+            extra = hop_count(self.topology, delivery.switch,
+                              delivery.extension.target_switch)
+            candidates.append((remote, extra))
+        for server, extra_hops in candidates:
+            if server.has(copy_id):
+                response_hops = hop_count(self.topology, server.switch,
+                                          entry)
+                return RetrievalResult(
+                    data_id=data_id,
+                    found=True,
+                    payload=server.retrieve(copy_id),
+                    entry_switch=entry,
+                    destination_switch=delivery.switch,
+                    server_id=server.server_id,
+                    request_hops=route.physical_hops + extra_hops,
+                    response_hops=response_hops,
+                    trace=route.trace,
+                    copy_used=copy_index,
+                    forked=forked,
+                )
+        return RetrievalResult(
+            data_id=data_id,
+            found=False,
+            payload=None,
+            entry_switch=entry,
+            destination_switch=delivery.switch,
+            server_id=None,
+            request_hops=route.physical_hops,
+            response_hops=0,
+            trace=route.trace,
+            copy_used=copy_index,
+            forked=forked,
+        )
+
+    def _nearest_copy(self, data_id: str, copies: int, entry: int) -> int:
+        if copies == 1:
+            return 0
+        entry_pos = self.controller.switch_position(entry)
+        best = 0
+        best_d = None
+        for i in range(copies):
+            pos = self._position_fn(replica_id(data_id, i))
+            d = euclidean(pos, entry_pos)
+            if best_d is None or d < best_d:
+                best_d = d
+                best = i
+        return best
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, data_id: str, copies: int = 1,
+               entry_switch: Optional[int] = None) -> int:
+        """Delete all copies of a data item; returns how many were
+        removed."""
+        removed = 0
+        entry = self._resolve_entry(entry_switch, None)
+        for i in range(copies):
+            copy_id = replica_id(data_id, i)
+            packet = Packet(
+                kind=PacketKind.RETRIEVAL,
+                data_id=copy_id,
+                position=self._position_fn(copy_id),
+            )
+            route = route_packet(self.controller.switches, entry, packet)
+            delivery = route.delivery
+            servers = [self.server(delivery.switch,
+                                   delivery.primary_serial)]
+            if delivery.extension is not None:
+                servers.append(
+                    self.server(delivery.extension.target_switch,
+                                delivery.extension.target_serial)
+                )
+            for server in servers:
+                if server.has(copy_id):
+                    server.delete(copy_id)
+                    removed += 1
+                    break
+        return removed
+
+    # ------------------------------------------------------------------
+    # range extension (paper Section V-B)
+    # ------------------------------------------------------------------
+    def extend_range(self, switch: int, serial: int,
+                     migrate: bool = False) -> None:
+        """Activate a range extension for server ``(switch, serial)``.
+
+        With ``migrate=True`` the items currently on the overloaded
+        server move to the takeover server immediately (the default
+        leaves them, matching the paper where only *new* placements are
+        redirected and retrieval forks to both locations).
+        """
+        entry = self.controller.extend_range(switch, serial)
+        if migrate:
+            source = self.server(switch, serial)
+            target = self.server(entry.target_switch, entry.target_serial)
+            for item_id in source.stored_ids():
+                target.store(item_id, source.retrieve(item_id))
+                source.delete(item_id)
+
+    def retract_range(self, switch: int, serial: int) -> int:
+        """Deactivate a range extension, migrating the redirected items
+        back home first (paper Section V-B end).  Returns the number of
+        items migrated.
+
+        The paper only deletes the extended forwarding entries "when all
+        the corresponding data has been retrieved", so retraction is
+        refused when the home server lacks capacity for everything that
+        belongs to it — the extension stays active and no item moves.
+        """
+        table = self.controller.switches[switch].table
+        entry = table.extension_for(serial)
+        if entry is None:
+            raise GredError(
+                f"server ({switch}, {serial}) has no active extension"
+            )
+        source = self.server(entry.target_switch, entry.target_serial)
+        home = self.server(switch, serial)
+        belonging = [
+            item_id for item_id in source.stored_ids()
+            if self._belongs_to(item_id, switch, serial)
+        ]
+        if home.capacity is not None:
+            free = home.capacity - home.load
+            if len(belonging) > free:
+                raise GredError(
+                    f"cannot retract: server ({switch}, {serial}) has "
+                    f"{free} free slots but {len(belonging)} items must "
+                    f"migrate back"
+                )
+        for item_id in belonging:
+            home.store(item_id, source.retrieve(item_id))
+            source.delete(item_id)
+        self.controller.retract_range(switch, serial)
+        return len(belonging)
+
+    def _belongs_to(self, data_id: str, switch: int, serial: int) -> bool:
+        """Would ``data_id`` be delivered to server (switch, serial) with
+        no extensions active?"""
+        from ..hashing import server_index
+
+        position = self._position_fn(data_id)
+        dest = self.controller.closest_switch(position)
+        if dest != switch:
+            return False
+        return server_index(data_id, len(self.server_map[switch])) == serial
+
+    # ------------------------------------------------------------------
+    # network dynamics (paper Section VI)
+    # ------------------------------------------------------------------
+    def add_switch(self, switch_id: int, links: Sequence[int],
+                   servers_per_switch: int = 0,
+                   servers: Optional[List[EdgeServer]] = None) -> int:
+        """A switch (optionally with servers) joins the network.
+
+        Data stored on the DT neighbors of the new switch is re-evaluated
+        and items now closest to the new switch migrate to it.  Returns
+        the number of migrated items.
+        """
+        if servers is None:
+            servers = [
+                EdgeServer(switch=switch_id, serial=i)
+                for i in range(servers_per_switch)
+            ]
+        self.controller.add_switch(switch_id, list(links), servers)
+        if not servers:
+            return 0
+        neighbors = self.controller.dt_adjacency().get(switch_id, set())
+        return self._migrate_from(neighbors)
+
+    def remove_switch(self, switch_id: int) -> int:
+        """A switch leaves; its stored items are re-placed onto the
+        remaining network.  Returns the number of re-placed items."""
+        servers = self.server_map.get(switch_id, [])
+        orphans = []
+        for server in servers:
+            for item_id in server.stored_ids():
+                orphans.append((item_id, server.retrieve(item_id)))
+            server.clear()
+        # Re-place from a surviving physical neighbor of the leaver.
+        neighbors = [n for n in self.topology.neighbors(switch_id)]
+        self.controller.remove_switch(switch_id)
+        entry = None
+        for n in neighbors:
+            if self.topology.has_node(n):
+                entry = n
+                break
+        if entry is None:
+            entry = self.switch_ids()[0]
+        for item_id, payload in orphans:
+            self._place_one(item_id, payload, entry)
+        return len(orphans)
+
+    def _migrate_from(self, switches: Sequence[int]) -> int:
+        """Re-evaluate items stored under the given switches and move the
+        ones whose closest switch changed."""
+        moved = 0
+        for switch in switches:
+            for server in self.server_map.get(switch, []):
+                for item_id in server.stored_ids():
+                    if self._belongs_to(item_id, server.switch,
+                                        server.serial):
+                        continue
+                    payload = server.retrieve(item_id)
+                    server.delete(item_id)
+                    self._place_one(item_id, payload, switch)
+                    moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+    def route_for(self, data_id: str, entry_switch: int) -> RouteResult:
+        """Route a retrieval request without touching any storage (used
+        by the routing-stretch experiments)."""
+        packet = Packet(
+            kind=PacketKind.RETRIEVAL,
+            data_id=data_id,
+            position=self._position_fn(data_id),
+        )
+        return route_packet(self.controller.switches, entry_switch, packet)
+
+    def trace_route(self, data_id: str, entry_switch: int):
+        """Route a retrieval request with full decision tracing.
+
+        Returns ``(RouteResult, Tracer)``; render the trace with
+        ``tracer.render()`` for a per-hop explanation of the greedy
+        decisions, virtual-link relays and the final delivery.
+        """
+        from ..dataplane import Tracer
+
+        tracer = Tracer()
+        packet = Packet(
+            kind=PacketKind.RETRIEVAL,
+            data_id=data_id,
+            position=self._position_fn(data_id),
+        )
+        route = route_packet(self.controller.switches, entry_switch,
+                             packet, tracer=tracer)
+        return route, tracer
+
+    def destination_switch(self, data_id: str) -> int:
+        """The switch that owns ``data_id`` (no routing simulated)."""
+        return self.controller.closest_switch(
+            self._position_fn(data_id))
+
+    def _resolve_entry(self, entry_switch: Optional[int],
+                       rng: Optional[np.random.Generator]) -> int:
+        if entry_switch is not None:
+            if not self.topology.has_node(entry_switch):
+                raise GredError(f"unknown entry switch {entry_switch}")
+            return entry_switch
+        ids = self.switch_ids()
+        if rng is None:
+            rng = np.random.default_rng()
+        return ids[int(rng.integers(0, len(ids)))]

@@ -1,0 +1,92 @@
+"""Result records returned by the GRED placement/retrieval API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..edge import ServerId
+
+
+@dataclass
+class PlacementRecord:
+    """Outcome of placing one copy of a data item.
+
+    Attributes
+    ----------
+    data_id:
+        Identifier of this copy (the replica id for copies > 0).
+    entry_switch:
+        Switch where the request entered the network.
+    destination_switch:
+        DT switch closest to the copy's hash position.
+    server_id:
+        Edge server that stored the copy (may live on a neighbor switch
+        when a range extension is active).
+    physical_hops:
+        Physical hops of the placement route, including the extra hop to
+        an extension takeover server when applicable.
+    overlay_hops:
+        Greedy decisions taken (the paper's one-overlay-hop claim is
+        about the DHT structure; greedy may traverse several DT edges).
+    trace:
+        Switch ids visited by the request.
+    extended:
+        True when the copy was redirected by a range extension.
+    """
+
+    data_id: str
+    entry_switch: int
+    destination_switch: int
+    server_id: ServerId
+    physical_hops: int
+    overlay_hops: int
+    trace: List[int] = field(default_factory=list)
+    extended: bool = False
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing a data item and all of its copies."""
+
+    data_id: str
+    records: List[PlacementRecord]
+
+    @property
+    def primary(self) -> PlacementRecord:
+        return self.records[0]
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of retrieving a data item.
+
+    ``request_hops`` counts the forward path (access point to the
+    storage server, including the extension fork hop when taken);
+    ``response_hops`` counts the reply path back to the access point
+    (network shortest path); ``round_trip_hops`` is their sum.
+    """
+
+    data_id: str
+    found: bool
+    payload: Any
+    entry_switch: int
+    destination_switch: Optional[int]
+    server_id: Optional[ServerId]
+    request_hops: int
+    response_hops: int
+    trace: List[int] = field(default_factory=list)
+    copy_used: int = 0
+    forked: bool = False
+
+    @property
+    def round_trip_hops(self) -> int:
+        return self.request_hops + self.response_hops
+
+
+#: Convenience alias: (switch id, serial) pairs index servers everywhere.
+ServerRef = Tuple[int, int]

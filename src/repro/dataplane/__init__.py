@@ -1,0 +1,31 @@
+"""Data plane: packets, forwarding tables, the P4-style switch pipeline,
+and the greedy forwarding engine (paper Algorithm 2)."""
+
+from .packet import Packet, PacketKind, VirtualLinkHeader
+from .tables import ExtensionEntry, ForwardingTable, VirtualLinkEntry
+from .switch import (
+    DeliverAction,
+    ForwardAction,
+    ForwardingError,
+    GredSwitch,
+)
+from .forwarding import RouteResult, route_packet
+from .tracing import TraceEvent, TraceEventKind, Tracer
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "VirtualLinkHeader",
+    "ForwardingTable",
+    "VirtualLinkEntry",
+    "ExtensionEntry",
+    "GredSwitch",
+    "ForwardAction",
+    "DeliverAction",
+    "ForwardingError",
+    "RouteResult",
+    "route_packet",
+    "Tracer",
+    "TraceEvent",
+    "TraceEventKind",
+]

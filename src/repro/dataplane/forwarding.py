@@ -1,0 +1,139 @@
+"""The switch-plane forwarding engine.
+
+Moves a packet through the network of :class:`GredSwitch` objects by
+applying the actions each switch's pipeline returns, and records the
+route statistics (physical hops, overlay hops, full trace) used by the
+routing-stretch experiments.
+
+One *overlay hop* is one greedy decision: either a direct forward to a
+physical DT neighbor or the start of a virtual link (relay hops within a
+virtual link are physical hops of the same overlay hop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .packet import Packet, VirtualLinkHeader
+from .switch import (
+    DeliverAction,
+    ForwardAction,
+    ForwardingError,
+    GredSwitch,
+    _VirtualLinkStart,
+)
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one packet to its destination switch."""
+
+    delivery: DeliverAction
+    trace: List[int]
+    physical_hops: int
+    overlay_hops: int
+
+    @property
+    def destination_switch(self) -> int:
+        return self.delivery.switch
+
+
+def route_packet(
+    switches: Dict[int, GredSwitch],
+    entry_switch: int,
+    packet: Packet,
+    max_hops: int = None,
+    tracer=None,
+) -> RouteResult:
+    """Route ``packet`` from ``entry_switch`` until local delivery.
+
+    Parameters
+    ----------
+    switches:
+        All data-plane switches, keyed by id.
+    entry_switch:
+        The switch where the request enters the network (the user's
+        access point).
+    packet:
+        The request; its trace is filled in as it travels.
+    max_hops:
+        Safety bound; defaults to ``4 * len(switches) + 16``.
+    tracer:
+        Optional :class:`repro.dataplane.Tracer` receiving one event
+        per forwarding decision.
+
+    Raises
+    ------
+    ForwardingError
+        On inconsistent data-plane state (missing entries) or when the
+        hop bound is exceeded (a forwarding loop).
+    """
+    from .tracing import TraceEventKind
+
+    if entry_switch not in switches:
+        raise ForwardingError(f"unknown entry switch {entry_switch}")
+    if max_hops is None:
+        max_hops = 4 * len(switches) + 16
+    if tracer is not None:
+        tracer.record(TraceEventKind.INGRESS, entry_switch,
+                      packet.data_id, packet_kind=packet.kind.value)
+    current = entry_switch
+    overlay_hops = 0
+    hops = 0
+    while True:
+        switch = switches[current]
+        action = switch.process(packet)
+        if isinstance(action, DeliverAction):
+            if tracer is not None:
+                tracer.record(TraceEventKind.DELIVER, current,
+                              packet.data_id,
+                              serial=action.primary_serial)
+                if action.extension is not None:
+                    tracer.record(
+                        TraceEventKind.EXTENSION_REWRITE, current,
+                        packet.data_id,
+                        target_switch=action.extension.target_switch,
+                        target_serial=action.extension.target_serial,
+                    )
+            return RouteResult(
+                delivery=action,
+                trace=list(packet.trace),
+                physical_hops=packet.physical_hops,
+                overlay_hops=overlay_hops,
+            )
+        if isinstance(action, _VirtualLinkStart):
+            packet.virtual_link = VirtualLinkHeader(
+                dest=action.dest, sour=action.sour, relay=action.succ
+            )
+            overlay_hops += 1
+            next_switch = action.succ
+            if tracer is not None:
+                tracer.record(TraceEventKind.VL_START, current,
+                              packet.data_id, dest=action.dest,
+                              succ=action.succ)
+        elif isinstance(action, ForwardAction):
+            if not action.is_relay:
+                overlay_hops += 1
+            next_switch = action.next_switch
+            if tracer is not None:
+                kind = (TraceEventKind.VL_RELAY if action.is_relay
+                        else TraceEventKind.GREEDY_FORWARD)
+                tracer.record(kind, current, packet.data_id,
+                              next=next_switch)
+        else:
+            raise ForwardingError(
+                f"switch {current} returned unknown action {action!r}"
+            )
+        if next_switch not in switches:
+            raise ForwardingError(
+                f"switch {current} forwarded to unknown switch "
+                f"{next_switch}"
+            )
+        current = next_switch
+        hops += 1
+        if hops > max_hops:
+            raise ForwardingError(
+                f"hop bound {max_hops} exceeded routing {packet.data_id!r}"
+                f" (trace {packet.trace})"
+            )

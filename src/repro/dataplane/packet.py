@@ -1,0 +1,83 @@
+"""Packet model for the GRED data plane.
+
+The paper's P4 program defines a custom header carrying the data
+identifier's virtual-space position, a tag distinguishing placement from
+retrieval requests (Section V-C), and the virtual-link fields
+``<dest, sour, relay, data>`` used while a packet traverses a multi-hop
+virtual link (Section V-A).  This module mirrors that header layout in a
+plain dataclass plus a hop trace used by the evaluation to measure path
+lengths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..geometry import Point
+
+
+class PacketKind(enum.Enum):
+    """The tag field of the GRED header."""
+
+    PLACEMENT = "placement"
+    RETRIEVAL = "retrieval"
+    RESPONSE = "response"
+
+
+@dataclass
+class VirtualLinkHeader:
+    """State carried while traversing a virtual link.
+
+    Mirrors the paper's ``d = <d.dest, d.sour, d.relay, d.data>``:
+    ``dest`` is the endpoint DT-neighbor switch, ``sour`` the switch that
+    started the virtual link, and ``relay`` the next relay switch the
+    packet is currently addressed to.
+    """
+
+    dest: int
+    sour: int
+    relay: Optional[int]
+
+
+@dataclass
+class Packet:
+    """A placement/retrieval request travelling through the switch plane.
+
+    Attributes
+    ----------
+    kind:
+        Placement/retrieval/response tag.
+    data_id:
+        The data identifier ``d``.
+    position:
+        ``H(d)``: the destination position in the virtual space.
+    virtual_link:
+        Present exactly while the packet traverses a virtual link.
+    payload:
+        Application payload (placement) or ``None`` (retrieval).
+    trace:
+        Sequence of switch ids visited, including the entry switch;
+        each adjacent pair is one physical hop.
+    """
+
+    kind: PacketKind
+    data_id: str
+    position: Point
+    virtual_link: Optional[VirtualLinkHeader] = None
+    payload: Any = None
+    trace: List[int] = field(default_factory=list)
+
+    @property
+    def physical_hops(self) -> int:
+        """Physical hops taken so far."""
+        return max(0, len(self.trace) - 1)
+
+    def record_hop(self, switch_id: int) -> None:
+        """Append a switch to the trace (skips immediate repeats)."""
+        if not self.trace or self.trace[-1] != switch_id:
+            self.trace.append(switch_id)
+
+    def on_virtual_link(self) -> bool:
+        return self.virtual_link is not None

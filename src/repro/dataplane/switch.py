@@ -1,0 +1,222 @@
+"""The GRED switch: a P4-style match-action pipeline in Python.
+
+Paper substitution note (DESIGN.md Section 2): the published prototype
+compiles this decision procedure to P4 match-action stages on bmv2
+switches.  The reproduction executes the identical procedure in Python —
+per-stage distance computation against the installed neighbor positions,
+followed by greedy next-hop selection (Algorithm 2) or local delivery
+with ``H(d) mod s`` server selection and range-extension rewriting.
+
+A switch only consults *locally installed* state: its own position, the
+positions of its physical and DT neighbors, and its forwarding table.
+All of it is written by the control plane; the data plane never talks to
+the controller on the per-packet path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..geometry import Point, squared_distance
+from ..hashing import server_index
+from .packet import Packet, VirtualLinkHeader
+from .tables import ExtensionEntry, ForwardingTable
+
+
+class ForwardingError(Exception):
+    """Raised when a switch cannot make a forwarding decision (missing
+    entries, unknown neighbors) — indicates inconsistent control-plane
+    state."""
+
+
+@dataclass(frozen=True)
+class ForwardAction:
+    """Send the packet to a physically adjacent switch.
+
+    ``is_relay`` is True when the hop merely relays a packet along an
+    established virtual link (it is not a new overlay-hop decision).
+    """
+
+    next_switch: int
+    is_relay: bool = False
+
+
+@dataclass(frozen=True)
+class DeliverAction:
+    """This switch is closest to the data position: deliver to a server.
+
+    ``primary_serial`` is the ``H(d) mod s`` choice.  When a range
+    extension is active for that serial, ``extension`` names the remote
+    takeover server; placements follow the rewrite, retrievals are forked
+    to both locations (paper Section V-C).
+    """
+
+    switch: int
+    primary_serial: int
+    extension: Optional[ExtensionEntry] = None
+
+
+Action = object  # union of ForwardAction | DeliverAction
+
+
+@dataclass
+class GredSwitch:
+    """One switch of the SDEN switch plane.
+
+    Attributes
+    ----------
+    switch_id:
+        Topology node id.
+    position:
+        Virtual-space coordinates assigned by the control plane.
+    num_servers:
+        Count of directly attached edge servers (0 for relay-only
+        switches, which do not participate in the DT).
+    """
+
+    switch_id: int
+    position: Point
+    num_servers: int = 0
+    table: ForwardingTable = field(default_factory=ForwardingTable)
+    # Neighbor positions installed by the control plane.
+    physical_neighbor_positions: Dict[int, Point] = field(
+        default_factory=dict)
+    dt_neighbor_positions: Dict[int, Point] = field(default_factory=dict)
+
+    @property
+    def in_dt(self) -> bool:
+        """Whether this switch participates in the DT (has servers)."""
+        return self.num_servers > 0
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet) -> Action:
+        """Run the match-action pipeline on an arriving packet.
+
+        Returns the forwarding decision; the network engine applies it.
+        """
+        packet.record_hop(self.switch_id)
+        if packet.virtual_link is not None:
+            action = self._process_virtual_link(packet)
+            if action is not None:
+                return action
+        return self._greedy_stage(packet)
+
+    def _process_virtual_link(self, packet: Packet) -> Optional[Action]:
+        vl = packet.virtual_link
+        if vl.dest == self.switch_id:
+            # Endpoint of the virtual link: strip the header and continue
+            # with greedy forwarding (paper Section V-A).
+            packet.virtual_link = None
+            return None
+        entry = self.table.virtual_entry(vl.dest)
+        if entry is None or entry.succ is None:
+            raise ForwardingError(
+                f"switch {self.switch_id} has no relay entry toward "
+                f"virtual-link destination {vl.dest}"
+            )
+        packet.virtual_link = VirtualLinkHeader(
+            dest=vl.dest, sour=vl.sour, relay=entry.succ
+        )
+        return ForwardAction(next_switch=entry.succ, is_relay=True)
+
+    def _greedy_key(self, position: Point,
+                    target: Point) -> Tuple[float, float, float]:
+        """Comparison key: distance, then x, then y (paper's tie-break
+        for data mapped onto a Voronoi edge)."""
+        return (squared_distance(position, target),
+                position[0], position[1])
+
+    def _greedy_stage(self, packet: Packet) -> Action:
+        """Algorithm 2: pick the neighbor closest to ``H(d)``; deliver
+        locally when no neighbor improves."""
+        if not self.in_dt:
+            raise ForwardingError(
+                f"greedy stage reached relay-only switch {self.switch_id}"
+            )
+        target = packet.position
+        own_key = self._greedy_key(self.position, target)
+        best_id: Optional[int] = None
+        best_key = own_key
+        best_is_physical = False
+        # Physical neighbors first (Algorithm 2 line 1) so that when a DT
+        # neighbor is also physical we use the direct link.
+        for nid, pos in self.physical_neighbor_positions.items():
+            key = self._greedy_key(pos, target)
+            if key < best_key:
+                best_key = key
+                best_id = nid
+                best_is_physical = True
+        for nid, pos in self.dt_neighbor_positions.items():
+            key = self._greedy_key(pos, target)
+            if key < best_key:
+                best_key = key
+                best_id = nid
+                best_is_physical = nid in self.physical_neighbor_positions
+        if best_id is None:
+            return self._deliver(packet)
+        if best_is_physical:
+            return ForwardAction(next_switch=best_id)
+        return self._start_virtual_link(best_id)
+
+    def _start_virtual_link(self, dt_neighbor: int) -> Action:
+        entry = self.table.virtual_entry(dt_neighbor)
+        if entry is None or entry.succ is None:
+            raise ForwardingError(
+                f"switch {self.switch_id} has no virtual-link entry "
+                f"toward DT neighbor {dt_neighbor}"
+            )
+        return _VirtualLinkStart(dest=dt_neighbor, sour=self.switch_id,
+                                 succ=entry.succ)
+
+    def _deliver(self, packet: Packet) -> DeliverAction:
+        if self.num_servers <= 0:
+            raise ForwardingError(
+                f"switch {self.switch_id} must deliver {packet.data_id!r} "
+                f"but has no attached servers"
+            )
+        serial = server_index(packet.data_id, self.num_servers)
+        extension = self.table.extension_for(serial)
+        return DeliverAction(switch=self.switch_id, primary_serial=serial,
+                             extension=extension)
+
+    # ------------------------------------------------------------------
+    # control-plane interface
+    # ------------------------------------------------------------------
+    def install_position(self, position: Point) -> None:
+        self.position = position
+
+    def install_physical_neighbor(self, neighbor: int, port: int,
+                                  position: Optional[Point] = None) -> None:
+        """Install a physical adjacency.
+
+        ``position`` must be given only for neighbors that participate in
+        the DT; relay-only neighbors get a port (for virtual-link
+        relaying) but are never greedy candidates, since a packet
+        greedily moved onto a server-less switch could be trapped there.
+        """
+        self.table.install_physical(neighbor, port)
+        if position is not None:
+            self.physical_neighbor_positions[neighbor] = position
+
+    def install_dt_neighbor(self, neighbor: int, position: Point) -> None:
+        self.dt_neighbor_positions[neighbor] = position
+
+    def clear_dt_state(self) -> None:
+        """Drop DT neighbor positions and virtual-link entries (used on
+        reconfiguration)."""
+        self.dt_neighbor_positions.clear()
+        self.table.clear_virtual()
+
+
+@dataclass(frozen=True)
+class _VirtualLinkStart:
+    """Internal action: begin a virtual link toward a multi-hop DT
+    neighbor.  The network engine stamps the header and forwards to
+    ``succ``."""
+
+    dest: int
+    sour: int
+    succ: int

@@ -1,0 +1,82 @@
+"""Structured tracing of data-plane forwarding decisions.
+
+A :class:`Tracer` passed to :func:`repro.dataplane.route_packet`
+receives one event per forwarding decision — greedy forwards, virtual
+link starts/relays, deliveries, extension rewrites — giving operators
+the per-packet visibility the paper's hardware prototype gets from
+bmv2 logs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class TraceEventKind(enum.Enum):
+    """What happened at one switch."""
+
+    INGRESS = "ingress"
+    GREEDY_FORWARD = "greedy_forward"
+    VL_START = "vl_start"
+    VL_RELAY = "vl_relay"
+    DELIVER = "deliver"
+    EXTENSION_REWRITE = "extension_rewrite"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One forwarding decision."""
+
+    sequence: int
+    kind: TraceEventKind
+    switch: int
+    data_id: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Single-line human-readable form."""
+        extras = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return (f"[{self.sequence:03d}] {self.kind.value:18s} "
+                f"sw={self.switch:<4d} {extras}".rstrip())
+
+
+class Tracer:
+    """Collects trace events for one or more routed packets."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._sequence = 0
+
+    def record(self, kind: TraceEventKind, switch: int, data_id: str,
+               **details: Any) -> None:
+        self._events.append(TraceEvent(
+            sequence=self._sequence,
+            kind=kind,
+            switch=switch,
+            data_id=data_id,
+            details=details,
+        ))
+        self._sequence += 1
+
+    def events(self, data_id: Optional[str] = None,
+               kind: Optional[TraceEventKind] = None
+               ) -> List[TraceEvent]:
+        """Collected events, optionally filtered."""
+        out = self._events
+        if data_id is not None:
+            out = [e for e in out if e.data_id == data_id]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        return list(out)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def render(self, data_id: Optional[str] = None) -> str:
+        """Multi-line rendering of the (filtered) event stream."""
+        return "\n".join(e.render() for e in self.events(data_id))
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,23 @@
+"""Edge plane: edge servers, capacity models, and switch attachment."""
+
+from .server import EdgeServer, ServerId, StorageFull
+from .attachment import (
+    ServerMap,
+    all_servers,
+    attach_heterogeneous,
+    attach_uniform,
+    load_vector,
+    total_load,
+)
+
+__all__ = [
+    "EdgeServer",
+    "ServerId",
+    "StorageFull",
+    "ServerMap",
+    "attach_uniform",
+    "attach_heterogeneous",
+    "all_servers",
+    "total_load",
+    "load_vector",
+]

@@ -1,0 +1,107 @@
+"""Edge servers: the storage endpoints of the edge plane.
+
+Each switch in the SDEN connects to one or more edge servers (paper
+Fig. 3).  A server stores data items up to an optional capacity; the load
+statistics collected here feed the max/avg load-balance metric of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+ServerId = Tuple[int, int]  # (switch id, serial number at that switch)
+
+
+class StorageFull(Exception):
+    """Raised when a bounded-capacity server cannot accept another item."""
+
+    def __init__(self, server_id: ServerId, capacity: int):
+        super().__init__(
+            f"server {server_id} is full (capacity {capacity})"
+        )
+        self.server_id = server_id
+        self.capacity = capacity
+
+
+@dataclass
+class EdgeServer:
+    """A single edge server attached to a switch.
+
+    Attributes
+    ----------
+    switch:
+        Id of the switch the server is physically attached to.
+    serial:
+        The switch-local serial number (0..s-1) used by the
+        ``H(d) mod s`` selection rule.
+    capacity:
+        Maximum number of stored items, or ``None`` for unbounded (the
+        large-scale load-balance experiments count items rather than
+        rejecting them).
+    """
+
+    switch: int
+    serial: int
+    capacity: Optional[int] = None
+    _items: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def server_id(self) -> ServerId:
+        return (self.switch, self.serial)
+
+    @property
+    def load(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    @property
+    def utilization(self) -> float:
+        """Load as a fraction of capacity; 0.0 when unbounded and empty."""
+        if self.capacity is None:
+            return 0.0 if self.load == 0 else float("nan")
+        if self.capacity == 0:
+            return float("inf") if self.load else 1.0
+        return self.load / self.capacity
+
+    def is_full(self) -> bool:
+        """True when a bounded server has reached capacity."""
+        return self.capacity is not None and self.load >= self.capacity
+
+    def store(self, data_id: str, payload: Any = None) -> None:
+        """Store (or overwrite) an item.
+
+        Raises
+        ------
+        StorageFull
+            When the server is bounded and full and ``data_id`` is new.
+        """
+        if data_id not in self._items and self.is_full():
+            raise StorageFull(self.server_id, self.capacity)
+        self._items[data_id] = payload
+
+    def has(self, data_id: str) -> bool:
+        return data_id in self._items
+
+    def retrieve(self, data_id: str) -> Any:
+        """Payload of a stored item.
+
+        Raises
+        ------
+        KeyError
+            When the item is not stored here.
+        """
+        return self._items[data_id]
+
+    def delete(self, data_id: str) -> Any:
+        """Remove and return an item (KeyError when absent)."""
+        return self._items.pop(data_id)
+
+    def stored_ids(self) -> Tuple[str, ...]:
+        """Identifiers of all stored items (snapshot)."""
+        return tuple(self._items)
+
+    def clear(self) -> None:
+        """Drop all stored items."""
+        self._items.clear()

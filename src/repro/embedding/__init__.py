@@ -1,0 +1,32 @@
+"""Virtual-space embedding: the M-position algorithm (classical MDS) and
+the C-regulation CVT refinement, plus embedding-quality metrics."""
+
+from .mds import (
+    EmbeddingError,
+    classical_mds,
+    double_center,
+    m_position,
+    normalize_to_unit_square,
+)
+from .cvt import CRegulationResult, c_regulation
+from .smacof import smacof, smacof_position
+from .quality import (
+    embedding_distance_matrix,
+    kruskal_stress,
+    max_distortion,
+)
+
+__all__ = [
+    "EmbeddingError",
+    "double_center",
+    "classical_mds",
+    "normalize_to_unit_square",
+    "m_position",
+    "c_regulation",
+    "CRegulationResult",
+    "smacof",
+    "smacof_position",
+    "embedding_distance_matrix",
+    "kruskal_stress",
+    "max_distortion",
+]

@@ -1,0 +1,125 @@
+"""The M-position algorithm (paper Section IV-A): classical MDS.
+
+Given the all-pairs shortest-path matrix ``L`` between switches, the
+control plane computes virtual 2D coordinates whose Euclidean distances
+approximate the network distances (a *greedy network embedding*).  The
+algorithm is classical multidimensional scaling:
+
+1. square the distances and double-center them:
+   ``B = -1/2 * J * L^(2) * J`` with ``J = I - (1/n) * A`` where ``A`` is
+   the all-ones matrix;
+2. take the ``m`` largest eigenvalues/eigenvectors of ``B``;
+3. coordinates are ``Q = E_m * Lambda_m^(1/2)``.
+
+The coordinates are then affinely normalized into the unit square (the
+GRED virtual space onto which data identifiers are hashed), preserving
+the aspect ratio so relative distances are scaled uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geometry import Point
+
+
+class EmbeddingError(Exception):
+    """Raised when a virtual-space embedding cannot be computed."""
+
+
+def double_center(squared_distances: np.ndarray) -> np.ndarray:
+    """Apply double centering: ``B = -1/2 * J * D * J``.
+
+    ``D`` must be the matrix of *squared* distances.
+    """
+    d = np.asarray(squared_distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise EmbeddingError(f"squared-distance matrix must be square, "
+                             f"got shape {d.shape}")
+    n = d.shape[0]
+    j = np.eye(n) - np.full((n, n), 1.0 / n)
+    return -0.5 * j @ d @ j
+
+
+def classical_mds(distances: np.ndarray, dimensions: int = 2) -> np.ndarray:
+    """Coordinates from a distance matrix via classical MDS.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` matrix of pairwise distances (hop counts in
+        GRED).  Must be finite: embed only a connected topology.
+    dimensions:
+        Output dimensionality ``m`` (2 for the GRED virtual space).
+
+    Returns
+    -------
+    ``(n, m)`` coordinate array.  When ``B`` has fewer than ``m`` positive
+    eigenvalues (e.g. a path graph embeds exactly in 1D), the missing
+    columns are zero.
+    """
+    dist = np.asarray(distances, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise EmbeddingError(f"distance matrix must be square, got shape "
+                             f"{dist.shape}")
+    if not np.all(np.isfinite(dist)):
+        raise EmbeddingError("distance matrix contains non-finite entries; "
+                             "the topology must be connected")
+    if dimensions < 1:
+        raise EmbeddingError(f"dimensions must be >= 1, got {dimensions}")
+    n = dist.shape[0]
+    if n == 1:
+        return np.zeros((1, dimensions))
+    b = double_center(dist ** 2)
+    # b is symmetric by construction; eigh returns ascending eigenvalues.
+    eigenvalues, eigenvectors = np.linalg.eigh((b + b.T) / 2.0)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    coords = np.zeros((n, dimensions))
+    for out_col, idx in enumerate(order):
+        lam = eigenvalues[idx]
+        if lam > 0:
+            coords[:, out_col] = eigenvectors[:, idx] * np.sqrt(lam)
+    return coords
+
+
+def normalize_to_unit_square(coords: np.ndarray,
+                             margin: float = 0.05) -> List[Point]:
+    """Affinely map coordinates into ``[margin, 1-margin]^2``.
+
+    A single uniform scale is applied to both axes (aspect ratio is
+    preserved) so that Euclidean distances keep reflecting network
+    distances up to one constant factor.  Degenerate inputs (all points
+    coincident along an axis, or entirely) are centered.
+    """
+    if not 0.0 <= margin < 0.5:
+        raise EmbeddingError(f"margin must be in [0, 0.5), got {margin}")
+    c = np.asarray(coords, dtype=float)
+    if c.ndim != 2 or c.shape[1] != 2:
+        raise EmbeddingError(f"expected (n, 2) coordinates, got {c.shape}")
+    mins = c.min(axis=0)
+    maxs = c.max(axis=0)
+    spans = maxs - mins
+    span = float(spans.max())
+    available = 1.0 - 2.0 * margin
+    if span <= 0.0:
+        # All points coincide; place them at the center.
+        return [(0.5, 0.5) for _ in range(c.shape[0])]
+    scale = available / span
+    scaled = (c - mins) * scale
+    # Center each axis within the available band.
+    offsets = margin + (available - spans * scale) / 2.0
+    scaled = scaled + offsets
+    return [(float(x), float(y)) for x, y in scaled]
+
+
+def m_position(distances: np.ndarray,
+               margin: float = 0.05) -> List[Point]:
+    """The full M-position pipeline: classical MDS into the unit square.
+
+    This is the switch-position computation of GRED-NoCVT; GRED further
+    refines the result with :func:`repro.embedding.c_regulation`.
+    """
+    coords = classical_mds(distances, dimensions=2)
+    return normalize_to_unit_square(coords, margin=margin)

@@ -1,0 +1,76 @@
+"""Embedding-quality metrics.
+
+How well the virtual space preserves network distances determines the
+routing stretch of greedy forwarding; these metrics quantify it and feed
+the embedding ablation (DESIGN.md experiment A2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import Point, euclidean
+
+
+def embedding_distance_matrix(points: Sequence[Point]) -> np.ndarray:
+    """Pairwise Euclidean distances between embedded points."""
+    n = len(points)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = euclidean(points[i], points[j])
+            out[i, j] = d
+            out[j, i] = d
+    return out
+
+
+def kruskal_stress(network_distances: np.ndarray,
+                   points: Sequence[Point]) -> float:
+    """Kruskal stress-1 between network and embedded distances.
+
+    The embedded distances are first rescaled by the least-squares factor
+    so the metric is scale-invariant (the virtual space is normalized
+    into the unit square, network distances are hops).  0 is a perfect
+    embedding; values below ~0.15 are conventionally "good".
+    """
+    net = np.asarray(network_distances, dtype=float)
+    emb = embedding_distance_matrix(points)
+    if net.shape != emb.shape:
+        raise ValueError(
+            f"matrix shapes differ: {net.shape} vs {emb.shape}"
+        )
+    iu = np.triu_indices(net.shape[0], k=1)
+    net_v = net[iu]
+    emb_v = emb[iu]
+    if net_v.size == 0:
+        return 0.0
+    denom_scale = float(emb_v @ emb_v)
+    if denom_scale == 0.0:
+        return float("inf") if net_v.any() else 0.0
+    scale = float(net_v @ emb_v) / denom_scale
+    resid = net_v - scale * emb_v
+    denom = float(net_v @ net_v)
+    if denom == 0.0:
+        return 0.0
+    return float(np.sqrt(resid @ resid / denom))
+
+
+def max_distortion(network_distances: np.ndarray,
+                   points: Sequence[Point]) -> float:
+    """Multiplicative distortion: max expansion times max contraction.
+
+    1.0 means a perfect (up to scale) embedding.  Pairs with zero network
+    distance are skipped.
+    """
+    net = np.asarray(network_distances, dtype=float)
+    emb = embedding_distance_matrix(points)
+    iu = np.triu_indices(net.shape[0], k=1)
+    net_v = net[iu]
+    emb_v = emb[iu]
+    mask = (net_v > 0) & (emb_v > 0)
+    if not mask.any():
+        return 1.0
+    ratios = emb_v[mask] / net_v[mask]
+    return float(ratios.max() / ratios.min())

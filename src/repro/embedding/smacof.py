@@ -1,0 +1,115 @@
+"""SMACOF stress majorization: an alternative M-position back end.
+
+Classical MDS (the paper's M-position) minimizes the *strain* of the
+double-centered Gram matrix; SMACOF iteratively minimizes the raw
+*stress* ``sum_{i<j} (d_ij - |x_i - x_j|)^2`` via the Guttman
+transform.  On graphs whose hop metric embeds poorly into the plane,
+stress majorization often preserves distances better, which is what
+ablation A4 measures (DESIGN.md).
+
+Implemented from scratch on numpy; initialized from classical MDS so
+the iteration starts near a good configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry import Point
+from .mds import EmbeddingError, classical_mds, normalize_to_unit_square
+
+
+def smacof(
+    distances: np.ndarray,
+    dimensions: int = 2,
+    iterations: int = 128,
+    tolerance: float = 1e-7,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stress-majorization embedding of a distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric finite ``(n, n)`` matrix of target distances.
+    dimensions:
+        Output dimensionality.
+    iterations:
+        Maximum Guttman-transform steps.
+    tolerance:
+        Stop when the relative stress improvement falls below this.
+    initial:
+        Optional ``(n, dimensions)`` starting configuration; defaults
+        to the classical-MDS solution.
+
+    Returns
+    -------
+    ``(n, dimensions)`` coordinates.
+    """
+    d = np.asarray(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise EmbeddingError(f"distance matrix must be square, got "
+                             f"{d.shape}")
+    if not np.all(np.isfinite(d)):
+        raise EmbeddingError("distance matrix contains non-finite "
+                             "entries")
+    n = d.shape[0]
+    if n == 1:
+        return np.zeros((1, dimensions))
+    if initial is None:
+        x = classical_mds(d, dimensions=dimensions)
+    else:
+        x = np.array(initial, dtype=float)
+        if x.shape != (n, dimensions):
+            raise EmbeddingError(
+                f"initial configuration must be ({n}, {dimensions}), "
+                f"got {x.shape}"
+            )
+    # Break exact ties/coincident starts so the Guttman transform is
+    # well defined.
+    rng = np.random.default_rng(0)
+    x = x + rng.normal(scale=1e-9, size=x.shape)
+
+    prev_stress = _stress(d, x)
+    for _ in range(iterations):
+        x = _guttman_transform(d, x)
+        stress = _stress(d, x)
+        if prev_stress == 0.0:
+            break
+        if abs(prev_stress - stress) / max(prev_stress, 1e-30) \
+                < tolerance:
+            break
+        prev_stress = stress
+    return x
+
+
+def _pairwise(x: np.ndarray) -> np.ndarray:
+    diff = x[:, None, :] - x[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def _stress(d: np.ndarray, x: np.ndarray) -> float:
+    e = _pairwise(x)
+    iu = np.triu_indices(d.shape[0], k=1)
+    return float(((d[iu] - e[iu]) ** 2).sum())
+
+
+def _guttman_transform(d: np.ndarray, x: np.ndarray) -> np.ndarray:
+    n = d.shape[0]
+    e = _pairwise(x)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(e > 0, d / e, 0.0)
+    b = -ratio
+    np.fill_diagonal(b, 0.0)
+    np.fill_diagonal(b, -b.sum(axis=1))
+    return (b @ x) / n
+
+
+def smacof_position(distances: np.ndarray,
+                    margin: float = 0.05) -> List[Point]:
+    """SMACOF pipeline into the unit square (drop-in alternative to
+    :func:`repro.embedding.m_position`)."""
+    coords = smacof(distances, dimensions=2)
+    return normalize_to_unit_square(coords, margin=margin)

@@ -1,0 +1,117 @@
+"""Shared plumbing for the figure-reproduction experiments.
+
+Every experiment module exposes a ``run_*`` function that returns a list
+of row dictionaries (one per x-axis point and protocol) plus a
+``print_table`` helper, so the same code serves the benchmarks, the
+examples and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core import GredNetwork
+from ..chord import ChordNetwork
+from ..edge import attach_uniform
+from ..graph import Graph
+from ..topology import brite_waxman_graph
+
+
+def build_topology(num_switches: int, min_degree: int,
+                   seed: int) -> Graph:
+    """The standard experiment topology: BRITE-style Waxman."""
+    topology, _ = brite_waxman_graph(
+        num_switches, min_degree=min_degree,
+        rng=np.random.default_rng(seed),
+    )
+    return topology
+
+
+def build_gred(topology: Graph, servers_per_switch: int,
+               cvt_iterations: int, seed: int) -> GredNetwork:
+    """A GRED network with fresh uniform servers."""
+    servers = attach_uniform(topology.nodes(),
+                             servers_per_switch=servers_per_switch)
+    return GredNetwork(
+        topology, servers, cvt_iterations=cvt_iterations, seed=seed
+    )
+
+
+def build_chord(topology: Graph, servers_per_switch: int,
+                virtual_nodes: int = 1) -> ChordNetwork:
+    """A Chord network with fresh uniform servers."""
+    servers = attach_uniform(topology.nodes(),
+                             servers_per_switch=servers_per_switch)
+    return ChordNetwork(topology, servers, virtual_nodes=virtual_nodes)
+
+
+def gred_load_vector(net: GredNetwork, num_items: int,
+                     prefix: str = "data") -> List[int]:
+    """Per-server loads after (virtually) placing ``num_items`` items.
+
+    Uses the closed-form destination (closest switch + ``H(d) mod s``)
+    instead of routing each packet, which is equivalent by the delivery
+    guarantee and keeps million-item sweeps fast.  The equivalence is
+    covered by tests (routing and closed form agree on every item).
+    The nearest-switch assignment is vectorized with numpy; ties (zero
+    measure for hashed positions) resolve to the lowest index, matching
+    the deterministic x-then-y rule up to relabeling.
+    """
+    from ..geometry import assign_to_sites
+    from ..hashing import data_position, sha256_digest
+
+    participants = net.controller.dt_participants()
+    sites = [net.controller.positions[p] for p in participants]
+    ids = [f"{prefix}-{i}" for i in range(num_items)]
+    positions = np.array([data_position(d) for d in ids])
+    owners = assign_to_sites(positions, sites)
+    counts: Dict[tuple, int] = {}
+    for data_id, owner_idx in zip(ids, owners):
+        switch = participants[int(owner_idx)]
+        digest = sha256_digest(data_id)
+        serial = int.from_bytes(digest[:8], "big") % len(
+            net.server_map[switch])
+        key = (switch, serial)
+        counts[key] = counts.get(key, 0) + 1
+    loads = []
+    for switch in sorted(net.server_map):
+        for server in net.server_map[switch]:
+            loads.append(counts.get((switch, server.serial), 0))
+    return loads
+
+
+def chord_load_vector(net: ChordNetwork, num_items: int,
+                      prefix: str = "data") -> List[int]:
+    """Per-server loads for Chord under the same workload."""
+    counts: Dict[str, int] = {}
+    for i in range(num_items):
+        node = net.ring.store_node(f"{prefix}-{i}")
+        counts[node.owner] = counts.get(node.owner, 0) + 1
+    from ..chord import server_name
+
+    loads = []
+    for switch in sorted(net.server_map):
+        for server in net.server_map[switch]:
+            loads.append(counts.get(server_name(switch, server.serial), 0))
+    return loads
+
+
+def print_table(rows: Sequence[Dict], columns: Iterable[str],
+                title: str) -> None:
+    """Print rows as a fixed-width table (the bench harness output)."""
+    columns = list(columns)
+    print(f"\n== {title} ==")
+    header = "  ".join(f"{c:>14}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.3f}")
+            else:
+                cells.append(f"{str(value):>14}")
+        print("  ".join(cells))

@@ -1,0 +1,166 @@
+"""X6 — control-plane update cost of a node join.
+
+When an edge node joins, how much installed routing state must change
+across the network?
+
+* **GRED**: the controller computes the join position locally and the
+  DT insertion only affects the new switch's neighborhood (paper §VI:
+  a new node "only affects its neighbors").  We diff the semantic
+  per-switch state (position, greedy candidates, relay tuples, ports)
+  before and after the join.
+* **Chord**: a new ring node takes over part of its successor's key
+  range and appears in the finger tables of O(log n) other nodes; we
+  diff all finger tables before and after.
+
+Both counts are *semantic* diffs of installed state, independent of how
+each implementation schedules its updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..chord import ChordRing
+from ..edge import EdgeServer, attach_uniform
+from .common import build_topology, print_table
+
+
+def _gred_switch_state(switch) -> FrozenSet:
+    """Canonical, comparable snapshot of one switch's installed state."""
+    table = switch.table
+    entries = set()
+    entries.add(("pos", switch.position))
+    for neighbor in table.physical_neighbors():
+        entries.add(("port", neighbor, table.physical_port(neighbor)))
+    for neighbor, pos in switch.physical_neighbor_positions.items():
+        entries.add(("phys-cand", neighbor, pos))
+    for neighbor, pos in switch.dt_neighbor_positions.items():
+        entries.add(("dt-cand", neighbor, pos))
+    for entry in table.virtual_entries():
+        entries.add(("vl", entry.sour, entry.pred, entry.succ,
+                     entry.dest))
+    for ext in table.extensions():
+        entries.add(("ext", ext.local_serial, ext.target_switch,
+                     ext.target_serial))
+    return frozenset(entries)
+
+
+def _diff_states(before: Dict[int, FrozenSet],
+                 after: Dict[int, FrozenSet]) -> Tuple[int, int]:
+    """(switches touched, entries added+removed) between two snapshots,
+    ignoring switches present on only one side (the joiner itself)."""
+    touched = 0
+    entries = 0
+    for switch_id in before:
+        if switch_id not in after:
+            continue
+        delta = len(before[switch_id] ^ after[switch_id])
+        if delta:
+            touched += 1
+            entries += delta
+    return touched, entries
+
+
+def _chord_finger_state(ring: ChordRing) -> Dict[str, Tuple]:
+    """owner -> tuple of (position id, finger target owners...)."""
+    state: Dict[str, Tuple] = {}
+    for node in ring.ring_nodes():
+        fingers = tuple(f.owner for f in ring.finger_table(node.node_id))
+        state.setdefault(node.owner, ())
+        state[node.owner] = state[node.owner] + ((node.node_id,)
+                                                 + fingers,)
+    return state
+
+
+def run_control_churn(
+    num_switches: int = 50,
+    servers_per_switch: int = 4,
+    num_joins: int = 5,
+    seed: int = 0,
+) -> List[Dict]:
+    """Average installed-state changes per join, GRED vs Chord."""
+    from ..controlplane import Controller, ControllerConfig
+
+    rows = []
+    # ---------------- GRED ------------------------------------------
+    topology = build_topology(num_switches, 3, seed)
+    controller = Controller(
+        topology, attach_uniform(topology.nodes(), servers_per_switch),
+        config=ControllerConfig(cvt_iterations=30, seed=seed),
+    )
+    rng = np.random.default_rng(seed + 1)
+    touched_total = 0
+    entries_total = 0
+    for j in range(num_joins):
+        before = {
+            sid: _gred_switch_state(sw)
+            for sid, sw in controller.switches.items()
+        }
+        new_id = 1000 + j
+        peers = [int(p) for p in rng.choice(num_switches, size=2,
+                                            replace=False)]
+        controller.add_switch(
+            new_id, links=peers,
+            servers=[EdgeServer(new_id, s)
+                     for s in range(servers_per_switch)],
+        )
+        after = {
+            sid: _gred_switch_state(sw)
+            for sid, sw in controller.switches.items()
+        }
+        touched, entries = _diff_states(before, after)
+        touched_total += touched
+        entries_total += entries
+    rows.append({
+        "protocol": "GRED",
+        "avg_nodes_touched": touched_total / num_joins,
+        "avg_entries_changed": entries_total / num_joins,
+        "population": num_switches,
+    })
+    # ---------------- Chord -----------------------------------------
+    members = {
+        f"server-{sw}-{s}": sw
+        for sw in range(num_switches)
+        for s in range(servers_per_switch)
+    }
+    touched_total = 0
+    entries_total = 0
+    for j in range(num_joins):
+        ring_before = ChordRing(members, bits=32)
+        state_before = _chord_finger_state(ring_before)
+        members[f"server-{1000 + j}-0"] = 1000 + j
+        ring_after = ChordRing(members, bits=32)
+        state_after = _chord_finger_state(ring_after)
+        touched = 0
+        entries = 0
+        for owner, fingers in state_before.items():
+            new_fingers = state_after.get(owner)
+            if new_fingers is None or new_fingers == fingers:
+                continue
+            touched += 1
+            for old_pos, new_pos in zip(fingers, new_fingers):
+                entries += sum(
+                    1 for a, b in zip(old_pos, new_pos) if a != b
+                )
+        touched_total += touched
+        entries_total += entries
+    rows.append({
+        "protocol": "Chord",
+        "avg_nodes_touched": touched_total / num_joins,
+        "avg_entries_changed": entries_total / num_joins,
+        "population": num_switches * servers_per_switch,
+    })
+    return rows
+
+
+def main() -> None:
+    print_table(run_control_churn(),
+                ["protocol", "avg_nodes_touched",
+                 "avg_entries_changed", "population"],
+                "X6: installed-state churn per node join")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Computational-geometry substrate for the GRED virtual space.
+
+* exact-ish predicates (float filter + rational fallback);
+* randomized-incremental Delaunay triangulation with flips;
+* Monte-Carlo Voronoi/CVT estimates used by the C-regulation algorithm;
+* convex hull for validation.
+"""
+
+from .primitives import (
+    Point,
+    bounding_box,
+    centroid,
+    clamp_to_unit_square,
+    deduplicate_points,
+    euclidean,
+    nearest_point_index,
+    squared_distance,
+)
+from .predicates import incircle, orient2d, point_in_triangle
+from .delaunay import (
+    DelaunayError,
+    DelaunayTriangulation,
+    DuplicatePointError,
+)
+from .voronoi import (
+    assign_to_sites,
+    cell_load_distribution,
+    cvt_energy,
+    estimate_cell_areas,
+    estimate_cell_centroids,
+    sample_unit_square,
+)
+from .voronoi_exact import (
+    clip_polygon_halfplane,
+    exact_cell_areas,
+    exact_cell_centroids,
+    exact_cvt_energy,
+    polygon_area,
+    polygon_centroid,
+    voronoi_cell,
+)
+from .hull import convex_hull, point_in_hull
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "squared_distance",
+    "centroid",
+    "bounding_box",
+    "nearest_point_index",
+    "clamp_to_unit_square",
+    "deduplicate_points",
+    "orient2d",
+    "incircle",
+    "point_in_triangle",
+    "DelaunayTriangulation",
+    "DelaunayError",
+    "DuplicatePointError",
+    "assign_to_sites",
+    "sample_unit_square",
+    "estimate_cell_centroids",
+    "estimate_cell_areas",
+    "cvt_energy",
+    "cell_load_distribution",
+    "convex_hull",
+    "point_in_hull",
+    "voronoi_cell",
+    "clip_polygon_halfplane",
+    "polygon_area",
+    "polygon_centroid",
+    "exact_cell_areas",
+    "exact_cell_centroids",
+    "exact_cvt_energy",
+]

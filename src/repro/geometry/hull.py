@@ -1,0 +1,57 @@
+"""Convex hull (Andrew's monotone chain).
+
+Used by the DT validation tests: the union of the real Delaunay triangles
+must cover the convex hull of the sites, and every hull edge must be a DT
+edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .predicates import orient2d
+from .primitives import Point
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Convex hull vertices in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped.  Degenerate inputs
+    (all points equal or collinear) return the extreme points only.
+    """
+    pts = sorted(set((float(p[0]), float(p[1])) for p in points))
+    if len(pts) <= 2:
+        return pts
+
+    def half(points_iter):
+        chain: List[Point] = []
+        for p in points_iter:
+            while (len(chain) >= 2
+                   and orient2d(chain[-2], chain[-1], p) <= 0):
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    return lower[:-1] + upper[:-1]
+
+
+def point_in_hull(point: Point, hull: Sequence[Point]) -> bool:
+    """True when ``point`` lies inside or on the convex polygon ``hull``
+    (ccw order)."""
+    if not hull:
+        return False
+    if len(hull) == 1:
+        return point == hull[0]
+    if len(hull) == 2:
+        return (orient2d(hull[0], hull[1], point) == 0
+                and min(hull[0][0], hull[1][0]) <= point[0]
+                <= max(hull[0][0], hull[1][0])
+                and min(hull[0][1], hull[1][1]) <= point[1]
+                <= max(hull[0][1], hull[1][1]))
+    n = len(hull)
+    for i in range(n):
+        if orient2d(hull[i], hull[(i + 1) % n], point) < 0:
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""Voronoi partition helpers and the CVT energy (paper Section IV-B).
+
+The C-regulation algorithm treats the unit square as the domain, the
+switch positions as Voronoi sites, and iterates the sites toward the
+centroids of their cells.  Working with exact Voronoi cell polygons is
+unnecessary: the paper itself uses a *sampling* estimate ("the number of
+sample points is 1000 in each iteration"), so this module provides
+Monte-Carlo estimates of cell membership, cell centroids, cell areas and
+the CVT energy
+
+    F = sum_i  integral_{R_i} rho(r) |r - q_i|^2 dr
+
+for a uniform density rho.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .primitives import Point
+
+
+def assign_to_sites(samples: np.ndarray, sites: Sequence[Point]) -> np.ndarray:
+    """Index of the nearest site for each sample point.
+
+    Parameters
+    ----------
+    samples:
+        ``(k, 2)`` array of sample points.
+    sites:
+        Sequence of ``n`` site positions.
+
+    Returns
+    -------
+    ``(k,)`` integer array of site indices.  Ties broken by lowest index
+    (numpy argmin), which is measure-zero for random samples.
+    """
+    site_arr = np.asarray(sites, dtype=float)
+    if site_arr.ndim != 2 or site_arr.shape[1] != 2:
+        raise ValueError("sites must be an (n, 2) point sequence")
+    samples = np.asarray(samples, dtype=float)
+    # Chunk the (k, n) distance computation so million-sample workloads
+    # stay within a bounded memory footprint.
+    max_cells = 8_000_000
+    chunk = max(1, max_cells // max(1, site_arr.shape[0]))
+    out = np.empty(samples.shape[0], dtype=np.int64)
+    for start in range(0, samples.shape[0], chunk):
+        block = samples[start:start + chunk]
+        diff = block[:, None, :] - site_arr[None, :, :]
+        sq = np.einsum("kni,kni->kn", diff, diff)
+        out[start:start + chunk] = np.argmin(sq, axis=1)
+    return out
+
+
+def sample_unit_square(k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` uniform samples from the unit square."""
+    if k <= 0:
+        raise ValueError(f"sample count must be positive, got {k}")
+    return rng.uniform(0.0, 1.0, size=(k, 2))
+
+
+def estimate_cell_centroids(
+    sites: Sequence[Point], samples: np.ndarray
+) -> Tuple[List[Point], np.ndarray]:
+    """Monte-Carlo centroids of each site's Voronoi cell.
+
+    Returns ``(centroids, counts)`` where a site whose cell received no
+    samples keeps its own position as the centroid and gets count 0.
+    """
+    owners = assign_to_sites(samples, sites)
+    n = len(sites)
+    counts = np.bincount(owners, minlength=n)
+    sums_x = np.bincount(owners, weights=samples[:, 0], minlength=n)
+    sums_y = np.bincount(owners, weights=samples[:, 1], minlength=n)
+    centroids: List[Point] = []
+    for i in range(n):
+        if counts[i] > 0:
+            centroids.append((sums_x[i] / counts[i], sums_y[i] / counts[i]))
+        else:
+            centroids.append(tuple(sites[i]))
+    return centroids, counts
+
+
+def estimate_cell_areas(sites: Sequence[Point],
+                        samples: np.ndarray) -> np.ndarray:
+    """Monte-Carlo areas of the Voronoi cells within the unit square."""
+    owners = assign_to_sites(samples, sites)
+    counts = np.bincount(owners, minlength=len(sites))
+    return counts / len(samples)
+
+
+def cvt_energy(sites: Sequence[Point], samples: np.ndarray) -> float:
+    """Monte-Carlo estimate of the CVT energy for uniform density.
+
+    Lower is better; the global minimizer is a centroidal Voronoi
+    tessellation.
+    """
+    site_arr = np.asarray(sites, dtype=float)
+    diff = samples[:, None, :] - site_arr[None, :, :]
+    sq = np.einsum("kni,kni->kn", diff, diff)
+    return float(np.min(sq, axis=1).mean())
+
+
+def cell_load_distribution(
+    sites: Sequence[Point], positions: np.ndarray
+) -> Dict[int, int]:
+    """Number of data positions falling into each site's cell.
+
+    This is exactly the quantity the load-balance experiments measure:
+    how many data items (positions in the unit square) each switch
+    attracts.
+    """
+    owners = assign_to_sites(positions, sites)
+    counts = np.bincount(owners, minlength=len(sites))
+    return {i: int(counts[i]) for i in range(len(sites))}

@@ -1,0 +1,151 @@
+"""GHT: geographic hash tables over GPSR (the paper's §VIII-B
+baseline).
+
+GHT hashes a data identifier to a geographic point and stores the item
+at the *home node* — the node closest to that point, found by greedy
+routing with perimeter-mode fallback.  Unlike GRED's virtual space, the
+coordinates here are physical node positions (the Waxman plane), so
+network distance is only reflected as far as geography correlates with
+hop count, and delivery is only guaranteed on unit-disk-like graphs.
+
+``GhtNetwork`` mirrors enough of the ``GredNetwork`` surface for the
+comparison experiments: ``route_for``, ``place``, ``load_vector`` — and
+explicitly reports undeliverable requests instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..edge import ServerMap, attach_uniform, load_vector
+from ..graph import Graph
+from ..hashing import sha256_digest
+from .gpsr import GpsrOutcome, GpsrRouter, RouteStatus
+from .planarize import gabriel_graph
+
+Point = Tuple[float, float]
+
+
+class GhtError(Exception):
+    """Raised on invalid GHT configuration or requests."""
+
+
+@dataclass
+class GhtRouteResult:
+    """Outcome of routing one GHT request."""
+
+    data_id: str
+    entry_switch: int
+    delivered: bool
+    home_switch: Optional[int]
+    physical_hops: int
+    status: RouteStatus
+
+
+class GhtNetwork:
+    """A GHT deployment over a physical topology with coordinates.
+
+    Parameters
+    ----------
+    topology:
+        Connectivity graph.
+    coords:
+        Node positions on the plane (e.g. from the Waxman generator).
+    server_map:
+        Edge servers per switch.
+    """
+
+    def __init__(self, topology: Graph, coords: Dict[int, Point],
+                 server_map: Optional[ServerMap] = None,
+                 servers_per_switch: int = 10) -> None:
+        missing = [n for n in topology.nodes() if n not in coords]
+        if missing:
+            raise GhtError(f"coordinates missing for nodes: {missing}")
+        if server_map is None:
+            server_map = attach_uniform(
+                topology.nodes(), servers_per_switch=servers_per_switch
+            )
+        self.topology = topology
+        self.coords = dict(coords)
+        self.server_map = server_map
+        self.planar = gabriel_graph(topology, coords)
+        self.router = GpsrRouter(topology, self.planar, coords)
+        # The hash space spans the coordinate bounding box.
+        xs = [c[0] for c in coords.values()]
+        ys = [c[1] for c in coords.values()]
+        self._x_range = (min(xs), max(xs) or 1.0)
+        self._y_range = (min(ys), max(ys) or 1.0)
+
+    # ------------------------------------------------------------------
+    def hash_point(self, data_id: str) -> Point:
+        """Geographic hash of an identifier: uniform over the node
+        bounding box (GHT's 'hash to a location')."""
+        digest = sha256_digest(data_id)
+        x_unit = int.from_bytes(digest[-8:-4], "big") / (2 ** 32 - 1)
+        y_unit = int.from_bytes(digest[-4:], "big") / (2 ** 32 - 1)
+        x = self._x_range[0] + x_unit * (self._x_range[1]
+                                         - self._x_range[0])
+        y = self._y_range[0] + y_unit * (self._y_range[1]
+                                         - self._y_range[0])
+        return (x, y)
+
+    def route_for(self, data_id: str,
+                  entry_switch: int) -> GhtRouteResult:
+        """Route toward the item's hash location; the home node is
+        where the walk legitimately ends (greedy end or completed
+        perimeter)."""
+        if not self.topology.has_node(entry_switch):
+            raise GhtError(f"unknown entry switch {entry_switch}")
+        target = self.hash_point(data_id)
+        outcome: GpsrOutcome = self.router.route(entry_switch, target)
+        delivered = outcome.status in (RouteStatus.DELIVERED,
+                                       RouteStatus.PERIMETER_LOOP)
+        home = outcome.final_node if delivered else None
+        if outcome.status == RouteStatus.PERIMETER_LOOP:
+            # GHT home-node rule: the perimeter enclosing the target;
+            # the closest node on the walked face is the home.
+            home = min(
+                set(outcome.path),
+                key=lambda n: (
+                    (self.coords[n][0] - target[0]) ** 2
+                    + (self.coords[n][1] - target[1]) ** 2
+                ),
+            )
+        return GhtRouteResult(
+            data_id=data_id,
+            entry_switch=entry_switch,
+            delivered=delivered,
+            home_switch=home,
+            physical_hops=outcome.physical_hops,
+            status=outcome.status,
+        )
+
+    def place(self, data_id: str, payload=None,
+              entry_switch: Optional[int] = None,
+              rng: Optional[np.random.Generator] = None
+              ) -> GhtRouteResult:
+        """Place an item at its home node's first server (when
+        deliverable)."""
+        entry = self._resolve_entry(entry_switch, rng)
+        result = self.route_for(data_id, entry)
+        if result.delivered and result.home_switch is not None:
+            servers = self.server_map.get(result.home_switch)
+            if servers:
+                digest = sha256_digest(data_id)
+                serial = int.from_bytes(digest[:8], "big") % len(servers)
+                servers[serial].store(data_id, payload)
+        return result
+
+    def load_vector(self) -> List[int]:
+        return load_vector(self.server_map)
+
+    def _resolve_entry(self, entry_switch, rng) -> int:
+        if entry_switch is not None:
+            return entry_switch
+        ids = self.topology.nodes()
+        if rng is None:
+            rng = np.random.default_rng()
+        return ids[int(rng.integers(0, len(ids)))]

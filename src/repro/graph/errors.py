@@ -1,0 +1,36 @@
+"""Exceptions raised by the graph substrate."""
+
+
+class GraphError(Exception):
+    """Base class for all graph-related errors."""
+
+
+class NodeNotFound(GraphError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFound(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DisconnectedGraph(GraphError):
+    """Raised when an algorithm requires a connected graph but got one that
+    is not connected."""
+
+
+class NoPath(GraphError):
+    """Raised when no path exists between the requested endpoints."""
+
+    def __init__(self, source, target):
+        super().__init__(f"no path from {source!r} to {target!r}")
+        self.source = source
+        self.target = target

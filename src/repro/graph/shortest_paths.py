@@ -1,0 +1,171 @@
+"""Shortest-path algorithms on :class:`repro.graph.Graph`.
+
+The GRED control plane needs the all-pairs shortest-path (hop-count) matrix
+between switches to run the M-position embedding; the evaluation harness
+needs individual shortest paths to compute routing stretch; and the
+multi-hop DT construction needs explicit shortest *paths* (node sequences)
+between DT neighbors to derive relay entries.
+
+Hop-count metrics use breadth-first search; weighted metrics use Dijkstra
+with a binary heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import NodeNotFound, NoPath
+from .graph import Graph
+
+Node = Hashable
+_UNREACHABLE = float("inf")
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop counts from ``source`` to every reachable node (BFS)."""
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_path(graph: Graph, source: Node, target: Node) -> List[Node]:
+    """A shortest (fewest-hops) path from ``source`` to ``target``.
+
+    Returns the node sequence including both endpoints.  ``source ==
+    target`` yields a single-node path.
+
+    Raises
+    ------
+    NoPath
+        If ``target`` is unreachable from ``source``.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    if not graph.has_node(target):
+        raise NodeNotFound(target)
+    if source == target:
+        return [source]
+    parent: Dict[Node, Node] = {source: source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in parent:
+                continue
+            parent[v] = u
+            if v == target:
+                return _reconstruct(parent, source, target)
+            queue.append(v)
+    raise NoPath(source, target)
+
+
+def _reconstruct(parent: Dict[Node, Node], source: Node,
+                 target: Node) -> List[Node]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def dijkstra(graph: Graph, source: Node) -> Tuple[Dict[Node, float],
+                                                  Dict[Node, Node]]:
+    """Weighted shortest-path distances and parents from ``source``.
+
+    Returns ``(dist, parent)`` where ``parent[source] == source``.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    dist: Dict[Node, float] = {source: 0.0}
+    parent: Dict[Node, Node] = {source: source}
+    visited = set()
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 1  # tie-breaker so heapq never compares nodes directly
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for v in graph.neighbors(u):
+            nd = d + graph.edge_weight(u, v)
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return dist, parent
+
+
+def dijkstra_path(graph: Graph, source: Node, target: Node) -> List[Node]:
+    """A minimum-weight path from ``source`` to ``target``."""
+    dist, parent = dijkstra(graph, source)
+    if target not in dist:
+        if not graph.has_node(target):
+            raise NodeNotFound(target)
+        raise NoPath(source, target)
+    return _reconstruct(parent, source, target)
+
+
+def hop_count(graph: Graph, source: Node, target: Node) -> int:
+    """Number of hops on a shortest path between two nodes."""
+    return len(bfs_path(graph, source, target)) - 1
+
+
+def all_pairs_hop_matrix(
+    graph: Graph, order: Optional[Sequence[Node]] = None
+) -> Tuple[np.ndarray, List[Node]]:
+    """All-pairs hop-count matrix via repeated BFS.
+
+    Parameters
+    ----------
+    graph:
+        The topology.
+    order:
+        Node ordering for matrix rows/columns.  Defaults to
+        ``graph.nodes()`` order.
+
+    Returns
+    -------
+    (matrix, order):
+        ``matrix[i, j]`` is the hop count between ``order[i]`` and
+        ``order[j]``; ``inf`` when unreachable.
+    """
+    nodes = list(order) if order is not None else graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.full((n, n), _UNREACHABLE)
+    for node in nodes:
+        i = index[node]
+        for other, d in bfs_distances(graph, node).items():
+            if other in index:
+                matrix[i, index[other]] = d
+    return matrix, nodes
+
+
+def all_pairs_weighted_matrix(
+    graph: Graph, order: Optional[Sequence[Node]] = None
+) -> Tuple[np.ndarray, List[Node]]:
+    """All-pairs weighted distance matrix via repeated Dijkstra."""
+    nodes = list(order) if order is not None else graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.full((n, n), _UNREACHABLE)
+    for node in nodes:
+        i = index[node]
+        dist, _ = dijkstra(graph, node)
+        for other, d in dist.items():
+            if other in index:
+                matrix[i, index[other]] = d
+    return matrix, nodes

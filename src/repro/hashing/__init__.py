@@ -1,0 +1,21 @@
+"""Hashing: SHA-256 mapping of data identifiers to virtual-space
+positions, destination-server selection, replica ids, and Chord ring
+identifiers."""
+
+from .position import (
+    chord_id,
+    data_position,
+    position_and_server,
+    replica_id,
+    server_index,
+    sha256_digest,
+)
+
+__all__ = [
+    "sha256_digest",
+    "data_position",
+    "server_index",
+    "replica_id",
+    "chord_id",
+    "position_and_server",
+]

@@ -1,0 +1,19 @@
+"""Snapshot serialization: save/restore a full GRED deployment."""
+
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotError,
+    from_snapshot,
+    load_network,
+    save_network,
+    to_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SnapshotError",
+    "to_snapshot",
+    "from_snapshot",
+    "save_network",
+    "load_network",
+]

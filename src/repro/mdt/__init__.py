@@ -1,0 +1,7 @@
+"""Distributed multi-hop DT maintenance (the MDT protocol the paper's
+guaranteed-delivery argument builds on, Section II-B)."""
+
+from .node import MdtNode
+from .system import MdtError, MdtSystem
+
+__all__ = ["MdtNode", "MdtSystem", "MdtError"]

@@ -1,0 +1,79 @@
+"""A node of the distributed Multi-hop Delaunay Triangulation (MDT).
+
+The paper's guaranteed-delivery foundation (Section II-B) is the MDT
+protocol of Lam & Qian: every node maintains a *candidate set* of known
+nodes and derives its DT neighbor set locally, as its neighborhood in
+the Delaunay triangulation of the candidate set.  The key soundness
+property: once a node's candidate set contains all of its true DT
+neighbors (and the witnesses that invalidate non-edges), the local
+computation yields exactly the true neighbor set.
+
+GRED centralizes this in the SDN controller; this module reproduces the
+*distributed* variant so the reproduction also covers the substrate the
+paper cites, and so the two constructions can be cross-validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from ..geometry import DelaunayTriangulation, Point
+
+
+class MdtNode:
+    """One participant in the distributed DT."""
+
+    def __init__(self, node_id: int, position: Point) -> None:
+        self.node_id = node_id
+        self.position = (float(position[0]), float(position[1]))
+        #: Known nodes and their positions (always includes self).
+        self.candidates: Dict[int, Point] = {node_id: self.position}
+        #: Current belief about the DT neighbor set.
+        self.neighbors: Set[int] = set()
+
+    def learn(self, nodes: Dict[int, Point]) -> bool:
+        """Merge peer knowledge into the candidate set.
+
+        Returns True when anything new was learned.
+        """
+        changed = False
+        for node_id, position in nodes.items():
+            if node_id not in self.candidates:
+                self.candidates[node_id] = (float(position[0]),
+                                            float(position[1]))
+                changed = True
+        return changed
+
+    def forget(self, node_id: int) -> None:
+        """Remove a departed node from local state."""
+        self.candidates.pop(node_id, None)
+        self.neighbors.discard(node_id)
+
+    def recompute_neighbors(self) -> bool:
+        """Recompute the neighbor set from the candidate set.
+
+        Builds the Delaunay triangulation of all candidates and takes
+        this node's neighborhood in it.  Returns True when the neighbor
+        set changed.
+        """
+        ids = sorted(self.candidates)
+        if len(ids) == 1:
+            new_neighbors: Set[int] = set()
+        else:
+            points = [self.candidates[i] for i in ids]
+            dt = DelaunayTriangulation(
+                points, rng=np.random.default_rng(0))
+            index = ids.index(self.node_id)
+            new_neighbors = {
+                ids[v] for v in dt.neighbor_map()[index]
+            }
+        changed = new_neighbors != self.neighbors
+        self.neighbors = new_neighbors
+        return changed
+
+    def knowledge(self) -> Dict[int, Point]:
+        """Snapshot of the candidate set (what this node shares with
+        peers on a neighbor-set exchange)."""
+        return dict(self.candidates)

@@ -1,0 +1,187 @@
+"""The distributed MDT system: joins, leaves and stabilization.
+
+Message-level simulation of the MDT maintenance protocol:
+
+* **Join** — the new node greedily walks (over current DT neighbor
+  links) to the existing node closest to its position, pulls that
+  node's candidate set, and then iteratively exchanges candidate sets
+  with its computed DT neighbors until its own neighbor set stops
+  changing.  Finally it notifies its neighbors, which recompute — by
+  the locality of Delaunay insertion, only the new node's neighbors can
+  be affected.
+* **Leave** — neighbors of the departed node drop it and exchange
+  candidate sets among themselves until stable (the hole is re-covered
+  by its former neighborhood).
+* **Stabilize** — global anti-entropy rounds (neighbor pairs exchange
+  candidate sets, everyone recomputes) until a fixpoint; used after
+  bulk changes and by the validation tests.
+
+Every candidate-set transfer counts as one protocol message, so the
+tests can check the join cost stays local (no flooding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from ..geometry import DelaunayTriangulation, Point, squared_distance
+from .node import MdtNode
+
+
+class MdtError(Exception):
+    """Raised on invalid MDT operations."""
+
+
+class MdtSystem:
+    """A set of MDT nodes plus the maintenance protocol."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, MdtNode] = {}
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # protocol primitives
+    # ------------------------------------------------------------------
+    def _exchange(self, src: int, dst: int) -> bool:
+        """dst pulls src's candidate set (one message).  Returns True
+        when dst learned something."""
+        self.messages_sent += 1
+        return self.nodes[dst].learn(self.nodes[src].knowledge())
+
+    def _greedy_locate(self, position: Point,
+                       start: Optional[int] = None) -> int:
+        """Walk over DT neighbor links to the node closest to
+        ``position`` (the MDT search used to bootstrap a join)."""
+        if not self.nodes:
+            raise MdtError("no nodes in the system")
+        current = start if start is not None else next(iter(self.nodes))
+        while True:
+            node = self.nodes[current]
+            best = current
+            best_d = squared_distance(node.position, position)
+            for neighbor in node.neighbors:
+                d = squared_distance(self.nodes[neighbor].position,
+                                     position)
+                if d < best_d:
+                    best_d = d
+                    best = neighbor
+            if best == current:
+                return current
+            self.messages_sent += 1  # forwarding the search message
+            current = best
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, node_id: int, position: Point,
+             via: Optional[int] = None) -> MdtNode:
+        """A node joins the distributed DT.
+
+        ``via`` is an arbitrary existing contact node (any member works;
+        defaults to the first).  Raises on duplicate ids or coincident
+        positions.
+        """
+        if node_id in self.nodes:
+            raise MdtError(f"node {node_id} already joined")
+        for other in self.nodes.values():
+            if squared_distance(other.position, position) == 0.0:
+                raise MdtError(
+                    f"position {position} already taken by node "
+                    f"{other.node_id}"
+                )
+        node = MdtNode(node_id, position)
+        self.nodes[node_id] = node
+        if len(self.nodes) == 1:
+            return node
+        anchor = self._greedy_locate(position, start=via)
+        self._exchange(anchor, node_id)
+        node.recompute_neighbors()
+        # Pull candidate sets from newly discovered neighbors until the
+        # local view stops changing.
+        queried: Set[int] = set()
+        for _ in range(4 * len(self.nodes) + 8):
+            pending = [n for n in node.neighbors if n not in queried]
+            if not pending:
+                break
+            for neighbor in pending:
+                queried.add(neighbor)
+                self._exchange(neighbor, node_id)
+            node.recompute_neighbors()
+        # Notify the affected region: the new node's neighbors learn of
+        # it (and of each other, through the new node's knowledge).
+        for neighbor in sorted(node.neighbors):
+            self._exchange(node_id, neighbor)
+            self.nodes[neighbor].recompute_neighbors()
+        return node
+
+    def leave(self, node_id: int) -> None:
+        """A node departs; its former neighborhood repairs the hole."""
+        if node_id not in self.nodes:
+            raise MdtError(f"unknown node {node_id}")
+        departed = self.nodes.pop(node_id)
+        affected = sorted(departed.neighbors)
+        for member in self.nodes.values():
+            member.forget(node_id)
+        # The former neighbors exchange candidate sets pairwise so every
+        # witness needed to re-triangulate the hole is locally known.
+        for a in affected:
+            for b in affected:
+                if a != b and a in self.nodes and b in self.nodes:
+                    self._exchange(a, b)
+        for a in affected:
+            if a in self.nodes:
+                self.nodes[a].recompute_neighbors()
+
+    # ------------------------------------------------------------------
+    # convergence
+    # ------------------------------------------------------------------
+    def stabilize(self, max_rounds: int = 64) -> int:
+        """Anti-entropy until fixpoint; returns rounds used.
+
+        Each round: every node pulls the candidate sets of its current
+        neighbors, then everyone recomputes.  Terminates when no
+        neighbor set changes.
+        """
+        for round_index in range(max_rounds):
+            for node_id in sorted(self.nodes):
+                for neighbor in sorted(self.nodes[node_id].neighbors):
+                    if neighbor in self.nodes:
+                        self._exchange(neighbor, node_id)
+            changed = False
+            for node_id in sorted(self.nodes):
+                if self.nodes[node_id].recompute_neighbors():
+                    changed = True
+            if not changed:
+                return round_index + 1
+        raise MdtError(f"did not stabilize in {max_rounds} rounds")
+
+    # ------------------------------------------------------------------
+    # introspection / validation
+    # ------------------------------------------------------------------
+    def neighbor_map(self) -> Dict[int, Set[int]]:
+        return {node_id: set(node.neighbors)
+                for node_id, node in self.nodes.items()}
+
+    def is_consistent(self) -> bool:
+        """Neighbor relation symmetric across nodes."""
+        nbrs = self.neighbor_map()
+        return all(
+            node in nbrs.get(other, set())
+            for node, owned in nbrs.items()
+            for other in owned
+        )
+
+    def matches_centralized_dt(self) -> bool:
+        """Distributed neighbor sets equal the centralized DT's."""
+        ids = sorted(self.nodes)
+        if len(ids) <= 1:
+            return all(not self.nodes[i].neighbors for i in ids)
+        points = [self.nodes[i].position for i in ids]
+        dt = DelaunayTriangulation(points, rng=np.random.default_rng(0))
+        reference = {
+            ids[v]: {ids[u] for u in nbrs}
+            for v, nbrs in dt.neighbor_map().items()
+        }
+        return self.neighbor_map() == reference

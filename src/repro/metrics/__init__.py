@@ -1,0 +1,29 @@
+"""Evaluation metrics: routing stretch, load balance, summary stats."""
+
+from .stats import Summary, confidence_interval, mean, sample_std, summarize
+from .stretch import (
+    measure_chord_stretch,
+    measure_gred_stretch,
+    routing_stretch,
+    stretch_samples,
+)
+from .balance import (
+    jains_fairness_index,
+    load_imbalance_summary,
+    max_avg_ratio,
+)
+
+__all__ = [
+    "Summary",
+    "mean",
+    "sample_std",
+    "confidence_interval",
+    "summarize",
+    "routing_stretch",
+    "stretch_samples",
+    "measure_gred_stretch",
+    "measure_chord_stretch",
+    "max_avg_ratio",
+    "jains_fairness_index",
+    "load_imbalance_summary",
+]

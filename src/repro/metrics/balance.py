@@ -1,0 +1,57 @@
+"""Load-balance metrics (paper Section VII-B).
+
+    "The max/avg metric quantifies the load balance, defined as the
+    ratio of the number of data items received by the most loaded edge
+    server (max) to the average load of all edge servers (avg)."
+
+The optimal value is 1 (perfect balance); higher is worse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def max_avg_ratio(loads: Sequence[int]) -> float:
+    """The paper's ``max/avg`` metric over per-server loads.
+
+    Raises
+    ------
+    ValueError
+        On an empty load vector or zero total load (no data placed).
+    """
+    if not loads:
+        raise ValueError("load vector is empty")
+    total = sum(loads)
+    if total == 0:
+        raise ValueError("no data has been placed; max/avg is undefined")
+    avg = total / len(loads)
+    return max(loads) / avg
+
+
+def jains_fairness_index(loads: Sequence[int]) -> float:
+    """Jain's fairness index (supplementary metric; 1 is perfect).
+
+    ``(sum x)^2 / (n * sum x^2)`` — gives a whole-distribution view that
+    the paper's max-focused metric does not.
+    """
+    if not loads:
+        raise ValueError("load vector is empty")
+    total = sum(loads)
+    squares = sum(x * x for x in loads)
+    if squares == 0:
+        raise ValueError("no data has been placed; fairness is undefined")
+    return (total * total) / (len(loads) * squares)
+
+
+def load_imbalance_summary(loads: Sequence[int]) -> dict:
+    """Dictionary with the metrics the experiments report."""
+    return {
+        "servers": len(loads),
+        "total": sum(loads),
+        "max": max(loads) if loads else 0,
+        "min": min(loads) if loads else 0,
+        "avg": sum(loads) / len(loads) if loads else 0.0,
+        "max_avg": max_avg_ratio(loads),
+        "jain": jains_fairness_index(loads),
+    }

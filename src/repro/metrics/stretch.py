@@ -1,0 +1,108 @@
+"""Routing-stretch measurement (paper Section VII-B).
+
+    "The routing stretch value is defined to be the ratio of the hop
+    count in the selected route to the hop count in the shortest route
+    between a pair of source and destination nodes."
+
+Pairs whose shortest route is zero hops (the data lands on the access
+switch itself) have no defined ratio and are excluded, matching the
+paper's random source/destination sampling where such pairs are
+vanishingly rare at scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph, hop_count
+
+
+def routing_stretch(route_hops: int, shortest_hops: int) -> Optional[float]:
+    """Stretch of one route, or ``None`` when undefined.
+
+    ``route_hops == shortest_hops == 0`` (request already at the
+    destination) is excluded rather than treated as stretch 1, since no
+    route was exercised.
+    """
+    if route_hops < 0 or shortest_hops < 0:
+        raise ValueError("hop counts must be non-negative")
+    if shortest_hops == 0:
+        return None
+    return route_hops / shortest_hops
+
+
+def stretch_samples(
+    topology: Graph,
+    routes: Sequence,
+) -> List[float]:
+    """Stretch values for a batch of route results.
+
+    ``routes`` may mix GRED :class:`repro.dataplane.RouteResult`-like and
+    Chord :class:`repro.chord.ChordRouteResult`-like objects: anything
+    with ``physical_hops`` and a way to tell source/destination switches
+    (``trace[0]``/``destination_switch`` or
+    ``entry_switch``/``destination_switch``).
+    """
+    samples: List[float] = []
+    for route in routes:
+        if hasattr(route, "entry_switch"):
+            source = route.entry_switch
+        else:
+            source = route.trace[0]
+        dest = route.destination_switch
+        shortest = hop_count(topology, source, dest)
+        value = routing_stretch(route.physical_hops, shortest)
+        if value is not None:
+            samples.append(value)
+    return samples
+
+
+def measure_gred_stretch(
+    net,
+    num_items: int,
+    rng: np.random.Generator,
+    prefix: str = "item",
+) -> List[float]:
+    """Place nothing; route ``num_items`` random retrievals through a
+    :class:`repro.core.GredNetwork` and return the stretch samples.
+
+    Each data item gets a random access switch, following the paper's
+    setup ("randomly generate 100 data items ... randomly select an
+    access point for each data").
+    """
+    switches = net.switch_ids()
+    routes = []
+    for i in range(num_items):
+        data_id = f"{prefix}-{i}"
+        entry = switches[int(rng.integers(0, len(switches)))]
+        route = net.route_for(data_id, entry)
+        routes.append(_GredRouteView(route, entry))
+    return stretch_samples(net.topology, routes)
+
+
+class _GredRouteView:
+    """Adapter giving RouteResult an explicit entry switch."""
+
+    def __init__(self, route, entry_switch: int):
+        self.entry_switch = entry_switch
+        self.destination_switch = route.destination_switch
+        self.physical_hops = route.physical_hops
+
+
+def measure_chord_stretch(
+    chord_net,
+    num_items: int,
+    rng: np.random.Generator,
+    prefix: str = "item",
+) -> List[float]:
+    """Stretch samples for the Chord baseline under the same workload
+    shape as :func:`measure_gred_stretch`."""
+    switches = chord_net.topology.nodes()
+    routes = []
+    for i in range(num_items):
+        data_id = f"{prefix}-{i}"
+        entry = switches[int(rng.integers(0, len(switches)))]
+        routes.append(chord_net.route_for(data_id, entry))
+    return stretch_samples(chord_net.topology, routes)

@@ -1,0 +1,64 @@
+"""P4 prototype model: the paper's data plane, executed the bmv2 way.
+
+Fixed-point header fields, exact-match match-action tables, actions
+installed through a compiler from control-plane state, and a network
+driver — a faithful software stand-in for the published P4 prototype,
+validated differentially against the behavioral data plane in
+``tests/test_p4.py``.
+"""
+
+from .types import (
+    FRACTIONAL_BITS,
+    Header,
+    HeaderType,
+    P4TypeError,
+    fixed_point,
+    from_fixed,
+    squared_distance_fixed,
+    to_fixed,
+)
+from .pipeline import (
+    P4RuntimeError,
+    PacketContext,
+    Pipeline,
+    Table,
+    TableEntry,
+    make_header,
+)
+from .gred_program import (
+    GRED_HEADER,
+    NO_PORT,
+    DeliveryInfo,
+    NeighborRecord,
+    P4GredSwitch,
+    make_gred_packet,
+)
+from .compiler import compile_network, compile_switch
+from .network import P4Network, P4RouteResult
+
+__all__ = [
+    "FRACTIONAL_BITS",
+    "to_fixed",
+    "from_fixed",
+    "fixed_point",
+    "squared_distance_fixed",
+    "HeaderType",
+    "Header",
+    "P4TypeError",
+    "Table",
+    "TableEntry",
+    "Pipeline",
+    "PacketContext",
+    "P4RuntimeError",
+    "make_header",
+    "GRED_HEADER",
+    "NO_PORT",
+    "NeighborRecord",
+    "P4GredSwitch",
+    "DeliveryInfo",
+    "make_gred_packet",
+    "compile_switch",
+    "compile_network",
+    "P4Network",
+    "P4RouteResult",
+]

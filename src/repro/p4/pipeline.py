@@ -1,0 +1,172 @@
+"""A bmv2-style match-action pipeline interpreter.
+
+The model follows the essentials of the P4 execution model:
+
+* a **PacketContext** carries parsed headers plus per-packet metadata;
+* a **Table** matches a key (exact match, like the prototype's tables)
+  and runs the bound action with its entry parameters; a miss runs the
+  default action;
+* an **action** is a host function mutating the context — standing in
+  for the compiled P4 action body;
+* a **Pipeline** is a control function applying tables in sequence,
+  like a P4 ``control`` block.
+
+The controller installs entries through :meth:`Table.insert_entry`,
+mirroring the Thrift API the paper's controller uses ("The P4 compiler
+generates Thrift APIs for the controller to insert the forwarding
+entries into the switches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .types import Header, HeaderType
+
+
+class P4RuntimeError(Exception):
+    """Raised on invalid table operations or action failures."""
+
+
+@dataclass
+class PacketContext:
+    """Headers + metadata of one packet traversing the pipeline."""
+
+    headers: Dict[str, Header] = field(default_factory=dict)
+    metadata: Dict[str, int] = field(default_factory=dict)
+    #: Egress specification: physical port, or None to keep processing.
+    egress_port: Optional[int] = None
+    #: Set by the deliver action: packet leaves the network here.
+    delivered: bool = False
+
+    def header(self, name: str) -> Header:
+        if name not in self.headers:
+            raise P4RuntimeError(f"no header instance {name!r}")
+        return self.headers[name]
+
+    def meta(self, key: str, default: int = 0) -> int:
+        return self.metadata.get(key, default)
+
+    def set_meta(self, key: str, value: int) -> None:
+        self.metadata[key] = value
+
+
+Action = Callable[[PacketContext, Tuple[int, ...]], None]
+
+
+@dataclass
+class TableEntry:
+    """One installed match-action entry."""
+
+    key: Tuple[int, ...]
+    action_name: str
+    params: Tuple[int, ...]
+
+
+class Table:
+    """An exact-match match-action table.
+
+    Parameters
+    ----------
+    name:
+        Table name (diagnostics).
+    key_fields:
+        Metadata/header fields forming the match key; each is a
+        ``(source, name)`` pair where source is ``"meta"`` or a header
+        instance name.
+    actions:
+        Named action implementations.
+    default_action:
+        Action run on a miss (with its bound params).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fields: List[Tuple[str, str]],
+        actions: Dict[str, Action],
+        default_action: Optional[Tuple[str, Tuple[int, ...]]] = None,
+    ) -> None:
+        self.name = name
+        self.key_fields = list(key_fields)
+        self.actions = dict(actions)
+        if default_action is not None \
+                and default_action[0] not in self.actions:
+            raise P4RuntimeError(
+                f"table {name}: unknown default action "
+                f"{default_action[0]!r}"
+            )
+        self.default_action = default_action
+        self._entries: Dict[Tuple[int, ...], TableEntry] = {}
+
+    # -- control-plane API (the "Thrift" surface) ------------------------
+    def insert_entry(self, key: Tuple[int, ...], action_name: str,
+                     params: Tuple[int, ...] = ()) -> None:
+        if action_name not in self.actions:
+            raise P4RuntimeError(
+                f"table {self.name}: unknown action {action_name!r}"
+            )
+        if len(key) != len(self.key_fields):
+            raise P4RuntimeError(
+                f"table {self.name}: key arity {len(key)} != "
+                f"{len(self.key_fields)}"
+            )
+        self._entries[tuple(key)] = TableEntry(tuple(key), action_name,
+                                               tuple(params))
+
+    def delete_entry(self, key: Tuple[int, ...]) -> None:
+        self._entries.pop(tuple(key), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[TableEntry]:
+        return list(self._entries.values())
+
+    # -- data-plane execution --------------------------------------------
+    def _build_key(self, ctx: PacketContext) -> Tuple[int, ...]:
+        key = []
+        for source, name in self.key_fields:
+            if source == "meta":
+                key.append(ctx.meta(name))
+            else:
+                key.append(ctx.header(source).get(name))
+        return tuple(key)
+
+    def apply(self, ctx: PacketContext) -> bool:
+        """Match and run an action.  Returns True on a hit."""
+        key = self._build_key(ctx)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.actions[entry.action_name](ctx, entry.params)
+            return True
+        if self.default_action is not None:
+            name, params = self.default_action
+            self.actions[name](ctx, params)
+        return False
+
+
+class Pipeline:
+    """A P4 control block: a host function orchestrating tables."""
+
+    def __init__(self, name: str,
+                 control: Callable[[PacketContext], None]) -> None:
+        self.name = name
+        self._control = control
+
+    def process(self, ctx: PacketContext) -> PacketContext:
+        self._control(ctx)
+        return ctx
+
+
+def make_header(header_type: HeaderType, **values: int) -> Header:
+    """A valid header instance with the given field values."""
+    header = Header(header_type=header_type)
+    header.set_valid()
+    for field_name, value in values.items():
+        header.set(field_name, value)
+    return header

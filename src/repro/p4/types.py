@@ -1,0 +1,113 @@
+"""P4-style type system: headers, fields and fixed-point arithmetic.
+
+The published GRED prototype runs on bmv2 via P4, which has no
+floating-point arithmetic: virtual-space coordinates must be carried in
+integer header fields and distances computed in fixed point.  This
+module models exactly that constraint.
+
+Coordinates in the unit square are quantized to ``Q16`` (16 fractional
+bits, 32-bit unsigned fields); squared distances of Q16 values fit into
+64-bit accumulators, which bmv2 supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Fractional bits of the coordinate fixed-point representation.
+FRACTIONAL_BITS = 16
+_SCALE = 1 << FRACTIONAL_BITS
+
+
+class P4TypeError(Exception):
+    """Raised on malformed headers or out-of-range field values."""
+
+
+def to_fixed(value: float) -> int:
+    """Quantize a unit-square coordinate to Q16.
+
+    Values are clamped into [0, 1] first (the virtual space boundary).
+    """
+    clamped = min(1.0, max(0.0, float(value)))
+    return int(round(clamped * _SCALE))
+
+
+def from_fixed(value: int) -> float:
+    """Inverse of :func:`to_fixed` (exact for Q16 grid points)."""
+    return value / _SCALE
+
+
+def fixed_point(point: Tuple[float, float]) -> Tuple[int, int]:
+    """Quantize a 2D point."""
+    return (to_fixed(point[0]), to_fixed(point[1]))
+
+
+def squared_distance_fixed(ax: int, ay: int, bx: int, by: int) -> int:
+    """Exact squared Euclidean distance of two Q16 points.
+
+    The result is a Q32 integer (fits in 64 bits for unit-square
+    inputs), computed exactly as a P4 ALU would: differences, squares,
+    sum — no rounding anywhere.
+    """
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+@dataclass(frozen=True)
+class HeaderType:
+    """A P4 header type: ordered named fields with bit widths."""
+
+    name: str
+    fields: Tuple[Tuple[str, int], ...]
+
+    def field_width(self, field_name: str) -> int:
+        for fname, width in self.fields:
+            if fname == field_name:
+                return width
+        raise P4TypeError(
+            f"header {self.name} has no field {field_name!r}"
+        )
+
+    def bit_width(self) -> int:
+        """Total width of the header in bits."""
+        return sum(width for _, width in self.fields)
+
+
+@dataclass
+class Header:
+    """An instance of a header type with concrete field values.
+
+    Field writes are range-checked against the declared bit width —
+    exactly the discipline a P4 compiler enforces.
+    """
+
+    header_type: HeaderType
+    valid: bool = False
+    _values: Dict[str, int] = field(default_factory=dict)
+
+    def set(self, field_name: str, value: int) -> None:
+        width = self.header_type.field_width(field_name)
+        if not isinstance(value, int):
+            raise P4TypeError(
+                f"field {field_name} expects int, got "
+                f"{type(value).__name__}"
+            )
+        if not 0 <= value < (1 << width):
+            raise P4TypeError(
+                f"value {value} does not fit field "
+                f"{self.header_type.name}.{field_name} ({width} bits)"
+            )
+        self._values[field_name] = value
+
+    def get(self, field_name: str) -> int:
+        self.header_type.field_width(field_name)  # validates the name
+        return self._values.get(field_name, 0)
+
+    def set_valid(self) -> None:
+        self.valid = True
+
+    def set_invalid(self) -> None:
+        self.valid = False
+        self._values.clear()

@@ -1,0 +1,19 @@
+"""Upper-layer services built on the public GRED API: adaptive
+replication for skewed workloads and automatic range-extension
+management."""
+
+from .adaptive_replication import (
+    AdaptiveReplicationService,
+    ReplicationStats,
+)
+from .overload_manager import OverloadEvent, OverloadManager
+from .ttl import TtlRecord, TtlStore
+
+__all__ = [
+    "AdaptiveReplicationService",
+    "ReplicationStats",
+    "OverloadManager",
+    "OverloadEvent",
+    "TtlStore",
+    "TtlRecord",
+]

@@ -1,0 +1,88 @@
+"""Overload manager: automatic range-extension control (paper §V-B).
+
+The paper's mechanism is reactive — "when the upper layer application
+finds that an edge server would be overloaded, the corresponding switch
+sends an extending request to the control plane" — and symmetric on the
+way down ("the overloaded edge server could become underloaded again").
+This service implements that upper layer: it watches server utilization
+and drives ``extend_range``/``retract_range`` on hysteresis thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..controlplane import ControlPlaneError
+from ..core import GredError, GredNetwork
+
+
+@dataclass
+class OverloadEvent:
+    """One management action taken by a monitoring sweep."""
+
+    action: str  # "extend" or "retract"
+    switch: int
+    serial: int
+    utilization: float
+
+
+@dataclass
+class OverloadManager:
+    """Hysteresis controller over server utilization.
+
+    Parameters
+    ----------
+    net:
+        The managed deployment (servers should have capacities; servers
+        without a capacity are never considered overloaded).
+    high_watermark:
+        Utilization at or above which a server's range is extended.
+    low_watermark:
+        Utilization at or below which an active extension is retracted
+        (when everything fits back).
+    """
+
+    net: GredNetwork
+    high_watermark: float = 0.85
+    low_watermark: float = 0.4
+    _extended: Set[Tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= low < high <= 1, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+
+    def sweep(self) -> List[OverloadEvent]:
+        """One monitoring pass; returns the actions taken."""
+        events: List[OverloadEvent] = []
+        for switch in self.net.switch_ids():
+            for server in self.net.server_map.get(switch, []):
+                if server.capacity is None or server.capacity == 0:
+                    continue
+                utilization = server.load / server.capacity
+                key = (switch, server.serial)
+                if key not in self._extended \
+                        and utilization >= self.high_watermark:
+                    try:
+                        self.net.extend_range(switch, server.serial)
+                    except (GredError, ControlPlaneError):
+                        continue  # no capacity anywhere nearby
+                    self._extended.add(key)
+                    events.append(OverloadEvent(
+                        "extend", switch, server.serial, utilization))
+                elif key in self._extended \
+                        and utilization <= self.low_watermark:
+                    try:
+                        self.net.retract_range(switch, server.serial)
+                    except GredError:
+                        continue  # redirected data does not fit yet
+                    self._extended.discard(key)
+                    events.append(OverloadEvent(
+                        "retract", switch, server.serial, utilization))
+        return events
+
+    def active_extensions(self) -> List[Tuple[int, int]]:
+        return sorted(self._extended)

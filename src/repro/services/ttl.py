@@ -1,0 +1,125 @@
+"""TTL-bound storage: data placement "is not everlasting" (paper §V-B).
+
+The paper's range-extension drain scenario rests on items becoming
+invalid over time ("some data could be invalid or migrated to the
+Cloud").  This service adds explicit lifetimes: items are placed with a
+time-to-live against a logical clock, and a reaper sweep deletes
+whatever expired — which is exactly what lets overloaded servers drain
+back under their watermarks and extensions retract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import GredNetwork, RetrievalResult
+
+
+@dataclass(frozen=True)
+class TtlRecord:
+    """Lifetime bookkeeping for one stored item."""
+
+    data_id: str
+    expires_at: float
+    copies: int
+
+
+class TtlStore:
+    """Expiring storage over a :class:`GredNetwork`.
+
+    The clock is logical: the application advances it via ``now`` on
+    each call or with :meth:`advance`.  Expired items stay on disk
+    until the next :meth:`reap` (matching real TTL stores that expire
+    lazily), but :meth:`get` already refuses them.
+    """
+
+    def __init__(self, net: GredNetwork,
+                 default_ttl: float = 60.0) -> None:
+        if default_ttl <= 0:
+            raise ValueError(f"default_ttl must be positive, got "
+                             f"{default_ttl}")
+        self.net = net
+        self.default_ttl = default_ttl
+        self._clock = 0.0
+        self._records: Dict[str, TtlRecord] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def advance(self, delta: float) -> float:
+        """Move the logical clock forward; returns the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards ({delta})")
+        self._clock += delta
+        return self._clock
+
+    # ------------------------------------------------------------------
+    def put(self, data_id: str, payload=None,
+            ttl: Optional[float] = None,
+            entry_switch: Optional[int] = None,
+            copies: int = 1,
+            rng: Optional[np.random.Generator] = None) -> TtlRecord:
+        """Store an item with a lifetime (``ttl`` defaults to the
+        store's default)."""
+        ttl = self.default_ttl if ttl is None else ttl
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.net.place(data_id, payload=payload,
+                       entry_switch=entry_switch, copies=copies,
+                       rng=rng)
+        record = TtlRecord(data_id=data_id,
+                           expires_at=self._clock + ttl,
+                           copies=copies)
+        self._records[data_id] = record
+        return record
+
+    def get(self, data_id: str,
+            entry_switch: Optional[int] = None,
+            rng: Optional[np.random.Generator] = None
+            ) -> RetrievalResult:
+        """Retrieve a live item; expired items read as not-found even
+        before the reaper ran."""
+        record = self._records.get(data_id)
+        if record is None or record.expires_at <= self._clock:
+            return RetrievalResult(
+                data_id=data_id, found=False, payload=None,
+                entry_switch=entry_switch if entry_switch is not None
+                else -1,
+                destination_switch=None, server_id=None,
+                request_hops=0, response_hops=0,
+            )
+        return self.net.retrieve(data_id, entry_switch=entry_switch,
+                                 copies=record.copies, rng=rng)
+
+    def touch(self, data_id: str, ttl: Optional[float] = None) -> bool:
+        """Refresh a live item's lifetime; returns False when the item
+        is unknown or already expired."""
+        record = self._records.get(data_id)
+        if record is None or record.expires_at <= self._clock:
+            return False
+        ttl = self.default_ttl if ttl is None else ttl
+        self._records[data_id] = TtlRecord(
+            data_id=data_id, expires_at=self._clock + ttl,
+            copies=record.copies)
+        return True
+
+    def reap(self) -> List[str]:
+        """Delete every expired item from the network; returns their
+        ids."""
+        expired = [r for r in self._records.values()
+                   if r.expires_at <= self._clock]
+        for record in expired:
+            self.net.delete(record.data_id, copies=record.copies)
+            del self._records[record.data_id]
+        return sorted(r.data_id for r in expired)
+
+    def live_items(self) -> List[str]:
+        return sorted(
+            r.data_id for r in self._records.values()
+            if r.expires_at > self._clock
+        )

@@ -1,0 +1,25 @@
+"""Discrete-event simulation: the substitute for the paper's hardware
+testbed latency measurements."""
+
+from .events import SimulationError, Simulator
+from .latency import LatencyModel
+from .response import (
+    CompletedRequest,
+    ResponseDelaySimulator,
+)
+from .packet_sim import (
+    LinkModel,
+    PacketCompletion,
+    PacketLevelSimulator,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "LatencyModel",
+    "ResponseDelaySimulator",
+    "CompletedRequest",
+    "LinkModel",
+    "PacketLevelSimulator",
+    "PacketCompletion",
+]

@@ -1,0 +1,79 @@
+"""A minimal discrete-event simulator.
+
+The testbed experiments of the paper measure wall-clock response delay on
+real P4 hardware; the reproduction substitutes a discrete-event simulator
+(DESIGN.md Section 2) with per-hop link latency, per-switch processing
+delay, and FIFO service queues at edge servers.  This module provides the
+generic event engine; :mod:`repro.simulation.response` builds the edge
+request model on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+
+class SimulationError(Exception):
+    """Raised on invalid scheduling or a runaway simulation."""
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past "
+                                  f"(delay {delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), callback)
+        )
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        heapq.heappush(
+            self._queue, (time, next(self._counter), callback)
+        )
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Run until the event queue drains; returns the final time.
+
+        Raises
+        ------
+        SimulationError
+            When more than ``max_events`` events fire (runaway model).
+        """
+        fired = 0
+        while self._queue:
+            time, _, callback = heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._processed += 1
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events"
+                )
+        return self._now

@@ -1,0 +1,37 @@
+"""Latency model for the response-delay experiments.
+
+Defaults approximate a small-campus edge deployment: 50 microseconds per
+physical link traversal (propagation + transmission for a small request),
+10 microseconds of switch pipeline latency per hop, and 200 microseconds
+of server service time per request.  Absolute values only set the scale
+of Fig. 8; the reproduced *shape* (delay roughly flat in the number of
+requests, dominated by path length) is model-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-component delays, in seconds."""
+
+    link_delay: float = 50e-6
+    switch_delay: float = 10e-6
+    server_service_time: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.link_delay < 0 or self.switch_delay < 0 \
+                or self.server_service_time < 0:
+            raise ValueError("latency components must be non-negative")
+
+    def path_delay(self, hops: int) -> float:
+        """One-way delay of a path of ``hops`` physical hops.
+
+        Every hop crosses one link and one switch pipeline; the final
+        delivery to the server host adds no extra link in this model.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        return hops * (self.link_delay + self.switch_delay)

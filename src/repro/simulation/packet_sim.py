@@ -1,0 +1,214 @@
+"""Packet-level network simulation with link contention.
+
+The flow-level simulator (:mod:`repro.simulation.response`) charges a
+fixed delay per hop; this simulator models the *store-and-forward*
+behavior of the switch plane: every directed link has finite bandwidth
+and a FIFO output queue, so concurrent requests contend for links and
+the response delay grows with offered load until the network saturates.
+
+Routes themselves are deterministic (precomputed through the deployed
+protocol); what is simulated is their transmission:
+
+* per-hop: switch processing delay, then queueing on the output link
+  (a packet starts serializing when the link is free), serialization
+  ``size / bandwidth``, then propagation;
+* at the server: FIFO queue with a fixed service time;
+* the response travels the physical shortest path back, contending for
+  links like any other packet.
+
+This powers the throughput/saturation experiment (X5): GRED's shorter
+paths consume less aggregate bandwidth per request than Chord's, so it
+sustains a higher request rate before the response delay blows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph import bfs_path
+from ..workloads import RetrievalRequest
+from .events import Simulator
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Physical parameters of the packet-level simulation."""
+
+    bandwidth_bytes_per_s: float = 1.25e9  # 10 Gbps
+    propagation_delay: float = 5e-6
+    switch_processing: float = 2e-6
+    server_service_time: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if min(self.propagation_delay, self.switch_processing,
+               self.server_service_time) < 0:
+            raise ValueError("delays must be non-negative")
+
+    def serialization(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class PacketCompletion:
+    """One finished request with its delay breakdown."""
+
+    request: RetrievalRequest
+    request_hops: int
+    response_hops: int
+    response_delay: float
+    link_wait: float  # total time spent queued on links
+
+
+class PacketLevelSimulator:
+    """Simulates a retrieval trace with per-link contention.
+
+    Parameters
+    ----------
+    net:
+        A deployed protocol network exposing ``route_for`` and
+        ``topology`` (GRED, Chord, or a baseline).
+    model:
+        Physical link/switch/server parameters.
+    """
+
+    def __init__(self, net, model: Optional[LinkModel] = None) -> None:
+        self.net = net
+        self.model = model or LinkModel()
+        self._link_busy: Dict[Tuple[int, int], float] = {}
+        self._server_busy: Dict[object, float] = {}
+        self.completed: List[PacketCompletion] = []
+
+    # ------------------------------------------------------------------
+    def _route_switch_path(self, request: RetrievalRequest
+                           ) -> Tuple[List[int], object]:
+        """Full physical switch path and the server-queue key."""
+        route = self.net.route_for(request.data_id,
+                                   request.entry_switch)
+        if hasattr(route, "delivery"):
+            # GRED (behavioral or P4): trace is the physical path.
+            path = list(route.trace) or [request.entry_switch]
+            server_key = (route.destination_switch,
+                          route.delivery.primary_serial)
+        elif hasattr(route, "overlay_path"):
+            # Chord: expand the overlay path host-to-host.
+            hosts = [self.net.ring.node_of_owner(o).host_switch
+                     for o in route.overlay_path]
+            expanded: List[int] = [hosts[0]] if hosts else [
+                request.entry_switch]
+            for a, b in zip(hosts, hosts[1:]):
+                segment = bfs_path(self.net.topology, a, b)
+                expanded.extend(segment[1:])
+            path = expanded
+            server_key = route.owner
+        else:
+            # One-hop baselines: trace is already physical.
+            path = list(getattr(route, "trace", [])) or [
+                request.entry_switch, route.destination_switch]
+            server_key = getattr(route, "owner",
+                                 route.destination_switch)
+        return path, server_key
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[RetrievalRequest],
+            request_size: int = 256,
+            response_size: int = 4096) -> List[PacketCompletion]:
+        """Simulate the whole trace; returns completions sorted by
+        injection time."""
+        sim = Simulator()
+        self._link_busy = {}
+        self._server_busy = {}
+        self.completed = []
+        for request in trace:
+            sim.schedule_at(request.time,
+                            self._make_injection(sim, request,
+                                                 request_size,
+                                                 response_size))
+        sim.run()
+        self.completed.sort(key=lambda c: c.request.time)
+        return self.completed
+
+    def _make_injection(self, sim: Simulator,
+                        request: RetrievalRequest,
+                        request_size: int, response_size: int):
+        def inject() -> None:
+            forward_path, server_key = self._route_switch_path(request)
+            state = {"wait": 0.0}
+
+            def after_forward() -> None:
+                busy = self._server_busy.get(server_key, 0.0)
+                start = max(sim.now, busy)
+                finish = start + self.model.server_service_time
+                self._server_busy[server_key] = finish
+                dest = forward_path[-1]
+                return_path = bfs_path(self.net.topology, dest,
+                                       request.entry_switch)
+
+                def after_service() -> None:
+                    self._send_along(
+                        sim, return_path, response_size, state,
+                        lambda: self._complete(
+                            sim, request,
+                            len(forward_path) - 1,
+                            len(return_path) - 1,
+                            state["wait"],
+                        ),
+                    )
+
+                sim.schedule(finish - sim.now, after_service)
+
+            self._send_along(sim, forward_path, request_size, state,
+                             after_forward)
+
+        return inject
+
+    def _send_along(self, sim: Simulator, path: List[int], size: int,
+                    state: Dict[str, float], done) -> None:
+        """Move one packet along ``path`` hop by hop with queueing."""
+        if len(path) <= 1:
+            sim.schedule(0.0, done)
+            return
+
+        def hop(index: int) -> None:
+            if index >= len(path) - 1:
+                done()
+                return
+            u, v = path[index], path[index + 1]
+            link = (u, v)
+            ready = sim.now + self.model.switch_processing
+            busy = self._link_busy.get(link, 0.0)
+            start_tx = max(ready, busy)
+            state["wait"] += start_tx - ready
+            end_tx = start_tx + self.model.serialization(size)
+            self._link_busy[link] = end_tx
+            arrival = end_tx + self.model.propagation_delay
+            sim.schedule(arrival - sim.now, lambda: hop(index + 1))
+
+        hop(0)
+
+    def _complete(self, sim: Simulator, request: RetrievalRequest,
+                  request_hops: int, response_hops: int,
+                  link_wait: float) -> None:
+        self.completed.append(PacketCompletion(
+            request=request,
+            request_hops=request_hops,
+            response_hops=response_hops,
+            response_delay=sim.now - request.time,
+            link_wait=link_wait,
+        ))
+
+    # ------------------------------------------------------------------
+    def average_response_delay(self) -> float:
+        if not self.completed:
+            raise ValueError("run a trace first")
+        return sum(c.response_delay for c in self.completed) \
+            / len(self.completed)
+
+    def p99_response_delay(self) -> float:
+        if not self.completed:
+            raise ValueError("run a trace first")
+        delays = sorted(c.response_delay for c in self.completed)
+        index = min(len(delays) - 1, int(0.99 * len(delays)))
+        return delays[index]

@@ -1,0 +1,132 @@
+"""Response-delay simulation of retrieval workloads (paper Fig. 8).
+
+Each retrieval request:
+
+1. travels from its access switch to the storage server's switch along
+   the route the deployed protocol (GRED or Chord) actually takes —
+   ``path_delay(request_hops)``;
+2. queues at the edge server, which serves requests FIFO with a fixed
+   service time;
+3. returns to the access switch along the network shortest path —
+   ``path_delay(response_hops)``.
+
+The measured *response delay* is completion time minus injection time,
+exactly what the testbed experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..graph import hop_count
+from ..workloads import RetrievalRequest
+from .events import Simulator
+from .latency import LatencyModel
+
+
+@dataclass
+class CompletedRequest:
+    """One finished retrieval with its delay breakdown."""
+
+    request: RetrievalRequest
+    request_hops: int
+    response_hops: int
+    queueing_delay: float
+    response_delay: float
+
+
+@dataclass
+class _ServerQueue:
+    """FIFO queue state of one edge server."""
+
+    busy_until: float = 0.0
+    served: int = 0
+
+
+class ResponseDelaySimulator:
+    """Drives a retrieval trace through a protocol network.
+
+    Parameters
+    ----------
+    net:
+        A :class:`repro.core.GredNetwork` or
+        :class:`repro.chord.ChordNetwork`; only ``route_for`` and
+        ``topology`` are used, so storage contents are untouched.
+    latency:
+        The delay model.
+    """
+
+    def __init__(self, net, latency: LatencyModel = None) -> None:
+        self.net = net
+        self.latency = latency or LatencyModel()
+        self._queues: Dict[object, _ServerQueue] = {}
+        self.completed: List[CompletedRequest] = []
+
+    def run(self,
+            trace: Sequence[RetrievalRequest]) -> List[CompletedRequest]:
+        """Simulate the whole trace; returns completed requests sorted by
+        injection time."""
+        sim = Simulator()
+        self.completed = []
+        for request in trace:
+            sim.schedule_at(
+                request.time,
+                self._make_arrival(sim, request),
+            )
+        sim.run()
+        self.completed.sort(key=lambda c: c.request.time)
+        return self.completed
+
+    def _make_arrival(self, sim: Simulator, request: RetrievalRequest):
+        def arrival() -> None:
+            route = self.net.route_for(request.data_id,
+                                       request.entry_switch)
+            if hasattr(route, "delivery"):
+                # GRED RouteResult
+                dest_switch = route.destination_switch
+                server_key = (dest_switch, route.delivery.primary_serial)
+            else:
+                # Chord route
+                dest_switch = route.destination_switch
+                server_key = route.owner
+            request_hops = route.physical_hops
+            arrive_at_server = sim.now + self.latency.path_delay(
+                request_hops)
+            queue = self._queues.setdefault(server_key, _ServerQueue())
+
+            def at_server() -> None:
+                start = max(sim.now, queue.busy_until)
+                queueing = start - sim.now
+                finish = start + self.latency.server_service_time
+                queue.busy_until = finish
+                queue.served += 1
+                response_hops = hop_count(
+                    self.net.topology, dest_switch, request.entry_switch
+                )
+
+                def done() -> None:
+                    self.completed.append(CompletedRequest(
+                        request=request,
+                        request_hops=request_hops,
+                        response_hops=response_hops,
+                        queueing_delay=queueing,
+                        response_delay=sim.now - request.time,
+                    ))
+
+                sim.schedule(
+                    (finish - sim.now)
+                    + self.latency.path_delay(response_hops),
+                    done,
+                )
+
+            sim.schedule(arrive_at_server - sim.now, at_server)
+
+        return arrival
+
+    def average_response_delay(self) -> float:
+        """Mean response delay over completed requests."""
+        if not self.completed:
+            raise ValueError("no completed requests; run a trace first")
+        total = sum(c.response_delay for c in self.completed)
+        return total / len(self.completed)

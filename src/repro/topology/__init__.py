@@ -1,0 +1,47 @@
+"""Topology generation: BRITE-style Waxman graphs, regular shapes, and the
+paper's 6-switch P4 testbed."""
+
+from .waxman import brite_waxman_graph, waxman_graph
+from .regular import (
+    complete_graph,
+    grid_graph,
+    line_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+)
+from .brite_io import (
+    BriteFormatError,
+    load_brite,
+    parse_brite,
+    save_brite,
+    write_brite,
+)
+from .testbed import (
+    TESTBED_NUM_SWITCHES,
+    TESTBED_SERVERS_PER_SWITCH,
+    testbed_ring_topology,
+    testbed_topology,
+)
+
+__all__ = [
+    "waxman_graph",
+    "brite_waxman_graph",
+    "line_graph",
+    "ring_graph",
+    "grid_graph",
+    "star_graph",
+    "complete_graph",
+    "random_regular_graph",
+    "random_geometric_graph",
+    "testbed_topology",
+    "testbed_ring_topology",
+    "TESTBED_NUM_SWITCHES",
+    "TESTBED_SERVERS_PER_SWITCH",
+    "parse_brite",
+    "write_brite",
+    "load_brite",
+    "save_brite",
+    "BriteFormatError",
+]

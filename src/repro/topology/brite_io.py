@@ -1,0 +1,162 @@
+"""Reading and writing the BRITE topology file format.
+
+The paper generates its simulation topologies with BRITE; deployments
+that already have BRITE output files can load them directly instead of
+re-generating with :func:`repro.topology.brite_waxman_graph`.  The
+flat-ASCII format is::
+
+    Topology: ( 20 Nodes, 37 Edges )
+    Model (2 - Waxman): 20 1000 100 1 2 0.15000 0.2000 1 1 10.0 1024.0
+
+    Nodes: (20)
+    0  242.00 156.00  3 3 -1 RT_NODE
+    ...
+
+    Edges: (37)
+    0  3 7  123.45 0.00041 10.0 -1 -1 E_RT U
+    ...
+
+Only the fields the reproduction needs are interpreted: node ids and
+plane coordinates, and edge endpoints (with the Euclidean length kept
+as the edge weight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph import Graph
+
+Coordinates = Dict[int, Tuple[float, float]]
+
+
+class BriteFormatError(Exception):
+    """Raised on malformed BRITE files."""
+
+
+def parse_brite(text: str) -> Tuple[Graph, Coordinates]:
+    """Parse BRITE flat-ASCII content into a topology.
+
+    Returns ``(graph, coordinates)``; edge weights carry the recorded
+    Euclidean length (1.0 when the field is missing or zero).
+    """
+    graph = Graph()
+    coords: Coordinates = {}
+    section = None
+    expected_nodes = expected_edges = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        lower = line.lower()
+        if lower.startswith("topology:") or lower.startswith("model"):
+            continue
+        if lower.startswith("nodes:"):
+            section = "nodes"
+            expected_nodes = _parse_count(line, line_no)
+            continue
+        if lower.startswith("edges:"):
+            section = "edges"
+            expected_edges = _parse_count(line, line_no)
+            continue
+        if section == "nodes":
+            fields = line.split()
+            if len(fields) < 3:
+                raise BriteFormatError(
+                    f"line {line_no}: node record needs at least "
+                    f"'id x y', got {line!r}"
+                )
+            try:
+                node = int(fields[0])
+                x = float(fields[1])
+                y = float(fields[2])
+            except ValueError as exc:
+                raise BriteFormatError(
+                    f"line {line_no}: malformed node record {line!r}"
+                ) from exc
+            graph.add_node(node)
+            coords[node] = (x, y)
+        elif section == "edges":
+            fields = line.split()
+            if len(fields) < 3:
+                raise BriteFormatError(
+                    f"line {line_no}: edge record needs at least "
+                    f"'id from to', got {line!r}"
+                )
+            try:
+                u = int(fields[1])
+                v = int(fields[2])
+                length = float(fields[3]) if len(fields) > 3 else 1.0
+            except ValueError as exc:
+                raise BriteFormatError(
+                    f"line {line_no}: malformed edge record {line!r}"
+                ) from exc
+            if not graph.has_node(u) or not graph.has_node(v):
+                raise BriteFormatError(
+                    f"line {line_no}: edge references unknown node"
+                )
+            if u != v:
+                graph.add_edge(u, v, weight=length if length > 0 else 1.0)
+        else:
+            raise BriteFormatError(
+                f"line {line_no}: content outside any section: {line!r}"
+            )
+    if expected_nodes is not None and graph.num_nodes() != expected_nodes:
+        raise BriteFormatError(
+            f"header declares {expected_nodes} nodes, file has "
+            f"{graph.num_nodes()}"
+        )
+    if expected_edges is not None and graph.num_edges() != expected_edges:
+        raise BriteFormatError(
+            f"header declares {expected_edges} edges, file has "
+            f"{graph.num_edges()}"
+        )
+    return graph, coords
+
+
+def _parse_count(line: str, line_no: int) -> int:
+    digits = "".join(ch for ch in line if ch.isdigit())
+    if not digits:
+        raise BriteFormatError(
+            f"line {line_no}: section header without a count: {line!r}"
+        )
+    return int(digits)
+
+
+def write_brite(graph: Graph, coords: Coordinates) -> str:
+    """Serialize a topology to BRITE flat-ASCII (subset: the fields
+    :func:`parse_brite` reads back)."""
+    missing = [n for n in graph.nodes() if n not in coords]
+    if missing:
+        raise BriteFormatError(
+            f"coordinates missing for nodes: {missing}"
+        )
+    lines = [
+        f"Topology: ( {graph.num_nodes()} Nodes, "
+        f"{graph.num_edges()} Edges )",
+        "Model (2 - Waxman): repro-export",
+        "",
+        f"Nodes: ({graph.num_nodes()})",
+    ]
+    for node in sorted(graph.nodes()):
+        x, y = coords[node]
+        lines.append(f"{node} {x:.2f} {y:.2f} 0 0 -1 RT_NODE")
+    lines.append("")
+    lines.append(f"Edges: ({graph.num_edges()})")
+    for i, (u, v, w) in enumerate(sorted(
+            graph.edges(), key=lambda e: (min(e[0], e[1]),
+                                          max(e[0], e[1])))):
+        lines.append(f"{i} {u} {v} {w:.2f} 0.0 10.0 -1 -1 E_RT U")
+    return "\n".join(lines) + "\n"
+
+
+def load_brite(path: str) -> Tuple[Graph, Coordinates]:
+    """Load a BRITE file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_brite(handle.read())
+
+
+def save_brite(graph: Graph, coords: Coordinates, path: str) -> None:
+    """Write a topology to a BRITE file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_brite(graph, coords))

@@ -1,0 +1,171 @@
+"""Regular and structured topologies used by tests and examples.
+
+These small deterministic topologies complement the Waxman generator: they
+make unit tests exact (known shortest paths, known diameters) and give the
+examples recognisable shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+
+
+def line_graph(n: int) -> Graph:
+    """A path of ``n`` switches: 0 - 1 - ... - (n-1)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n):
+        g.add_edge(i - 1, i)
+    return g
+
+
+def ring_graph(n: int) -> Graph:
+    """A cycle of ``n`` switches (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    g = line_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` mesh; node ids are ``r * cols + c``."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"grid dimensions must be positive, got "
+                         f"{rows}x{cols}")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            g.add_node(node)
+            if c > 0:
+                g.add_edge(node, node - 1)
+            if r > 0:
+                g.add_edge(node, node - cols)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A hub (node 0) with ``n_leaves`` leaves."""
+    if n_leaves < 1:
+        raise ValueError(f"a star needs at least one leaf, got {n_leaves}")
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n_leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """A clique of ``n`` switches."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def random_regular_graph(n: int, degree: int,
+                         rng: np.random.Generator = None,
+                         max_tries: int = 200) -> Graph:
+    """A random ``degree``-regular graph on ``n`` nodes (pairing model).
+
+    Retries the stub-matching until it produces a simple connected graph.
+
+    Raises
+    ------
+    ValueError
+        If ``n * degree`` is odd or ``degree >= n``.
+    RuntimeError
+        If no valid graph is found within ``max_tries`` attempts.
+    """
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2 != 0:
+        raise ValueError(f"n * degree must be even, got {n} * {degree}")
+    if rng is None:
+        rng = np.random.default_rng()
+    from ..graph import is_connected
+
+    for _ in range(max_tries):
+        stubs: List[int] = [node for node in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges: List[Tuple[int, int]] = []
+        ok = True
+        seen = set()
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                ok = False
+                break
+            seen.add(key)
+            edges.append((u, v))
+        if not ok:
+            continue
+        g = Graph()
+        for node in range(n):
+            g.add_node(node)
+        for u, v in edges:
+            g.add_edge(u, v)
+        if is_connected(g):
+            return g
+    raise RuntimeError(
+        f"could not generate a connected {degree}-regular graph on {n} "
+        f"nodes in {max_tries} tries"
+    )
+
+
+def random_geometric_graph(n: int, radius: float,
+                           rng: np.random.Generator = None,
+                           max_tries: int = 50):
+    """A connected unit-disk graph: ``n`` points uniform in the unit
+    square, edges between pairs within ``radius``.
+
+    The natural setting for geographic routing (GHT/GPSR); retries the
+    placement until the graph is connected.
+
+    Returns ``(graph, coordinates)``.
+
+    Raises
+    ------
+    RuntimeError
+        If no connected instance is found within ``max_tries``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if rng is None:
+        rng = np.random.default_rng()
+    from ..graph import is_connected
+
+    for _ in range(max_tries):
+        points = rng.uniform(0.0, 1.0, size=(n, 2))
+        g = Graph()
+        coords = {}
+        for i in range(n):
+            g.add_node(i)
+            coords[i] = (float(points[i, 0]), float(points[i, 1]))
+        r_sq = radius * radius
+        for i in range(n):
+            for j in range(i + 1, n):
+                dx = points[i, 0] - points[j, 0]
+                dy = points[i, 1] - points[j, 1]
+                if dx * dx + dy * dy <= r_sq:
+                    g.add_edge(i, j)
+        if is_connected(g):
+            return g, coords
+    raise RuntimeError(
+        f"no connected geometric graph with n={n}, radius={radius} in "
+        f"{max_tries} tries"
+    )

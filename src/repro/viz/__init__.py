@@ -1,0 +1,18 @@
+"""Visualization: SVG rendering of the virtual space / topology and
+terminal histograms."""
+
+from .svg import (
+    DEFAULT_SIZE,
+    SvgCanvas,
+    ascii_load_histogram,
+    render_topology,
+    render_virtual_space,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "DEFAULT_SIZE",
+    "render_virtual_space",
+    "render_topology",
+    "ascii_load_histogram",
+]

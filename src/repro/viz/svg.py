@@ -1,0 +1,203 @@
+"""SVG rendering of the GRED virtual space and physical topology.
+
+Pure-string SVG generation (no plotting dependency): render the
+controller's virtual space — switch positions, Delaunay edges, data
+positions, a highlighted route — or the physical topology drawn at the
+virtual coordinates.  Useful for debugging embeddings and for the
+documentation figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ..geometry import Point
+
+#: Default canvas size in pixels.
+DEFAULT_SIZE = 640
+_MARGIN = 30
+
+
+def _scale(point: Point, size: int) -> Tuple[float, float]:
+    """Map a unit-square point to canvas pixels (y flipped)."""
+    usable = size - 2 * _MARGIN
+    x = _MARGIN + point[0] * usable
+    y = size - (_MARGIN + point[1] * usable)
+    return (x, y)
+
+
+class SvgCanvas:
+    """Minimal SVG document builder."""
+
+    def __init__(self, size: int = DEFAULT_SIZE) -> None:
+        self.size = size
+        self._elements: List[str] = []
+
+    def line(self, a: Tuple[float, float], b: Tuple[float, float],
+             color: str = "#999", width: float = 1.0,
+             dashed: bool = False) -> None:
+        dash = ' stroke-dasharray="6 4"' if dashed else ""
+        self._elements.append(
+            f'<line x1="{a[0]:.1f}" y1="{a[1]:.1f}" '
+            f'x2="{b[0]:.1f}" y2="{b[1]:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash} />'
+        )
+
+    def circle(self, center: Tuple[float, float], radius: float,
+               fill: str = "#336", stroke: str = "none") -> None:
+        self._elements.append(
+            f'<circle cx="{center[0]:.1f}" cy="{center[1]:.1f}" '
+            f'r="{radius}" fill="{fill}" stroke="{stroke}" />'
+        )
+
+    def cross(self, center: Tuple[float, float], size: float = 4.0,
+              color: str = "#c33") -> None:
+        x, y = center
+        self.line((x - size, y - size), (x + size, y + size),
+                  color=color, width=1.5)
+        self.line((x - size, y + size), (x + size, y - size),
+                  color=color, width=1.5)
+
+    def text(self, position: Tuple[float, float], content: str,
+             size: int = 11, color: str = "#222") -> None:
+        self._elements.append(
+            f'<text x="{position[0]:.1f}" y="{position[1]:.1f}" '
+            f'font-size="{size}" fill="{color}" '
+            f'font-family="monospace">{escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.size}" height="{self.size}" '
+            f'viewBox="0 0 {self.size} {self.size}">\n'
+            f'<rect width="{self.size}" height="{self.size}" '
+            f'fill="white" />\n'
+            f"{body}\n</svg>"
+        )
+
+
+def render_virtual_space(
+    controller,
+    size: int = DEFAULT_SIZE,
+    show_dt: bool = True,
+    show_voronoi: bool = False,
+    data_ids: Sequence[str] = (),
+    route_trace: Optional[Sequence[int]] = None,
+    label_switches: bool = True,
+) -> str:
+    """Render the virtual space of a configured controller.
+
+    Parameters
+    ----------
+    controller:
+        A :class:`repro.controlplane.Controller`.
+    show_dt:
+        Draw the Delaunay edges between DT participants.
+    show_voronoi:
+        Draw the exact Voronoi cell boundaries of the DT participants
+        (each cell is the region of data positions a switch attracts).
+    data_ids:
+        Data identifiers whose hash positions are drawn as crosses.
+    route_trace:
+        Optional switch-id sequence to highlight (e.g. a
+        ``RouteResult.trace``).
+    """
+    from ..hashing import data_position
+
+    canvas = SvgCanvas(size)
+    positions: Dict[int, Point] = controller.positions
+    if show_voronoi:
+        from ..geometry import voronoi_cell
+
+        participants = controller.dt_participants()
+        sites = [positions[node] for node in participants]
+        for i in range(len(sites)):
+            cell = voronoi_cell(sites, i)
+            for a, b in zip(cell, cell[1:] + cell[:1]):
+                canvas.line(_scale(a, size), _scale(b, size),
+                            color="#dcb", width=1.0, dashed=True)
+    if show_dt:
+        for node, nbrs in controller.dt_adjacency().items():
+            for other in nbrs:
+                if node < other:
+                    canvas.line(
+                        _scale(positions[node], size),
+                        _scale(positions[other], size),
+                        color="#bbb",
+                    )
+    if route_trace:
+        for a, b in zip(route_trace, route_trace[1:]):
+            canvas.line(_scale(positions[a], size),
+                        _scale(positions[b], size),
+                        color="#e80", width=2.5)
+    participants = set(controller.dt_participants())
+    for node, pos in positions.items():
+        pixel = _scale(pos, size)
+        if node in participants:
+            canvas.circle(pixel, 5, fill="#336")
+        else:
+            canvas.circle(pixel, 4, fill="#aaa")
+        if label_switches:
+            canvas.text((pixel[0] + 6, pixel[1] - 6), str(node))
+    for data_id in data_ids:
+        canvas.cross(_scale(data_position(data_id), size))
+    return canvas.render()
+
+
+def render_topology(
+    graph,
+    coordinates: Dict[int, Point],
+    size: int = DEFAULT_SIZE,
+    label_switches: bool = True,
+) -> str:
+    """Render a physical topology at the given (unit-square or plane)
+    coordinates; plane coordinates are normalized first."""
+    xs = [c[0] for c in coordinates.values()]
+    ys = [c[1] for c in coordinates.values()]
+    span_x = (max(xs) - min(xs)) or 1.0
+    span_y = (max(ys) - min(ys)) or 1.0
+    normalized = {
+        node: ((c[0] - min(xs)) / span_x, (c[1] - min(ys)) / span_y)
+        for node, c in coordinates.items()
+    }
+    canvas = SvgCanvas(size)
+    for u, v, _ in graph.edges():
+        canvas.line(_scale(normalized[u], size),
+                    _scale(normalized[v], size), color="#888")
+    for node, pos in normalized.items():
+        pixel = _scale(pos, size)
+        canvas.circle(pixel, 5, fill="#264")
+        if label_switches:
+            canvas.text((pixel[0] + 6, pixel[1] - 6), str(node))
+    return canvas.render()
+
+
+def ascii_load_histogram(loads: Iterable[int], bins: int = 10,
+                         width: int = 50) -> str:
+    """A terminal histogram of per-server loads.
+
+    >>> print(ascii_load_histogram([1, 1, 2, 8]))  # doctest: +SKIP
+    """
+    values = list(loads)
+    if not values:
+        raise ValueError("load vector is empty")
+    low, high = min(values), max(values)
+    if low == high:
+        return (f"[{low}, {high}] | " + "#" * width
+                + f" {len(values)}")
+    bin_width = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        idx = min(bins - 1, int((value - low) / bin_width))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        lo = low + i * bin_width
+        hi = lo + bin_width
+        bar = "#" * int(round(width * count / peak)) if count else ""
+        lines.append(f"[{lo:8.1f}, {hi:8.1f}) | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Workload generators for the experiments and examples."""
+
+from .datagen import (
+    RetrievalRequest,
+    random_ids,
+    sequential_ids,
+    uniform_retrieval_trace,
+    zipf_choices,
+)
+from .trace_io import (
+    TraceFormatError,
+    read_trace,
+    trace_to_string,
+    write_trace,
+)
+
+__all__ = [
+    "sequential_ids",
+    "random_ids",
+    "zipf_choices",
+    "RetrievalRequest",
+    "uniform_retrieval_trace",
+    "write_trace",
+    "read_trace",
+    "trace_to_string",
+    "TraceFormatError",
+]

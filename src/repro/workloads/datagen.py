@@ -1,0 +1,95 @@
+"""Workload generation: data identifiers, popularity, and access points.
+
+The paper's experiments place uniformly random data items and pick a
+uniformly random access point per request.  Real edge workloads are
+skewed, so a Zipf popularity model is also provided for the examples and
+the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def sequential_ids(count: int, prefix: str = "item") -> List[str]:
+    """``count`` distinct identifiers: ``prefix-0``, ``prefix-1``, ..."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [f"{prefix}-{i}" for i in range(count)]
+
+
+def random_ids(count: int, rng: np.random.Generator,
+               prefix: str = "obj") -> List[str]:
+    """``count`` distinct identifiers with random 64-bit suffixes."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    ids = set()
+    result: List[str] = []
+    while len(result) < count:
+        suffix = int(rng.integers(0, 2 ** 63))
+        data_id = f"{prefix}-{suffix:016x}"
+        if data_id not in ids:
+            ids.add(data_id)
+            result.append(data_id)
+    return result
+
+
+def zipf_choices(items: Sequence[str], count: int, exponent: float,
+                 rng: np.random.Generator) -> List[str]:
+    """Sample ``count`` items with Zipf(``exponent``) popularity.
+
+    ``items[0]`` is the most popular.  ``exponent = 0`` is uniform.
+    """
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    if not items:
+        raise ValueError("items must be non-empty")
+    ranks = np.arange(1, len(items) + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    probs = weights / weights.sum()
+    picks = rng.choice(len(items), size=count, p=probs)
+    return [items[int(i)] for i in picks]
+
+
+@dataclass(frozen=True)
+class RetrievalRequest:
+    """One retrieval in a request trace."""
+
+    time: float
+    data_id: str
+    entry_switch: int
+
+
+def uniform_retrieval_trace(
+    items: Sequence[str],
+    switches: Sequence[int],
+    count: int,
+    duration: float,
+    rng: np.random.Generator,
+    zipf_exponent: float = 0.0,
+) -> List[RetrievalRequest]:
+    """A retrieval trace of ``count`` requests over ``duration`` seconds.
+
+    Arrival times are uniform over the window; items follow the given
+    Zipf exponent (0 = uniform); access switches are uniform.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if not switches:
+        raise ValueError("switches must be non-empty")
+    chosen = zipf_choices(items, count, zipf_exponent, rng)
+    times = np.sort(rng.uniform(0.0, duration, size=count))
+    entries = rng.integers(0, len(switches), size=count)
+    return [
+        RetrievalRequest(
+            time=float(times[i]),
+            data_id=chosen[i],
+            entry_switch=switches[int(entries[i])],
+        )
+        for i in range(count)
+    ]

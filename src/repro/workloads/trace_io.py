@@ -1,0 +1,101 @@
+"""Request-trace files: CSV persistence for reproducible workloads.
+
+Experiments that compare systems must replay *identical* request
+sequences; traces generated once can be saved and replayed across runs
+and machines.  Format: a header line then
+``time,data_id,entry_switch`` rows (RFC-4180-free zone: data ids are
+restricted to characters that need no quoting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import IO, List, Union
+
+from .datagen import RetrievalRequest
+
+
+class TraceFormatError(Exception):
+    """Raised on malformed trace files."""
+
+
+_HEADER = ["time", "data_id", "entry_switch"]
+
+
+def write_trace(trace: List[RetrievalRequest],
+                destination: Union[str, IO[str]]) -> None:
+    """Write a trace as CSV to a path or open text file."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8",
+                  newline="") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def _write(trace: List[RetrievalRequest], handle: IO[str]) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(_HEADER)
+    for request in trace:
+        writer.writerow([f"{request.time!r}", request.data_id,
+                         request.entry_switch])
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[RetrievalRequest]:
+    """Read a trace back; rows must be sorted by time.
+
+    Raises
+    ------
+    TraceFormatError
+        On missing/wrong header, malformed rows, or unsorted times.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: IO[str]) -> List[RetrievalRequest]:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TraceFormatError("empty trace file") from None
+    if header != _HEADER:
+        raise TraceFormatError(
+            f"bad header {header!r}; expected {_HEADER!r}"
+        )
+    trace: List[RetrievalRequest] = []
+    last_time = float("-inf")
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 3:
+            raise TraceFormatError(
+                f"line {line_no}: expected 3 fields, got {len(row)}"
+            )
+        try:
+            time = float(row[0])
+            entry = int(row[2])
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"line {line_no}: malformed row {row!r}"
+            ) from exc
+        if time < last_time:
+            raise TraceFormatError(
+                f"line {line_no}: times not sorted "
+                f"({time} after {last_time})"
+            )
+        last_time = time
+        trace.append(RetrievalRequest(time=time, data_id=row[1],
+                                      entry_switch=entry))
+    return trace
+
+
+def trace_to_string(trace: List[RetrievalRequest]) -> str:
+    """The trace as a CSV string (round-trips through
+    :func:`read_trace`)."""
+    buffer = io.StringIO(newline="")
+    _write(trace, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.edge import attach_uniform
+from repro.graph import Graph
+from repro.topology import brite_waxman_graph, grid_graph, testbed_topology
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_topology():
+    """A 3x3 grid topology (9 switches, known distances)."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def testbed():
+    """The paper's 6-switch testbed topology."""
+    return testbed_topology()
+
+
+@pytest.fixture
+def waxman_topology():
+    """A 30-switch BRITE-style Waxman topology (deterministic)."""
+    topology, _ = brite_waxman_graph(
+        30, min_degree=3, rng=np.random.default_rng(7)
+    )
+    return topology
+
+
+@pytest.fixture
+def gred_small(small_topology):
+    """A small GRED network: 3x3 grid, 2 servers per switch."""
+    from repro import GredNetwork
+
+    servers = attach_uniform(small_topology.nodes(), servers_per_switch=2)
+    return GredNetwork(small_topology, servers, cvt_iterations=10, seed=0)
+
+
+@pytest.fixture
+def gred_waxman(waxman_topology):
+    """A mid-size GRED network on the Waxman topology."""
+    from repro import GredNetwork
+
+    servers = attach_uniform(waxman_topology.nodes(),
+                             servers_per_switch=3)
+    return GredNetwork(waxman_topology, servers, cvt_iterations=10, seed=0)
+
+
+def triangle_graph() -> Graph:
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    return g

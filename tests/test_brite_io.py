@@ -1,0 +1,126 @@
+"""Tests for BRITE topology file parsing and writing."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    BriteFormatError,
+    brite_waxman_graph,
+    load_brite,
+    parse_brite,
+    save_brite,
+    write_brite,
+)
+
+SAMPLE = """\
+Topology: ( 4 Nodes, 4 Edges )
+Model (2 - Waxman): 4 1000 100 1 2 0.15 0.2 1 1 10.0 1024.0
+
+Nodes: (4)
+0 100.00 100.00 2 2 -1 RT_NODE
+1 200.00 100.00 2 2 -1 RT_NODE
+2 200.00 200.00 2 2 -1 RT_NODE
+3 100.00 200.00 2 2 -1 RT_NODE
+
+Edges: (4)
+0 0 1 100.00 0.0003 10.0 -1 -1 E_RT U
+1 1 2 100.00 0.0003 10.0 -1 -1 E_RT U
+2 2 3 100.00 0.0003 10.0 -1 -1 E_RT U
+3 3 0 100.00 0.0003 10.0 -1 -1 E_RT U
+"""
+
+
+class TestParse:
+    def test_sample_parses(self):
+        graph, coords = parse_brite(SAMPLE)
+        assert graph.num_nodes() == 4
+        assert graph.num_edges() == 4
+        assert coords[0] == (100.0, 100.0)
+        assert graph.has_edge(3, 0)
+        assert graph.edge_weight(0, 1) == 100.0
+
+    def test_minimal_records_accepted(self):
+        text = "Nodes: (2)\n0 1.0 2.0\n1 3.0 4.0\nEdges: (1)\n0 0 1\n"
+        graph, coords = parse_brite(text)
+        assert graph.num_edges() == 1
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_node_count_mismatch_rejected(self):
+        text = "Nodes: (3)\n0 1.0 2.0\n1 3.0 4.0\nEdges: (0)\n"
+        with pytest.raises(BriteFormatError, match="declares 3 nodes"):
+            parse_brite(text)
+
+    def test_edge_count_mismatch_rejected(self):
+        text = "Nodes: (2)\n0 1.0 2.0\n1 3.0 4.0\nEdges: (2)\n0 0 1\n"
+        with pytest.raises(BriteFormatError, match="declares 2 edges"):
+            parse_brite(text)
+
+    def test_unknown_node_in_edge_rejected(self):
+        text = "Nodes: (1)\n0 1.0 2.0\nEdges: (1)\n0 0 9\n"
+        with pytest.raises(BriteFormatError, match="unknown node"):
+            parse_brite(text)
+
+    def test_malformed_node_rejected(self):
+        text = "Nodes: (1)\n0 hello 2.0\n"
+        with pytest.raises(BriteFormatError, match="malformed node"):
+            parse_brite(text)
+
+    def test_content_outside_section_rejected(self):
+        with pytest.raises(BriteFormatError, match="outside"):
+            parse_brite("0 1.0 2.0\n")
+
+    def test_self_loops_skipped(self):
+        text = "Nodes: (2)\n0 1.0 2.0\n1 3.0 4.0\n" \
+               "Edges: (1)\n0 0 1\n"
+        graph, _ = parse_brite(text)
+        assert graph.num_edges() == 1
+
+
+class TestWrite:
+    def test_round_trip(self):
+        graph, coords = brite_waxman_graph(
+            15, min_degree=2, rng=np.random.default_rng(0))
+        text = write_brite(graph, coords)
+        parsed, parsed_coords = parse_brite(text)
+        assert parsed.num_nodes() == graph.num_nodes()
+        assert parsed.num_edges() == graph.num_edges()
+        original_edges = {frozenset((u, v))
+                          for u, v, _ in graph.edges()}
+        parsed_edges = {frozenset((u, v))
+                        for u, v, _ in parsed.edges()}
+        assert original_edges == parsed_edges
+        for node in graph.nodes():
+            assert parsed_coords[node][0] == pytest.approx(
+                coords[node][0], abs=0.01)
+
+    def test_missing_coordinates_rejected(self):
+        graph, coords = brite_waxman_graph(
+            5, rng=np.random.default_rng(1))
+        del coords[0]
+        with pytest.raises(BriteFormatError, match="missing"):
+            write_brite(graph, coords)
+
+    def test_file_round_trip(self, tmp_path):
+        graph, coords = brite_waxman_graph(
+            10, rng=np.random.default_rng(2))
+        path = str(tmp_path / "topo.brite")
+        save_brite(graph, coords, path)
+        loaded, _ = load_brite(path)
+        assert loaded.num_nodes() == 10
+
+    def test_written_topology_usable_by_gred(self):
+        """A topology exported/imported through BRITE must drive GRED."""
+        from repro import GredNetwork, attach_uniform
+
+        graph, coords = brite_waxman_graph(
+            12, min_degree=2, rng=np.random.default_rng(3))
+        parsed, _ = parse_brite(write_brite(graph, coords))
+        # Hop-count semantics: GRED uses hops, so normalize weights.
+        normalized = parsed.copy()
+        for u, v, _ in parsed.edges():
+            normalized.add_edge(u, v, weight=1.0)
+        net = GredNetwork(normalized,
+                          attach_uniform(normalized.nodes(), 2),
+                          cvt_iterations=5)
+        net.place("x", payload=1, entry_switch=0)
+        assert net.retrieve("x", entry_switch=5).found

@@ -1,0 +1,125 @@
+"""Tests for Chord overlaid on the physical topology."""
+
+import numpy as np
+import pytest
+
+from repro.chord import ChordError, ChordNetwork, server_name
+from repro.edge import attach_uniform
+from repro.graph import hop_count
+from repro.topology import grid_graph
+
+
+@pytest.fixture
+def chord():
+    topology = grid_graph(3, 3)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+    return ChordNetwork(topology, servers, bits=16)
+
+
+class TestRouting:
+    def test_route_ends_at_store_node(self, chord):
+        result = chord.route_for("item-1", entry_switch=0)
+        expected = chord.ring.store_node("item-1")
+        assert result.owner == expected.owner
+        assert result.destination_switch == expected.host_switch
+
+    def test_physical_hops_sum_of_overlay_expansions(self, chord):
+        result = chord.route_for("item-2", entry_switch=0)
+        path = result.overlay_path
+        # Recompute independently through the ring.
+        start = chord.ring.node_of_owner(path[0])
+        ring_path = chord.ring.lookup_path("item-2", start)
+        total = sum(
+            hop_count(chord.topology, a.host_switch, b.host_switch)
+            for a, b in zip(ring_path, ring_path[1:])
+        )
+        assert result.physical_hops == total
+        assert result.overlay_hops == len(ring_path) - 1
+
+    def test_entry_node_colocated_with_access_switch(self, chord):
+        result = chord.route_for("item-3", entry_switch=5)
+        assert result.overlay_path[0] == server_name(5, 0)
+
+    def test_access_switch_without_servers_raises(self):
+        topology = grid_graph(2, 2)
+        servers = attach_uniform([0, 1, 2], servers_per_switch=1)
+        net = ChordNetwork(topology, servers)
+        with pytest.raises(ChordError, match="no Chord node"):
+            net.route_for("x", entry_switch=3)
+
+
+class TestPlacementRetrieval:
+    def test_place_stores_item(self, chord):
+        result = chord.place("stored-1", payload=b"v", entry_switch=0)
+        switch, serial = map(
+            int, result.owner.replace("server-", "").split("-"))
+        assert chord.server_map[switch][serial].has("stored-1")
+
+    def test_retrieve_does_not_modify(self, chord):
+        chord.place("keep", entry_switch=0)
+        before = chord.load_vector()
+        chord.retrieve("keep", entry_switch=4)
+        assert chord.load_vector() == before
+
+    def test_random_entry(self, chord):
+        result = chord.place("rand", rng=np.random.default_rng(0))
+        assert result.entry_switch in chord.topology.nodes()
+
+    def test_load_vector_counts(self, chord):
+        for i in range(40):
+            chord.place(f"bulk-{i}", entry_switch=0)
+        assert sum(chord.load_vector()) == 40
+
+
+class TestStretchBehaviour:
+    def test_chord_stretch_worse_than_direct(self):
+        """On a mid-size network Chord's average physical route must be
+        longer than the direct shortest path (the paper's motivation,
+        Fig. 1)."""
+        from repro.topology import brite_waxman_graph
+
+        topology, _ = brite_waxman_graph(
+            40, min_degree=3, rng=np.random.default_rng(2))
+        servers = attach_uniform(topology.nodes(), servers_per_switch=5)
+        net = ChordNetwork(topology, servers)
+        rng = np.random.default_rng(0)
+        stretches = []
+        for i in range(60):
+            entry = int(rng.integers(0, 40))
+            result = net.route_for(f"s-{i}", entry_switch=entry)
+            direct = hop_count(topology, entry,
+                               result.destination_switch)
+            if direct > 0:
+                stretches.append(result.physical_hops / direct)
+        assert np.mean(stretches) > 1.5
+
+    def test_average_finger_table_size_grows_with_n(self):
+        small = ChordNetwork(grid_graph(2, 2),
+                             attach_uniform(range(4), 2))
+        large = ChordNetwork(grid_graph(4, 4),
+                             attach_uniform(range(16), 2))
+        assert large.average_finger_table_size() > \
+            small.average_finger_table_size()
+
+
+class TestVirtualNodes:
+    def test_virtual_nodes_improve_balance(self):
+        """More virtual nodes must reduce max/avg at identical scale —
+        the classical Chord result the paper cites."""
+        from repro.metrics import max_avg_ratio
+
+        topology = grid_graph(3, 3)
+
+        def balance(vnodes):
+            servers = attach_uniform(topology.nodes(), 2)
+            net = ChordNetwork(topology, servers, virtual_nodes=vnodes)
+            counts = {}
+            for i in range(20000):
+                owner = net.ring.store_node(f"b-{i}").owner
+                counts[owner] = counts.get(owner, 0) + 1
+            loads = [counts.get(server_name(sw, s.serial), 0)
+                     for sw in sorted(net.server_map)
+                     for s in net.server_map[sw]]
+            return max_avg_ratio(loads)
+
+        assert balance(16) < balance(1)

@@ -1,0 +1,157 @@
+"""Unit tests for the Chord ring."""
+
+import pytest
+
+from repro.chord import (
+    ChordError,
+    ChordRing,
+    in_half_open_interval,
+    in_open_interval,
+)
+from repro.hashing import chord_id
+
+
+def make_ring(n=10, bits=16, virtual_nodes=1):
+    members = {f"node-{i}": i for i in range(n)}
+    return ChordRing(members, bits=bits, virtual_nodes=virtual_nodes)
+
+
+class TestIntervals:
+    def test_half_open_no_wrap(self):
+        assert in_half_open_interval(5, 3, 8)
+        assert in_half_open_interval(8, 3, 8)
+        assert not in_half_open_interval(3, 3, 8)
+        assert not in_half_open_interval(9, 3, 8)
+
+    def test_half_open_wrapping(self):
+        assert in_half_open_interval(1, 8, 3)
+        assert in_half_open_interval(9, 8, 3)
+        assert in_half_open_interval(3, 8, 3)
+        assert not in_half_open_interval(5, 8, 3)
+
+    def test_half_open_degenerate_full_ring(self):
+        assert in_half_open_interval(0, 4, 4)
+        assert in_half_open_interval(99, 4, 4)
+
+    def test_open_interval(self):
+        assert in_open_interval(5, 3, 8)
+        assert not in_open_interval(8, 3, 8)
+        assert not in_open_interval(3, 3, 8)
+        assert in_open_interval(0, 8, 3)
+
+    def test_open_degenerate(self):
+        assert in_open_interval(5, 4, 4)
+        assert not in_open_interval(4, 4, 4)
+
+
+class TestRingStructure:
+    def test_nodes_sorted(self):
+        ring = make_ring()
+        ids = [n.node_id for n in ring.ring_nodes()]
+        assert ids == sorted(ids)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ChordError):
+            ChordRing({})
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ChordError):
+            ChordRing({"a": 0}, virtual_nodes=0)
+        with pytest.raises(ChordError):
+            ChordRing({"a": 0}, bits=4)
+
+    def test_virtual_nodes_multiply_positions(self):
+        ring = make_ring(n=5, virtual_nodes=4)
+        assert len(ring.ring_nodes()) == 20
+        assert len(ring.owners()) == 5
+
+    def test_successor_wraps(self):
+        ring = make_ring()
+        top = ring.ring_nodes()[-1]
+        first = ring.ring_nodes()[0]
+        assert ring.successor(top.node_id + 1).node_id == first.node_id
+
+    def test_successor_exact_hit(self):
+        ring = make_ring()
+        node = ring.ring_nodes()[3]
+        assert ring.successor(node.node_id) == node
+
+    def test_node_of_owner(self):
+        ring = make_ring()
+        node = ring.node_of_owner("node-3")
+        assert node.owner == "node-3"
+        assert node.host_switch == 3
+
+    def test_unknown_owner_raises(self):
+        ring = make_ring()
+        with pytest.raises(ChordError):
+            ring.node_of_owner("ghost")
+
+
+class TestFingerTables:
+    def test_finger_definition(self):
+        ring = make_ring(bits=16)
+        node = ring.ring_nodes()[0]
+        fingers = ring.finger_table(node.node_id)
+        assert len(fingers) == 16
+        for k, finger in enumerate(fingers):
+            expected = ring.successor((node.node_id + (1 << k)) % (1 << 16))
+            assert finger.node_id == expected.node_id
+
+    def test_finger_table_size_bounded(self):
+        ring = make_ring(n=8, bits=16)
+        for node in ring.ring_nodes():
+            size = ring.finger_table_size(node.node_id)
+            assert 1 <= size <= 8
+
+    def test_unknown_node_raises(self):
+        ring = make_ring()
+        with pytest.raises(ChordError):
+            ring.finger_table(123456789)
+
+
+class TestLookup:
+    def test_lookup_reaches_successor(self):
+        ring = make_ring(n=20)
+        for i in range(50):
+            key = f"key-{i}"
+            expected = ring.store_node(key)
+            start = ring.ring_nodes()[i % 20]
+            path = ring.lookup_path(key, start)
+            assert path[0] == start
+            assert path[-1].node_id == expected.node_id
+
+    def test_lookup_from_predecessor_is_one_hop(self):
+        """A node whose successor owns the key resolves it in one hop."""
+        ring = make_ring(n=20)
+        key = "self-lookup"
+        owner = ring.store_node(key)
+        nodes = ring.ring_nodes()
+        owner_idx = next(i for i, n in enumerate(nodes)
+                         if n.node_id == owner.node_id)
+        predecessor = nodes[owner_idx - 1]
+        path = ring.lookup_path(key, predecessor)
+        assert len(path) == 2
+        assert path[-1].node_id == owner.node_id
+
+    def test_single_node_ring(self):
+        ring = ChordRing({"only": 0})
+        path = ring.lookup_path("anything", ring.node_of_owner("only"))
+        assert len(path) == 1
+
+    def test_lookup_is_logarithmic(self):
+        """Overlay hops must be O(log n): for 64 nodes, no lookup should
+        need more than ~2*log2(64) hops."""
+        ring = make_ring(n=64, bits=32)
+        nodes = ring.ring_nodes()
+        worst = 0
+        for i in range(100):
+            path = ring.lookup_path(f"log-{i}", nodes[i % 64])
+            worst = max(worst, len(path) - 1)
+        assert worst <= 12
+
+    def test_store_node_is_successor_of_key(self):
+        ring = make_ring(bits=16)
+        key = "where"
+        node = ring.store_node(key)
+        assert node == ring.successor(chord_id(key, 16))

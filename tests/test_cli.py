@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def net_file(tmp_path):
+    path = str(tmp_path / "net.json")
+    code = main(["generate", "--switches", "12", "--servers", "2",
+                 "--cvt-iterations", "5", "--seed", "1", "-o", path])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_snapshot(self, net_file, capsys):
+        with open(net_file) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["format"] == "gred-snapshot-v1"
+        assert len(snapshot["nodes"]) == 12
+
+
+class TestPlaceRetrieve:
+    def test_place_then_retrieve(self, net_file, capsys):
+        code = main(["place", "-n", net_file, "doc-1",
+                     "--payload", '{"size": 42}', "--entry", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placed doc-1 on server" in out
+
+        code = main(["retrieve", "-n", net_file, "doc-1",
+                     "--entry", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "found doc-1" in out
+        assert '{"size": 42}' in out
+
+    def test_retrieve_missing_fails(self, net_file, capsys):
+        code = main(["retrieve", "-n", net_file, "ghost"])
+        assert code == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_place_with_copies(self, net_file, capsys):
+        code = main(["place", "-n", net_file, "multi",
+                     "--copies", "3", "--entry", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("placed ") == 3
+
+    def test_delete(self, net_file, capsys):
+        main(["place", "-n", net_file, "temp", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["delete", "-n", net_file, "temp"])
+        assert code == 0
+        assert "deleted 1" in capsys.readouterr().out
+        code = main(["delete", "-n", net_file, "temp"])
+        assert code == 1
+
+    def test_persistence_across_invocations(self, net_file, capsys):
+        main(["place", "-n", net_file, "persist-1", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["retrieve", "-n", net_file, "persist-1"])
+        assert code == 0
+
+
+class TestStats:
+    def test_stats_output(self, net_file, capsys):
+        main(["place", "-n", net_file, "s-1", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["stats", "-n", net_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "switches          : 12" in out
+        assert "servers           : 24" in out
+        assert "stored items      : 1" in out
+        assert "avg table entries" in out
+
+
+class TestExtension:
+    def test_extend_and_retract(self, net_file, capsys):
+        code = main(["extend", "-n", net_file, "0", "0"])
+        assert code == 0
+        assert "extended (0, 0)" in capsys.readouterr().out
+        code = main(["retract", "-n", net_file, "0", "0"])
+        assert code == 0
+        assert "retracted (0, 0)" in capsys.readouterr().out
+
+    def test_double_extend_fails_cleanly(self, net_file, capsys):
+        main(["extend", "-n", net_file, "0", "0"])
+        capsys.readouterr()
+        code = main(["extend", "-n", net_file, "0", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_network_file(self, capsys):
+        code = main(["stats", "-n", "/nonexistent/net.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_render_writes_svg(self, net_file, tmp_path, capsys):
+        out = str(tmp_path / "space.svg")
+        code = main(["render", "-n", net_file, "-o", out])
+        assert code == 0
+        with open(out) as handle:
+            content = handle.read()
+        assert content.startswith("<svg")
+
+    def test_render_with_voronoi_and_route(self, net_file, tmp_path,
+                                           capsys):
+        out = str(tmp_path / "space.svg")
+        code = main(["render", "-n", net_file, "-o", out, "--voronoi",
+                     "--data", "a", "b",
+                     "--route", "a", "--entry", "0"])
+        assert code == 0
+        with open(out) as handle:
+            content = handle.read()
+        assert "stroke-dasharray" in content  # voronoi boundaries
+
+
+class TestTraceCommand:
+    def test_trace_renders_decisions(self, net_file, capsys):
+        main(["place", "-n", net_file, "tr-1", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["trace", "-n", net_file, "tr-1", "--entry", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingress" in out
+        assert "destination switch" in out
+
+
+class TestVerifyCommand:
+    def test_verify_clean_network(self, net_file, capsys):
+        code = main(["verify", "-n", net_file])
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_experiment_fig7a_prints_table(self, capsys):
+        code = main(["experiment", "fig7a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 7(a)" in out
+        assert "GRED" in out
+        assert "GRED-NoCVT" in out

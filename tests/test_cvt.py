@@ -1,0 +1,109 @@
+"""Unit tests for the C-regulation algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import c_regulation
+from repro.geometry import cvt_energy, sample_unit_square
+
+
+def clustered_sites(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return [tuple(p) for p in rng.uniform(0.45, 0.55, size=(n, 2))]
+
+
+class TestCRegulation:
+    def test_zero_iterations_is_identity(self):
+        sites = clustered_sites()
+        result = c_regulation(sites, iterations=0)
+        assert result.sites == sites
+        assert result.iterations_run == 0
+        assert result.energy_history == []
+
+    def test_energy_decreases_overall(self):
+        sites = clustered_sites()
+        result = c_regulation(sites, iterations=40,
+                              rng=np.random.default_rng(1))
+        history = result.energy_history
+        assert history[-1] < history[0]
+
+    def test_energy_much_lower_than_initial(self):
+        sites = clustered_sites()
+        eval_rng = np.random.default_rng(99)
+        samples = sample_unit_square(20000, eval_rng)
+        before = cvt_energy(sites, samples)
+        result = c_regulation(sites, iterations=50,
+                              rng=np.random.default_rng(2))
+        after = cvt_energy(result.sites, samples)
+        assert after < before / 2
+
+    def test_sites_stay_in_unit_square(self):
+        result = c_regulation(clustered_sites(), iterations=30,
+                              rng=np.random.default_rng(3))
+        for x, y in result.sites:
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_single_site_converges_to_center(self):
+        result = c_regulation([(0.05, 0.05)], iterations=30,
+                              samples_per_iteration=5000,
+                              rng=np.random.default_rng(4))
+        assert result.sites[0] == pytest.approx((0.5, 0.5), abs=0.03)
+
+    def test_energy_threshold_stops_early(self):
+        result = c_regulation(clustered_sites(), iterations=200,
+                              energy_threshold=1.0,  # trivially satisfied
+                              rng=np.random.default_rng(5))
+        assert result.iterations_run == 1
+
+    def test_relaxation_dampens_movement(self):
+        sites = clustered_sites()
+        full = c_regulation(sites, iterations=1,
+                            rng=np.random.default_rng(6))
+        damped = c_regulation(sites, iterations=1, relaxation=0.1,
+                              rng=np.random.default_rng(6))
+        move_full = sum(
+            np.hypot(a[0] - b[0], a[1] - b[1])
+            for a, b in zip(sites, full.sites)
+        )
+        move_damped = sum(
+            np.hypot(a[0] - b[0], a[1] - b[1])
+            for a, b in zip(sites, damped.sites)
+        )
+        assert move_damped < move_full / 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            c_regulation([(0.5, 0.5)], iterations=-1)
+        with pytest.raises(ValueError):
+            c_regulation([(0.5, 0.5)], samples_per_iteration=0)
+        with pytest.raises(ValueError):
+            c_regulation([(0.5, 0.5)], relaxation=0.0)
+        with pytest.raises(ValueError):
+            c_regulation([(0.5, 0.5)], relaxation=1.5)
+
+    def test_deterministic_with_seeded_rng(self):
+        sites = clustered_sites()
+        r1 = c_regulation(sites, iterations=10,
+                          rng=np.random.default_rng(7))
+        r2 = c_regulation(sites, iterations=10,
+                          rng=np.random.default_rng(7))
+        assert r1.sites == r2.sites
+        assert r1.energy_history == r2.energy_history
+
+    def test_more_iterations_not_worse(self):
+        """T=50 must balance cell areas at least as well as T=5 —
+        the paper's Fig. 10(c) trend."""
+        from repro.geometry import estimate_cell_areas
+
+        sites = clustered_sites(n=16)
+        eval_samples = sample_unit_square(40000,
+                                          np.random.default_rng(11))
+        short = c_regulation(sites, iterations=5,
+                             rng=np.random.default_rng(8))
+        long = c_regulation(sites, iterations=50,
+                            rng=np.random.default_rng(8))
+        spread_short = estimate_cell_areas(short.sites,
+                                           eval_samples).std()
+        spread_long = estimate_cell_areas(long.sites, eval_samples).std()
+        assert spread_long <= spread_short * 1.1

@@ -1,0 +1,125 @@
+"""Tests for network dynamics: switch join and leave (paper Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork
+from repro.controlplane import ControlPlaneError
+from repro.edge import EdgeServer, attach_uniform
+from repro.topology import grid_graph
+
+
+@pytest.fixture
+def net():
+    topology = grid_graph(3, 3)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+    return GredNetwork(topology, servers, cvt_iterations=5, seed=0)
+
+
+def place_many(net, count, prefix="dyn"):
+    ids = [f"{prefix}-{i}" for i in range(count)]
+    for data_id in ids:
+        net.place(data_id, payload=data_id.encode(), entry_switch=0)
+    return ids
+
+
+class TestJoin:
+    def test_join_preserves_all_data(self, net):
+        ids = place_many(net, 60)
+        net.add_switch(100, links=[0, 1], servers_per_switch=2)
+        for data_id in ids:
+            result = net.retrieve(data_id, entry_switch=2)
+            assert result.found, data_id
+            assert result.payload == data_id.encode()
+
+    def test_join_attracts_its_hash_range(self, net):
+        """After the join, any item whose closest switch is the new one
+        must be retrievable and stored under it."""
+        place_many(net, 80, prefix="attract")
+        net.add_switch(100, links=[4], servers_per_switch=2)
+        owned = [
+            f"attract-{i}" for i in range(80)
+            if net.destination_switch(f"attract-{i}") == 100
+        ]
+        for data_id in owned:
+            result = net.retrieve(data_id, entry_switch=0)
+            assert result.found
+            assert result.server_id[0] == 100
+
+    def test_join_migration_counts_moved_items(self, net):
+        place_many(net, 80, prefix="count")
+        moved = net.add_switch(100, links=[4], servers_per_switch=2)
+        stored_on_new = sum(
+            s.load for s in net.server_map[100]
+        )
+        assert moved == stored_on_new
+
+    def test_relay_join_moves_nothing(self, net):
+        place_many(net, 30)
+        moved = net.add_switch(100, links=[0], servers_per_switch=0)
+        assert moved == 0
+
+    def test_join_then_place_routes_through_new_switch(self, net):
+        net.add_switch(100, links=[0, 8], servers_per_switch=2)
+        # New switch participates: some item must land there eventually.
+        landed = any(
+            net.destination_switch(f"lands-{i}") == 100
+            for i in range(500)
+        )
+        assert landed
+
+
+class TestLeave:
+    def test_leave_preserves_all_data(self, net):
+        ids = place_many(net, 60, prefix="leave")
+        net.remove_switch(4)
+        for data_id in ids:
+            result = net.retrieve(data_id, entry_switch=0)
+            assert result.found, data_id
+            assert result.payload == data_id.encode()
+
+    def test_leave_reports_replaced_count(self, net):
+        place_many(net, 60, prefix="gone")
+        on_victim = sum(s.load for s in net.server_map[4])
+        replaced = net.remove_switch(4)
+        assert replaced == on_victim
+
+    def test_leave_items_land_on_valid_servers(self, net):
+        place_many(net, 60, prefix="relo")
+        net.remove_switch(4)
+        for data_id in [f"relo-{i}" for i in range(60)]:
+            result = net.retrieve(data_id, entry_switch=0)
+            assert result.server_id[0] != 4
+
+    def test_leave_articulation_rejected(self, net):
+        # Build a line where the middle switch is an articulation point.
+        from repro.topology import line_graph
+
+        topo = line_graph(3)
+        line_net = GredNetwork(topo, attach_uniform(topo.nodes(), 1),
+                               cvt_iterations=0)
+        with pytest.raises(ControlPlaneError, match="disconnect"):
+            line_net.remove_switch(1)
+
+
+class TestJoinLeaveCycle:
+    def test_repeated_churn_keeps_data(self, net):
+        ids = place_many(net, 40, prefix="churn")
+        net.add_switch(100, links=[0, 4], servers_per_switch=2)
+        net.add_switch(101, links=[100, 8], servers_per_switch=1)
+        net.remove_switch(100)
+        for data_id in ids:
+            result = net.retrieve(data_id, entry_switch=1)
+            assert result.found, data_id
+
+    def test_routing_still_correct_after_churn(self, net):
+        from repro.hashing import data_position
+
+        net.add_switch(100, links=[0, 4], servers_per_switch=2)
+        net.remove_switch(8)
+        for i in range(30):
+            data_id = f"post-churn-{i}"
+            route = net.route_for(data_id, entry_switch=0)
+            expected = net.controller.closest_switch(
+                data_position(data_id))
+            assert route.destination_switch == expected

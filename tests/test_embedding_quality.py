@@ -1,0 +1,98 @@
+"""Unit tests for embedding-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    embedding_distance_matrix,
+    kruskal_stress,
+    max_distortion,
+    m_position,
+)
+from repro.graph import all_pairs_hop_matrix
+from repro.topology import grid_graph, line_graph
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        pts = [(0, 0), (1, 0), (0, 1)]
+        m = embedding_distance_matrix(pts)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0)
+        assert m[0, 1] == 1.0
+
+
+class TestKruskalStress:
+    def test_perfect_embedding_zero_stress(self):
+        g = line_graph(5)
+        matrix, _ = all_pairs_hop_matrix(g)
+        # Exact isometric embedding of the path.
+        pts = [(float(i), 0.0) for i in range(5)]
+        assert kruskal_stress(matrix, pts) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scale_invariance(self):
+        g = grid_graph(3, 3)
+        matrix, _ = all_pairs_hop_matrix(g)
+        pts = m_position(matrix)
+        scaled = [(x * 7.0, y * 7.0) for x, y in pts]
+        assert kruskal_stress(matrix, pts) == pytest.approx(
+            kruskal_stress(matrix, scaled))
+
+    def test_random_embedding_has_high_stress(self):
+        g = grid_graph(4, 4)
+        matrix, order = all_pairs_hop_matrix(g)
+        rng = np.random.default_rng(0)
+        random_pts = [tuple(p) for p in rng.uniform(0, 1, size=(16, 2))]
+        mds_pts = m_position(matrix)
+        assert kruskal_stress(matrix, mds_pts) < \
+            kruskal_stress(matrix, random_pts)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kruskal_stress(np.zeros((3, 3)), [(0, 0), (1, 1)])
+
+    def test_degenerate_single_pair(self):
+        matrix = np.array([[0.0, 2.0], [2.0, 0.0]])
+        pts = [(0.0, 0.0), (1.0, 0.0)]
+        # One pair always fits perfectly after rescaling.
+        assert kruskal_stress(matrix, pts) == pytest.approx(0.0)
+
+    def test_collapsed_embedding(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        pts = [(0.5, 0.5), (0.5, 0.5)]
+        assert kruskal_stress(matrix, pts) == float("inf")
+
+
+class TestMaxDistortion:
+    def test_isometric_embedding(self):
+        matrix = np.array([
+            [0.0, 1.0, 2.0],
+            [1.0, 0.0, 1.0],
+            [2.0, 1.0, 0.0],
+        ])
+        pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+        assert max_distortion(matrix, pts) == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        matrix = np.array([
+            [0.0, 1.0, 2.0],
+            [1.0, 0.0, 1.0],
+            [2.0, 1.0, 0.0],
+        ])
+        pts = [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]
+        assert max_distortion(matrix, pts) == pytest.approx(1.0)
+
+    def test_distorted_embedding(self):
+        matrix = np.array([
+            [0.0, 1.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0],
+        ])
+        # Two pairs at distance 1, one squeezed to 0.5: distortion 2.
+        pts = [(0.0, 0.0), (1.0, 0.0), (0.5, np.sqrt(0.25 - 0.25))]
+        pts = [(0.0, 0.0), (1.0, 0.0), (0.5, 0.0)]
+        assert max_distortion(matrix, pts) == pytest.approx(2.0)
+
+    def test_no_valid_pairs(self):
+        matrix = np.zeros((2, 2))
+        assert max_distortion(matrix, [(0, 0), (0, 0)]) == 1.0

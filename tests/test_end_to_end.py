@@ -1,0 +1,137 @@
+"""Full-system end-to-end tests: the paper's headline claims at reduced
+scale, exercised through the public API only."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChordNetwork,
+    GredNetwork,
+    attach_heterogeneous,
+    attach_uniform,
+    brite_waxman_graph,
+    max_avg_ratio,
+)
+from repro.metrics import (
+    measure_chord_stretch,
+    measure_gred_stretch,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_topology():
+    topology, _ = brite_waxman_graph(
+        40, min_degree=3, rng=np.random.default_rng(77))
+    return topology
+
+
+class TestHeadlineClaims:
+    def test_gred_beats_chord_on_stretch(self, shared_topology):
+        """The abstract's claim: GRED uses well under half of Chord's
+        routing cost."""
+        gred = GredNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+            cvt_iterations=50, seed=0,
+        )
+        chord = ChordNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+        )
+        rng = np.random.default_rng(9)
+        gred_stretch = summarize(
+            measure_gred_stretch(gred, 100, rng)).mean
+        rng = np.random.default_rng(9)
+        chord_stretch = summarize(
+            measure_chord_stretch(chord, 100, rng)).mean
+        assert gred_stretch < 0.5 * chord_stretch
+        assert gred_stretch < 2.0
+        assert chord_stretch > 3.0
+
+    def test_gred_beats_chord_on_balance(self, shared_topology):
+        from repro.experiments import chord_load_vector, gred_load_vector
+
+        gred = GredNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+            cvt_iterations=50, seed=0,
+        )
+        chord = ChordNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+        )
+        g = max_avg_ratio(gred_load_vector(gred, 30_000))
+        c = max_avg_ratio(chord_load_vector(chord, 30_000))
+        assert g < c
+
+    def test_one_overlay_hop_dominates(self, shared_topology):
+        """GRED routes are dominated by few greedy decisions while Chord
+        needs O(log n) overlay hops."""
+        gred = GredNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+            cvt_iterations=50, seed=0,
+        )
+        chord = ChordNetwork(
+            shared_topology,
+            attach_uniform(shared_topology.nodes(), 5),
+        )
+        rng = np.random.default_rng(3)
+        switches = shared_topology.nodes()
+        gred_overlay = []
+        chord_overlay = []
+        for i in range(50):
+            entry = switches[int(rng.integers(0, len(switches)))]
+            gred_overlay.append(
+                gred.route_for(f"oh-{i}", entry).overlay_hops)
+            chord_overlay.append(
+                chord.route_for(f"oh-{i}", entry).overlay_hops)
+        assert np.mean(gred_overlay) < np.mean(chord_overlay)
+
+
+class TestHeterogeneousDeployment:
+    def test_full_lifecycle_on_heterogeneous_servers(self):
+        """Place, retrieve, extend, churn and delete on a network with
+        heterogeneous server attachment — nothing may be lost."""
+        topology, _ = brite_waxman_graph(
+            15, min_degree=2, rng=np.random.default_rng(5))
+        servers = attach_heterogeneous(
+            topology.nodes(), min_servers=1, max_servers=4,
+            rng=np.random.default_rng(6),
+        )
+        net = GredNetwork(topology, servers, cvt_iterations=10, seed=1)
+        ids = [f"hetero-{i}" for i in range(50)]
+        for data_id in ids:
+            net.place(data_id, payload=data_id.upper(), entry_switch=0)
+
+        # Extend the busiest server's range.
+        loads = [(sum(s.load for s in net.server_map[sw]), sw)
+                 for sw in net.switch_ids()]
+        _, busiest = max(loads)
+        net.extend_range(busiest, 0)
+
+        # Churn: one join, one leave.
+        net.add_switch(500, links=[0, 1], servers_per_switch=2)
+        victim = next(
+            sw for sw in net.switch_ids()
+            if sw not in (0, 1, 500) and net.topology.degree(sw) > 1
+            and _removable(net, sw)
+        )
+        net.remove_switch(victim)
+
+        for data_id in ids:
+            result = net.retrieve(data_id, entry_switch=1)
+            assert result.found, data_id
+            assert result.payload == data_id.upper()
+
+        for data_id in ids:
+            assert net.delete(data_id, entry_switch=0) == 1
+
+
+def _removable(net, switch):
+    from repro.graph import is_connected
+
+    candidate = net.topology.copy()
+    candidate.remove_node(switch)
+    return is_connected(candidate)

@@ -1,0 +1,151 @@
+"""Tests for the experiment harness: each figure runner must produce the
+paper's qualitative shape at reduced scale."""
+
+import pytest
+
+from repro.experiments import (
+    build_chord,
+    build_gred,
+    build_topology,
+    chord_load_vector,
+    gred_load_vector,
+    run_chord_virtual_nodes,
+    run_cvt_samples,
+    run_embedding_quality,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig9a,
+    run_fig9c,
+    run_fig9d,
+    run_fig10a,
+    run_fig10c,
+)
+from repro.metrics import max_avg_ratio
+
+
+def by_protocol(rows, protocol):
+    return [r for r in rows if r["protocol"] == protocol]
+
+
+class TestBuilders:
+    def test_build_topology_connected(self):
+        from repro.graph import is_connected
+
+        topo = build_topology(20, 3, seed=0)
+        assert topo.num_nodes() == 20
+        assert is_connected(topo)
+
+    def test_load_vectors_cover_all_servers(self):
+        topo = build_topology(10, 3, seed=0)
+        gred = build_gred(topo, 4, cvt_iterations=5, seed=0)
+        chord = build_chord(topo, 4)
+        g_loads = gred_load_vector(gred, 500)
+        c_loads = chord_load_vector(chord, 500)
+        assert len(g_loads) == 40
+        assert len(c_loads) == 40
+        assert sum(g_loads) == 500
+        assert sum(c_loads) == 500
+
+    def test_gred_load_vector_matches_real_placement(self):
+        """The closed-form load vector must equal actually routing and
+        storing every item."""
+        topo = build_topology(8, 3, seed=1)
+        gred = build_gred(topo, 2, cvt_iterations=5, seed=0)
+        vector = gred_load_vector(gred, 200)
+        for i in range(200):
+            gred.place(f"data-{i}", entry_switch=0)
+        assert gred.load_vector() == vector
+
+
+class TestFig7:
+    def test_fig7a_stretch_near_one(self):
+        rows = run_fig7a(num_items=60)
+        for row in rows:
+            assert row["stretch_mean"] < 1.5
+
+    def test_fig7b_cvt_improves_balance(self):
+        rows = run_fig7b(num_items=800)
+        nocvt = by_protocol(rows, "GRED-NoCVT")[0]["max_avg"]
+        gred = by_protocol(rows, "GRED")[0]["max_avg"]
+        assert gred <= nocvt
+        assert gred < 2.0
+
+
+class TestFig8:
+    def test_delay_flat_in_request_count(self):
+        rows = run_fig8(request_counts=(50, 200, 400), num_items=50)
+        for protocol in ("GRED", "GRED-NoCVT"):
+            delays = [r["avg_delay_ms"]
+                      for r in by_protocol(rows, protocol)]
+            assert max(delays) < 2 * min(delays)  # "modest change"
+
+
+class TestFig9:
+    def test_fig9a_ordering(self):
+        rows = run_fig9a(sizes=(20, 40), num_items=60)
+        for size in (20, 40):
+            sized = [r for r in rows if r["switches"] == size]
+            chord = by_protocol(sized, "Chord")[0]["stretch_mean"]
+            gred = by_protocol(sized, "GRED")[0]["stretch_mean"]
+            nocvt = by_protocol(sized, "GRED-NoCVT")[0]["stretch_mean"]
+            assert chord > 2.5
+            assert gred < 2.0
+            assert nocvt < 2.0
+            assert gred < chord / 2
+
+    def test_fig9c_extension_costs_a_little(self):
+        rows = run_fig9c(sizes=(20,), num_items=60)
+        gred = by_protocol(rows, "GRED")[0]["stretch_mean"]
+        ext = by_protocol(rows, "extended-GRED")[0]["stretch_mean"]
+        assert gred <= ext <= gred + 2.0
+
+    def test_fig9d_tables_grow_sublinearly(self):
+        rows = run_fig9d(sizes=(20, 60))
+        small = rows[0]["avg_entries"]
+        large = rows[1]["avg_entries"]
+        assert large < small * 3  # 3x nodes, < 3x entries
+        assert all(r["avg_entries"] > 0 for r in rows)
+
+
+class TestFig10:
+    def test_fig10a_ordering(self):
+        rows = run_fig10a(server_counts=(200, 400), num_items=20_000)
+        for servers in (200, 400):
+            sized = [r for r in rows if r["servers"] == servers]
+            t10 = by_protocol(sized, "GRED (T=10)")[0]["max_avg"]
+            t50 = by_protocol(sized, "GRED (T=50)")[0]["max_avg"]
+            assert t50 <= t10 * 1.25
+            assert t50 < 2.5
+
+    def test_fig10c_gred_improves_with_t(self):
+        rows = run_fig10c(iterations=(0, 30), num_servers=300,
+                          num_items=20_000)
+        gred = {r["T"]: r["max_avg"]
+                for r in by_protocol(rows, "GRED")}
+        assert gred[30] < gred[0]
+        flat = {r["T"]: r["max_avg"]
+                for r in by_protocol(rows, "Chord")}
+        assert flat[0] == flat[30]  # Chord independent of T
+
+
+class TestAblations:
+    def test_cvt_samples_rows(self):
+        rows = run_cvt_samples(sample_counts=(100, 1000), iterations=20,
+                               num_switches=20)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["energy_final"] <= row["energy_at_10"] * 1.5
+
+    def test_embedding_quality_rows(self):
+        rows = run_embedding_quality(sizes=(20,), num_items=40)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 <= row["stress"] < 1.0
+            assert row["stretch_mean"] >= 1.0
+
+    def test_chord_vnodes_improve_balance(self):
+        rows = run_chord_virtual_nodes(
+            virtual_node_counts=(1, 8), num_switches=20,
+            num_items=20_000)
+        assert rows[1]["max_avg"] < rows[0]["max_avg"]

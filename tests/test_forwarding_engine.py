@@ -1,0 +1,114 @@
+"""Tests for the network-level greedy forwarding engine."""
+
+import pytest
+
+from repro.dataplane import (
+    ForwardingError,
+    GredSwitch,
+    Packet,
+    PacketKind,
+    VirtualLinkEntry,
+    route_packet,
+)
+
+
+def build_line_network():
+    """Three switches on a line, all in the DT.
+
+    Positions: 0 at (0.1, 0.5), 1 at (0.5, 0.5), 2 at (0.9, 0.5).
+    Physical links: 0-1, 1-2.  DT edges: 0-1, 1-2, 0-2 (0-2 multi-hop
+    via 1).
+    """
+    positions = {0: (0.1, 0.5), 1: (0.5, 0.5), 2: (0.9, 0.5)}
+    switches = {
+        i: GredSwitch(switch_id=i, position=positions[i], num_servers=2)
+        for i in range(3)
+    }
+    switches[0].install_physical_neighbor(1, 0, positions[1])
+    switches[1].install_physical_neighbor(0, 0, positions[0])
+    switches[1].install_physical_neighbor(2, 1, positions[2])
+    switches[2].install_physical_neighbor(1, 0, positions[1])
+    for i, j in ((0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)):
+        switches[i].install_dt_neighbor(j, positions[j])
+    # Virtual link 0 <-> 2 through 1.
+    switches[0].table.install_virtual(
+        VirtualLinkEntry(sour=0, pred=None, succ=1, dest=2))
+    switches[1].table.install_virtual(
+        VirtualLinkEntry(sour=0, pred=0, succ=2, dest=2))
+    switches[2].table.install_virtual(
+        VirtualLinkEntry(sour=2, pred=None, succ=1, dest=0))
+    switches[1].table.install_virtual(
+        VirtualLinkEntry(sour=2, pred=2, succ=0, dest=0))
+    return switches
+
+
+def make_packet(position, data_id="d"):
+    return Packet(kind=PacketKind.RETRIEVAL, data_id=data_id,
+                  position=position)
+
+
+class TestRoutePacket:
+    def test_local_delivery(self):
+        switches = build_line_network()
+        result = route_packet(switches, 1, make_packet((0.5, 0.52)))
+        assert result.destination_switch == 1
+        assert result.physical_hops == 0
+        assert result.overlay_hops == 0
+        assert result.trace == [1]
+
+    def test_one_hop_physical(self):
+        switches = build_line_network()
+        result = route_packet(switches, 0, make_packet((0.52, 0.5)))
+        assert result.destination_switch == 1
+        assert result.physical_hops == 1
+        assert result.overlay_hops == 1
+        assert result.trace == [0, 1]
+
+    def test_virtual_link_traversal(self):
+        """From 0 toward a point near 2: greedy jumps the DT edge 0-2,
+        relayed through 1 — two physical hops, one overlay hop."""
+        switches = build_line_network()
+        result = route_packet(switches, 0, make_packet((0.88, 0.5)))
+        assert result.destination_switch == 2
+        assert result.trace == [0, 1, 2]
+        assert result.physical_hops == 2
+        assert result.overlay_hops == 1
+
+    def test_delivery_action_has_serial(self):
+        switches = build_line_network()
+        result = route_packet(switches, 0,
+                              make_packet((0.9, 0.5), data_id="abc"))
+        assert 0 <= result.delivery.primary_serial < 2
+
+    def test_unknown_entry_switch(self):
+        switches = build_line_network()
+        with pytest.raises(ForwardingError, match="unknown entry"):
+            route_packet(switches, 99, make_packet((0.5, 0.5)))
+
+    def test_forward_to_unknown_switch_detected(self):
+        switches = build_line_network()
+        del switches[2]
+        # Packet aimed at 2's area: 1 relays toward missing 2.
+        with pytest.raises(ForwardingError):
+            route_packet(switches, 0, make_packet((0.9, 0.5)))
+
+    def test_hop_bound_detects_loops(self):
+        """Inconsistent state (two switches pointing at each other) must
+        trip the hop bound rather than hang."""
+        positions = {0: (0.3, 0.5), 1: (0.7, 0.5)}
+        switches = {
+            i: GredSwitch(switch_id=i, position=positions[i],
+                          num_servers=1)
+            for i in range(2)
+        }
+        # Corrupt state: each believes the other is at a better position.
+        switches[0].install_physical_neighbor(1, 0, (0.5, 0.4))
+        switches[1].install_physical_neighbor(0, 0, (0.5, 0.4))
+        with pytest.raises(ForwardingError, match="hop bound"):
+            route_packet(switches, 0, make_packet((0.5, 0.4)), max_hops=10)
+
+    def test_trace_records_relays(self):
+        switches = build_line_network()
+        packet = make_packet((0.9, 0.5))
+        route_packet(switches, 0, packet)
+        assert packet.trace == [0, 1, 2]

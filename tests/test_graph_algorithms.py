@@ -1,0 +1,91 @@
+"""Unit tests for repro.graph.algorithms."""
+
+import pytest
+
+from repro.graph import (
+    DisconnectedGraph,
+    Graph,
+    average_degree,
+    connected_components,
+    diameter,
+    is_connected,
+    largest_component_subgraph,
+    min_degree,
+)
+from repro.topology import complete_graph, grid_graph, line_graph
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = line_graph(4)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert comps[0] == {0, 1, 2, 3}
+
+    def test_multiple_components(self):
+        g = Graph([(0, 1), (2, 3)])
+        g.add_node(4)
+        comps = sorted(connected_components(g), key=len)
+        assert [len(c) for c in comps] == [1, 2, 2]
+
+    def test_empty_graph_has_no_components(self):
+        assert connected_components(Graph()) == []
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(grid_graph(2, 3))
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        assert not is_connected(g)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_single_node_connected(self):
+        g = Graph()
+        g.add_node(0)
+        assert is_connected(g)
+
+    def test_largest_component(self):
+        g = Graph([(0, 1), (1, 2), (5, 6)])
+        sub = largest_component_subgraph(g)
+        assert set(sub.nodes()) == {0, 1, 2}
+
+    def test_largest_component_of_empty(self):
+        assert largest_component_subgraph(Graph()).num_nodes() == 0
+
+
+class TestDiameter:
+    def test_line_diameter(self):
+        assert diameter(line_graph(7)) == 6
+
+    def test_complete_graph_diameter(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_grid_diameter(self):
+        assert diameter(grid_graph(3, 4)) == 5
+
+    def test_disconnected_raises(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        with pytest.raises(DisconnectedGraph):
+            diameter(g)
+
+
+class TestDegrees:
+    def test_average_degree(self):
+        g = line_graph(3)  # degrees 1, 2, 1
+        assert average_degree(g) == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_min_degree(self):
+        assert min_degree(line_graph(4)) == 1
+        assert min_degree(complete_graph(4)) == 3
+
+    def test_min_degree_empty(self):
+        assert min_degree(Graph()) == 0

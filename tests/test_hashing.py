@@ -1,0 +1,129 @@
+"""Unit tests for the SHA-256 position/server hashing."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    chord_id,
+    data_position,
+    position_and_server,
+    replica_id,
+    server_index,
+    sha256_digest,
+)
+
+
+class TestDigest:
+    def test_matches_hashlib(self):
+        assert sha256_digest("abc") == hashlib.sha256(b"abc").digest()
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            sha256_digest(b"abc")
+
+    def test_unicode_identifiers(self):
+        digest = sha256_digest("データ-42")
+        assert len(digest) == 32
+
+
+class TestDataPosition:
+    def test_deterministic(self):
+        assert data_position("x") == data_position("x")
+
+    def test_in_unit_square(self):
+        for i in range(200):
+            x, y = data_position(f"key-{i}")
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_uses_last_eight_bytes(self):
+        """Paper Section III: x from bytes -8..-4, y from bytes -4..."""
+        digest = sha256_digest("some-id")
+        x = int.from_bytes(digest[-8:-4], "big") / (2 ** 32 - 1)
+        y = int.from_bytes(digest[-4:], "big") / (2 ** 32 - 1)
+        assert data_position("some-id") == (x, y)
+
+    def test_positions_spread_uniformly(self):
+        """Mean of many hashed positions must be near the square
+        center (coarse uniformity check)."""
+        pts = np.array([data_position(f"u-{i}") for i in range(2000)])
+        assert np.allclose(pts.mean(axis=0), [0.5, 0.5], atol=0.03)
+        # Quadrant occupancy balanced within 20%.
+        quadrants = (pts > 0.5).astype(int)
+        counts = np.bincount(quadrants[:, 0] * 2 + quadrants[:, 1],
+                             minlength=4)
+        assert counts.min() > 0.8 * 2000 / 4
+
+
+class TestServerIndex:
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= server_index(f"d-{i}", 7) < 7
+
+    def test_single_server(self):
+        assert server_index("anything", 1) == 0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            server_index("x", 0)
+
+    def test_roughly_balanced(self):
+        counts = [0] * 5
+        for i in range(5000):
+            counts[server_index(f"k-{i}", 5)] += 1
+        assert max(counts) / (5000 / 5) < 1.15
+
+    def test_independent_from_position_bits(self):
+        """Server choice uses the digest head, position the tail; both
+        derived from the same single hash."""
+        digest = sha256_digest("q")
+        assert server_index("q", 1000) == \
+            int.from_bytes(digest[:8], "big") % 1000
+
+
+class TestReplicaId:
+    def test_copy_zero_is_identity(self):
+        assert replica_id("obj", 0) == "obj"
+
+    def test_copies_distinct(self):
+        ids = {replica_id("obj", i) for i in range(5)}
+        assert len(ids) == 5
+
+    def test_copies_have_distinct_positions(self):
+        positions = {data_position(replica_id("obj", i))
+                     for i in range(5)}
+        assert len(positions) == 5
+
+    def test_negative_copy_rejected(self):
+        with pytest.raises(ValueError):
+            replica_id("obj", -1)
+
+
+class TestChordId:
+    def test_range(self):
+        for bits in (8, 16, 32, 64):
+            cid = chord_id("node-1", bits)
+            assert 0 <= cid < 2 ** bits
+
+    def test_full_width(self):
+        cid = chord_id("node-1", 256)
+        assert cid == int.from_bytes(sha256_digest("node-1"), "big")
+
+    def test_prefix_consistency(self):
+        """A shorter id is the prefix (high bits) of a longer one."""
+        assert chord_id("k", 16) == chord_id("k", 32) >> 16
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            chord_id("k", 0)
+        with pytest.raises(ValueError):
+            chord_id("k", 300)
+
+
+class TestConvenience:
+    def test_position_and_server(self):
+        pos, idx = position_and_server("thing", 4)
+        assert pos == data_position("thing")
+        assert idx == server_index("thing", 4)

@@ -1,0 +1,98 @@
+"""Tests for physical-link dynamics (link up / link failure)."""
+
+import pytest
+
+from repro import GredNetwork
+from repro.controlplane import ControlPlaneError
+from repro.edge import attach_uniform
+from repro.topology import grid_graph, ring_graph
+
+
+@pytest.fixture
+def net():
+    topology = grid_graph(3, 3)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+    network = GredNetwork(topology, servers, cvt_iterations=5, seed=0)
+    for i in range(30):
+        network.place(f"link-{i}", payload=i, entry_switch=0)
+    return network
+
+
+class TestLinkUp:
+    def test_add_link_keeps_data_retrievable(self, net):
+        net.controller.add_link(0, 8)  # grid corners
+        for i in range(30):
+            assert net.retrieve(f"link-{i}", entry_switch=2).found
+
+    def test_add_link_can_shorten_routes(self, net):
+        # Route between far corners before and after a shortcut.
+        before = {}
+        for i in range(200):
+            route = net.route_for(f"short-{i}", entry_switch=0)
+            before[f"short-{i}"] = route.physical_hops
+        net.controller.add_link(0, 8)
+        improved = 0
+        for data_id, old_hops in before.items():
+            new_hops = net.route_for(data_id,
+                                     entry_switch=0).physical_hops
+            assert new_hops <= old_hops + 1  # no systematic regression
+            if new_hops < old_hops:
+                improved += 1
+        assert improved > 0
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(ControlPlaneError, match="already exists"):
+            net.controller.add_link(0, 1)
+
+    def test_unknown_endpoint_rejected(self, net):
+        with pytest.raises(ControlPlaneError, match="unknown"):
+            net.controller.add_link(0, 99)
+
+
+class TestLinkFailure:
+    def test_remove_link_keeps_data_retrievable(self, net):
+        net.controller.remove_link(0, 1)
+        for i in range(30):
+            assert net.retrieve(f"link-{i}", entry_switch=0).found
+
+    def test_routing_correct_after_failure(self, net):
+        from repro.hashing import data_position
+
+        net.controller.remove_link(4, 5)
+        for i in range(40):
+            data_id = f"post-fail-{i}"
+            route = net.route_for(data_id, entry_switch=1)
+            expected = net.controller.closest_switch(
+                data_position(data_id))
+            assert route.destination_switch == expected
+
+    def test_partitioning_failure_rejected(self):
+        # On a ring, removing one link is fine; on a line it partitions.
+        from repro.topology import line_graph
+
+        topology = line_graph(4)
+        net = GredNetwork(topology, attach_uniform(topology.nodes(), 1),
+                          cvt_iterations=0)
+        with pytest.raises(ControlPlaneError, match="partition"):
+            net.controller.remove_link(1, 2)
+
+    def test_missing_link_rejected(self, net):
+        with pytest.raises(ControlPlaneError, match="no link"):
+            net.controller.remove_link(0, 8)
+
+    def test_ring_survives_any_single_link_failure(self):
+        topology = ring_graph(8)
+        net = GredNetwork(topology, attach_uniform(topology.nodes(), 1),
+                          cvt_iterations=5)
+        ids = [f"ring-{i}" for i in range(20)]
+        for data_id in ids:
+            net.place(data_id, payload=1, entry_switch=0)
+        net.controller.remove_link(3, 4)
+        for data_id in ids:
+            assert net.retrieve(data_id, entry_switch=6).found
+
+    def test_failure_then_recovery(self, net):
+        net.controller.remove_link(0, 1)
+        net.controller.add_link(0, 1)
+        for i in range(30):
+            assert net.retrieve(f"link-{i}", entry_switch=0).found

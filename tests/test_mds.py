@@ -1,0 +1,147 @@
+"""Unit tests for the M-position algorithm (classical MDS)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    EmbeddingError,
+    classical_mds,
+    double_center,
+    m_position,
+    normalize_to_unit_square,
+)
+from repro.graph import all_pairs_hop_matrix
+from repro.topology import grid_graph, line_graph, ring_graph
+
+
+def pairwise(coords):
+    n = coords.shape[0]
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            out[i, j] = np.linalg.norm(coords[i] - coords[j])
+    return out
+
+
+class TestDoubleCenter:
+    def test_rows_and_columns_sum_to_zero(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(0, 1, size=(6, 6))
+        d = (d + d.T) / 2
+        b = double_center(d)
+        assert np.allclose(b.sum(axis=0), 0)
+        assert np.allclose(b.sum(axis=1), 0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(EmbeddingError):
+            double_center(np.zeros((2, 3)))
+
+    def test_gram_identity(self):
+        """For points X with centered rows, double centering of squared
+        distances recovers the Gram matrix X X^T."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 2))
+        x -= x.mean(axis=0)
+        d2 = pairwise(x) ** 2
+        b = double_center(d2)
+        assert np.allclose(b, x @ x.T, atol=1e-10)
+
+
+class TestClassicalMds:
+    def test_recovers_planar_configuration(self):
+        """MDS on exact Euclidean distances must reproduce the
+        distances."""
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(10, 2))
+        dist = pairwise(x)
+        coords = classical_mds(dist, dimensions=2)
+        assert np.allclose(pairwise(coords), dist, atol=1e-8)
+
+    def test_line_graph_embeds_in_1d(self):
+        g = line_graph(6)
+        matrix, _ = all_pairs_hop_matrix(g)
+        coords = classical_mds(matrix, dimensions=2)
+        # Second dimension carries (almost) nothing.
+        assert np.abs(coords[:, 1]).max() < 1e-6
+        # First dimension is an isometric line: consecutive gaps of 1.
+        xs = np.sort(coords[:, 0])
+        assert np.allclose(np.diff(xs), 1.0, atol=1e-8)
+
+    def test_single_point(self):
+        coords = classical_mds(np.zeros((1, 1)))
+        assert coords.shape == (1, 2)
+        assert np.allclose(coords, 0)
+
+    def test_infinite_distance_raises(self):
+        m = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(EmbeddingError, match="connected"):
+            classical_mds(m)
+
+    def test_invalid_dimensions_raises(self):
+        with pytest.raises(EmbeddingError):
+            classical_mds(np.zeros((3, 3)), dimensions=0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(EmbeddingError):
+            classical_mds(np.zeros((2, 5)))
+
+    def test_ring_embeds_roughly_circular(self):
+        g = ring_graph(12)
+        matrix, _ = all_pairs_hop_matrix(g)
+        coords = classical_mds(matrix)
+        radii = np.linalg.norm(coords - coords.mean(axis=0), axis=1)
+        assert radii.std() / radii.mean() < 0.05
+
+
+class TestNormalization:
+    def test_output_in_band(self):
+        rng = np.random.default_rng(3)
+        coords = rng.normal(scale=100.0, size=(20, 2))
+        points = normalize_to_unit_square(coords, margin=0.1)
+        for x, y in points:
+            assert 0.1 - 1e-12 <= x <= 0.9 + 1e-12
+            assert 0.1 - 1e-12 <= y <= 0.9 + 1e-12
+
+    def test_aspect_ratio_preserved(self):
+        coords = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 2.0]])
+        pts = normalize_to_unit_square(coords, margin=0.0)
+        d01 = np.hypot(pts[0][0] - pts[1][0], pts[0][1] - pts[1][1])
+        d02 = np.hypot(pts[0][0] - pts[2][0], pts[0][1] - pts[2][1])
+        assert d01 / d02 == pytest.approx(2.0)
+
+    def test_degenerate_all_same_point(self):
+        coords = np.zeros((5, 2))
+        pts = normalize_to_unit_square(coords)
+        assert all(p == (0.5, 0.5) for p in pts)
+
+    def test_invalid_margin_raises(self):
+        with pytest.raises(EmbeddingError):
+            normalize_to_unit_square(np.zeros((2, 2)), margin=0.5)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(EmbeddingError):
+            normalize_to_unit_square(np.zeros((4, 3)))
+
+
+class TestMPositionPipeline:
+    def test_grid_embedding_preserves_distance_order(self):
+        """On a grid, embedded distance must correlate strongly with hop
+        distance (greedy network embedding)."""
+        g = grid_graph(4, 4)
+        matrix, _ = all_pairs_hop_matrix(g)
+        pts = m_position(matrix)
+        emb = np.array([
+            [np.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
+             for j in range(16)]
+            for i in range(16)
+        ])
+        iu = np.triu_indices(16, k=1)
+        correlation = np.corrcoef(matrix[iu], emb[iu])[0, 1]
+        assert correlation > 0.9
+
+    def test_all_points_in_unit_square(self):
+        g = grid_graph(3, 5)
+        matrix, _ = all_pairs_hop_matrix(g)
+        for x, y in m_position(matrix):
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0

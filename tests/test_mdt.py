@@ -1,0 +1,145 @@
+"""Tests for the distributed MDT protocol, cross-validated against the
+centralized Delaunay construction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import euclidean, nearest_point_index
+from repro.mdt import MdtError, MdtSystem
+
+
+def build_system(points, stabilize=True):
+    system = MdtSystem()
+    for i, p in enumerate(points):
+        system.join(i, p)
+    if stabilize:
+        system.stabilize()
+    return system
+
+
+def random_points(n, seed):
+    rng = np.random.default_rng(seed)
+    return [tuple(p) for p in rng.uniform(0, 1, size=(n, 2))]
+
+
+class TestJoin:
+    def test_single_node(self):
+        system = MdtSystem()
+        system.join(0, (0.5, 0.5))
+        assert system.neighbor_map() == {0: set()}
+        assert system.matches_centralized_dt()
+
+    def test_two_nodes_connect(self):
+        system = build_system([(0.2, 0.2), (0.8, 0.8)])
+        assert system.neighbor_map() == {0: {1}, 1: {0}}
+
+    def test_duplicate_id_rejected(self):
+        system = MdtSystem()
+        system.join(0, (0.1, 0.1))
+        with pytest.raises(MdtError, match="already joined"):
+            system.join(0, (0.9, 0.9))
+
+    def test_coincident_position_rejected(self):
+        system = MdtSystem()
+        system.join(0, (0.4, 0.4))
+        with pytest.raises(MdtError, match="already taken"):
+            system.join(1, (0.4, 0.4))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_converges_to_centralized_dt(self, seed):
+        points = random_points(25, seed)
+        system = build_system(points)
+        assert system.is_consistent()
+        assert system.matches_centralized_dt()
+
+    def test_join_cost_is_local(self):
+        """Join traffic must not flood: messages per join stay well
+        below one per existing node on average."""
+        points = random_points(40, 7)
+        system = MdtSystem()
+        per_join = []
+        for i, p in enumerate(points):
+            before = system.messages_sent
+            system.join(i, p)
+            per_join.append(system.messages_sent - before)
+        # Later joins touch a bounded neighborhood (~average DT degree
+        # of 6 plus the locate walk), not the whole system.
+        late = per_join[20:]
+        assert max(late) < 40
+        assert sum(late) / len(late) < 25
+
+    def test_join_via_any_contact(self):
+        points = random_points(15, 9)
+        system = MdtSystem()
+        for i, p in enumerate(points):
+            system.join(i, p, via=0 if i else None)
+        system.stabilize()
+        assert system.matches_centralized_dt()
+
+
+class TestLeave:
+    def test_leave_repairs_hole(self):
+        points = random_points(20, 11)
+        system = build_system(points)
+        system.leave(7)
+        system.stabilize()
+        assert 7 not in system.nodes
+        assert system.matches_centralized_dt()
+
+    def test_leave_unknown_rejected(self):
+        system = build_system([(0.1, 0.1), (0.9, 0.9)])
+        with pytest.raises(MdtError, match="unknown"):
+            system.leave(99)
+
+    def test_repeated_churn(self):
+        points = random_points(18, 13)
+        system = build_system(points)
+        system.leave(3)
+        system.join(100, (0.33, 0.77))
+        system.leave(5)
+        system.join(101, (0.71, 0.21))
+        system.stabilize()
+        assert system.is_consistent()
+        assert system.matches_centralized_dt()
+
+
+class TestGreedyOnDistributedDt:
+    def test_greedy_delivery_over_protocol_state(self):
+        """Greedy descent over the *distributed* neighbor sets must
+        deliver to the nearest node — GRED's delivery guarantee holds
+        on protocol-maintained state, not only on the centralized DT."""
+        points = random_points(30, 17)
+        system = build_system(points)
+        rng = np.random.default_rng(0)
+        for q in rng.uniform(0, 1, size=(25, 2)):
+            q = tuple(q)
+            current = int(rng.integers(0, 30))
+            for _ in range(100):
+                node = system.nodes[current]
+                best, best_d = current, euclidean(node.position, q)
+                for neighbor in node.neighbors:
+                    d = euclidean(system.nodes[neighbor].position, q)
+                    if d < best_d:
+                        best, best_d = neighbor, d
+                if best == current:
+                    break
+                current = best
+            expected = nearest_point_index(points, q)
+            assert euclidean(points[current], q) <= \
+                euclidean(points[expected], q) + 1e-12
+
+
+class TestStabilize:
+    def test_stabilize_idempotent(self):
+        system = build_system(random_points(12, 19))
+        first = system.neighbor_map()
+        rounds = system.stabilize()
+        assert rounds == 1  # already stable: one confirming round
+        assert system.neighbor_map() == first
+
+    def test_message_counter_monotone(self):
+        system = MdtSystem()
+        system.join(0, (0.5, 0.5))
+        before = system.messages_sent
+        system.join(1, (0.1, 0.1))
+        assert system.messages_sent > before

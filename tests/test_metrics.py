@@ -1,0 +1,141 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    confidence_interval,
+    jains_fairness_index,
+    load_imbalance_summary,
+    max_avg_ratio,
+    mean,
+    routing_stretch,
+    sample_std,
+    stretch_samples,
+    summarize,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_std_known_value(self):
+        assert sample_std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            2.138, abs=1e-3)
+
+    def test_sample_std_single_value(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        values = list(np.random.default_rng(0).normal(10, 2, size=100))
+        low, high = confidence_interval(values, confidence=0.90)
+        assert low < mean(values) < high
+
+    def test_confidence_interval_width_grows_with_level(self):
+        values = list(np.random.default_rng(1).normal(0, 1, size=50))
+        low90, high90 = confidence_interval(values, 0.90)
+        low99, high99 = confidence_interval(values, 0.99)
+        assert (high99 - low99) > (high90 - low90)
+
+    def test_confidence_interval_collapses_for_constant(self):
+        assert confidence_interval([3.0, 3.0, 3.0]) == (3.0, 3.0)
+
+    def test_confidence_interval_invalid_level(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_coverage_of_90_percent_interval(self):
+        """~90% of intervals from repeated sampling must contain the
+        true mean (allowing generous slack for 200 trials)."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = list(rng.normal(5.0, 1.0, size=30))
+            low, high = confidence_interval(sample, 0.90)
+            if low <= 5.0 <= high:
+                hits += 1
+        assert 0.82 * trials <= hits <= 0.97 * trials
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.ci_low < s.mean < s.ci_high
+        assert s.ci_half_width > 0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRoutingStretch:
+    def test_basic_ratio(self):
+        assert routing_stretch(6, 3) == 2.0
+
+    def test_optimal_route(self):
+        assert routing_stretch(4, 4) == 1.0
+
+    def test_zero_shortest_excluded(self):
+        assert routing_stretch(0, 0) is None
+        assert routing_stretch(2, 0) is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            routing_stretch(-1, 2)
+
+    def test_stretch_samples_mixed_routes(self, gred_small):
+        routes = [gred_small.route_for(f"m-{i}", entry_switch=i % 9)
+                  for i in range(20)]
+
+        class View:
+            def __init__(self, route, entry):
+                self.entry_switch = entry
+                self.destination_switch = route.destination_switch
+                self.physical_hops = route.physical_hops
+
+        views = [View(r, i % 9) for i, r in enumerate(routes)]
+        samples = stretch_samples(gred_small.topology, views)
+        assert all(s >= 1.0 for s in samples)
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        assert max_avg_ratio([5, 5, 5, 5]) == 1.0
+
+    def test_skewed(self):
+        assert max_avg_ratio([10, 0, 0, 0, 0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_avg_ratio([])
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            max_avg_ratio([0, 0])
+
+    def test_jain_perfect(self):
+        assert jains_fairness_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_jain_worst_case(self):
+        assert jains_fairness_index([9, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_jain_empty_raises(self):
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+
+    def test_summary_dictionary(self):
+        s = load_imbalance_summary([4, 2, 0, 2])
+        assert s["servers"] == 4
+        assert s["total"] == 8
+        assert s["max"] == 4
+        assert s["avg"] == 2.0
+        assert s["max_avg"] == 2.0
+        assert 0 < s["jain"] <= 1

@@ -1,0 +1,103 @@
+"""Unit tests for the exact geometric predicates."""
+
+from fractions import Fraction
+
+from repro.geometry import incircle, orient2d, point_in_triangle
+
+
+class TestOrient2d:
+    def test_counter_clockwise(self):
+        assert orient2d((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orient2d((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear_exact(self):
+        assert orient2d((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_collinear_tiny_offsets(self):
+        # Points collinear up to exact float representation.
+        a = (0.1, 0.1)
+        b = (0.2, 0.2)
+        c = (0.30000000000000004, 0.30000000000000004)
+        assert orient2d(a, b, c) == 0
+
+    def test_near_degenerate_decided_exactly(self):
+        # A perturbation of one ulp must be detected as a turn.
+        a = (0.0, 0.0)
+        b = (1.0, 1.0)
+        eps = 2.220446049250313e-16
+        c_up = (2.0, 2.0 + 4 * eps)
+        c_dn = (2.0, 2.0 - 4 * eps)
+        assert orient2d(a, b, c_up) == 1
+        assert orient2d(a, b, c_dn) == -1
+
+    def test_antisymmetry(self):
+        a, b, c = (0.13, 0.77), (0.52, 0.11), (0.95, 0.63)
+        assert orient2d(a, b, c) == -orient2d(a, c, b)
+
+
+class TestIncircle:
+    def test_inside_unit_circle(self):
+        a, b, c = (1, 0), (0, 1), (-1, 0)  # ccw on the unit circle
+        assert incircle(a, b, c, (0, 0)) == 1
+
+    def test_outside_unit_circle(self):
+        a, b, c = (1, 0), (0, 1), (-1, 0)
+        assert incircle(a, b, c, (2, 2)) == -1
+
+    def test_cocircular_is_zero(self):
+        a, b, c = (1, 0), (0, 1), (-1, 0)
+        assert incircle(a, b, c, (0, -1)) == 0
+
+    def test_clockwise_triangle_flips_sign(self):
+        ccw = incircle((1, 0), (0, 1), (-1, 0), (0, 0))
+        cw = incircle((1, 0), (-1, 0), (0, 1), (0, 0))
+        assert ccw == 1
+        assert cw == -1
+
+    def test_near_cocircular_exact(self):
+        # Shrink the query point radially by 1 part in 1e15: strictly
+        # inside, which floats alone may miss.
+        a, b, c = (1.0, 0.0), (0.0, 1.0), (-1.0, 0.0)
+        d = (0.0, -(1.0 - 1e-15))
+        assert incircle(a, b, c, d) == 1
+
+    def test_fraction_verification(self):
+        # Independent exact computation of a random instance.
+        a, b, c, d = (0.12, 0.3), (0.9, 0.21), (0.55, 0.88), (0.5, 0.4)
+
+        def exact_sign():
+            ax, ay = Fraction(a[0]) - Fraction(d[0]), \
+                Fraction(a[1]) - Fraction(d[1])
+            bx, by = Fraction(b[0]) - Fraction(d[0]), \
+                Fraction(b[1]) - Fraction(d[1])
+            cx, cy = Fraction(c[0]) - Fraction(d[0]), \
+                Fraction(c[1]) - Fraction(d[1])
+            det = (ax * (by * (cx * cx + cy * cy)
+                         - cy * (bx * bx + by * by))
+                   - ay * (bx * (cx * cx + cy * cy)
+                           - cx * (bx * bx + by * by))
+                   + (ax * ax + ay * ay) * (bx * cy - cx * by))
+            return (det > 0) - (det < 0)
+
+        assert incircle(a, b, c, d) == exact_sign()
+
+
+class TestPointInTriangle:
+    def test_inside(self):
+        assert point_in_triangle((0.2, 0.2), (0, 0), (1, 0), (0, 1))
+
+    def test_outside(self):
+        assert not point_in_triangle((1, 1), (0, 0), (1, 0), (0, 1))
+
+    def test_on_edge(self):
+        assert point_in_triangle((0.5, 0.0), (0, 0), (1, 0), (0, 1))
+
+    def test_on_vertex(self):
+        assert point_in_triangle((0, 0), (0, 0), (1, 0), (0, 1))
+
+    def test_orientation_independent(self):
+        p = (0.3, 0.3)
+        assert point_in_triangle(p, (0, 0), (1, 0), (0, 1))
+        assert point_in_triangle(p, (0, 0), (0, 1), (1, 0))

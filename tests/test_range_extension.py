@@ -1,0 +1,123 @@
+"""Tests for range extension (paper Section V-B and Tables I/II)."""
+
+import pytest
+
+from repro import GredError, GredNetwork
+from repro.edge import attach_uniform
+from repro.hashing import data_position, server_index
+from repro.topology import grid_graph
+
+
+def find_item_for_server(net, switch, serial, prefix="probe"):
+    """An item id whose default delivery is server (switch, serial)."""
+    s = len(net.server_map[switch])
+    for i in range(20000):
+        data_id = f"{prefix}-{i}"
+        if net.destination_switch(data_id) == switch \
+                and server_index(data_id, s) == serial:
+            return data_id
+    raise AssertionError("no item found targeting that server")
+
+
+@pytest.fixture
+def net():
+    topology = grid_graph(3, 3)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+    return GredNetwork(topology, servers, cvt_iterations=10, seed=0)
+
+
+class TestExtensionPlacement:
+    def test_new_placements_redirected(self, net):
+        switch = net.switch_ids()[4]
+        item = find_item_for_server(net, switch, 0)
+        net.extend_range(switch, 0)
+        record = net.place(item, payload=b"x", entry_switch=0).primary
+        assert record.extended
+        assert record.server_id[0] != switch
+        assert record.server_id[0] in list(net.topology.neighbors(switch))
+        # The redirected copy physically sits on the takeover server.
+        target = net.server(*record.server_id)
+        assert target.has(item)
+
+    def test_unextended_server_unaffected(self, net):
+        switch = net.switch_ids()[4]
+        item = find_item_for_server(net, switch, 1)
+        net.extend_range(switch, 0)  # extend the *other* serial
+        record = net.place(item, entry_switch=0).primary
+        assert not record.extended
+        assert record.server_id == (switch, 1)
+
+    def test_extension_adds_hops(self, net):
+        switch = 4
+        item = find_item_for_server(net, switch, 0)
+        base = net.place(item, entry_switch=0).primary
+        net.delete(item, entry_switch=0)
+        net.extend_range(switch, 0)
+        extended = net.place(item, entry_switch=0).primary
+        assert extended.physical_hops >= base.physical_hops + 1
+
+
+class TestExtensionRetrieval:
+    def test_fork_finds_redirected_item(self, net):
+        switch = 4
+        item = find_item_for_server(net, switch, 0)
+        net.extend_range(switch, 0)
+        net.place(item, payload=b"payload", entry_switch=0)
+        result = net.retrieve(item, entry_switch=8)
+        assert result.found
+        assert result.forked
+        assert result.payload == b"payload"
+
+    def test_fork_finds_item_placed_before_extension(self, net):
+        """Items already on the overloaded server stay retrievable after
+        the extension activates (the fork checks both locations)."""
+        switch = 4
+        item = find_item_for_server(net, switch, 0)
+        net.place(item, payload=b"old", entry_switch=0)
+        net.extend_range(switch, 0)
+        result = net.retrieve(item, entry_switch=8)
+        assert result.found
+        assert result.payload == b"old"
+        assert result.server_id == (switch, 0)
+
+
+class TestMigration:
+    def test_extend_with_migrate_moves_items(self, net):
+        switch = 4
+        item = find_item_for_server(net, switch, 0)
+        net.place(item, payload=b"m", entry_switch=0)
+        net.extend_range(switch, 0, migrate=True)
+        assert not net.server(switch, 0).has(item)
+        result = net.retrieve(item, entry_switch=0)
+        assert result.found
+        assert result.payload == b"m"
+
+    def test_retract_migrates_back(self, net):
+        switch = 4
+        item = find_item_for_server(net, switch, 0)
+        net.extend_range(switch, 0)
+        net.place(item, payload=b"back", entry_switch=0)
+        moved = net.retract_range(switch, 0)
+        assert moved == 1
+        assert net.server(switch, 0).has(item)
+        result = net.retrieve(item, entry_switch=0)
+        assert result.found
+        assert not result.forked
+
+    def test_retract_leaves_foreign_items(self, net):
+        """Retraction must only pull back items that belong to the
+        retracting server, not the takeover server's own data."""
+        switch = 4
+        net.extend_range(switch, 0)
+        entry = net.controller.switches[switch].table.extension_for(0)
+        target_switch, target_serial = (entry.target_switch,
+                                        entry.target_serial)
+        own_item = find_item_for_server(net, target_switch, target_serial,
+                                        prefix="own")
+        net.place(own_item, payload=b"stay", entry_switch=0)
+        net.retract_range(switch, 0)
+        assert net.server(target_switch, target_serial).has(own_item)
+
+    def test_retract_without_extension_raises(self, net):
+        with pytest.raises(GredError, match="no active extension"):
+            net.retract_range(4, 0)

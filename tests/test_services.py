@@ -1,0 +1,290 @@
+"""Tests for the upper-layer services."""
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork
+from repro.edge import EdgeServer, attach_uniform
+from repro.services import (
+    AdaptiveReplicationService,
+    OverloadManager,
+)
+from repro.topology import brite_waxman_graph, grid_graph
+
+
+@pytest.fixture
+def net():
+    topology, _ = brite_waxman_graph(
+        25, min_degree=3, rng=np.random.default_rng(4))
+    servers = attach_uniform(topology.nodes(), servers_per_switch=3)
+    return GredNetwork(topology, servers, cvt_iterations=20, seed=0)
+
+
+class TestAdaptiveReplication:
+    def test_put_get_roundtrip(self, net):
+        service = AdaptiveReplicationService(net)
+        service.put("hot-item", payload=b"v", entry_switch=0)
+        result = service.get("hot-item", entry_switch=5)
+        assert result.found
+        assert result.payload == b"v"
+        assert service.copies_of("hot-item") == 1
+
+    def test_hot_item_gets_promoted(self, net):
+        service = AdaptiveReplicationService(net, promote_threshold=5,
+                                             max_copies=3)
+        service.put("hot", payload=b"h", entry_switch=0)
+        for i in range(20):
+            service.get("hot", entry_switch=i % 25)
+        assert service.copies_of("hot") == 3
+
+    def test_cold_item_stays_single(self, net):
+        service = AdaptiveReplicationService(net, promote_threshold=10)
+        service.put("cold", payload=b"c", entry_switch=0)
+        for i in range(5):
+            service.get("cold", entry_switch=i)
+        assert service.copies_of("cold") == 1
+
+    def test_max_copies_respected(self, net):
+        service = AdaptiveReplicationService(net, promote_threshold=1,
+                                             max_copies=2)
+        service.put("capped", payload=b"x", entry_switch=0)
+        for i in range(30):
+            service.get("capped", entry_switch=i % 25)
+        assert service.copies_of("capped") == 2
+
+    def test_promotion_reduces_mean_hops_for_hot_items(self, net):
+        """After promotion, retrieving from random APs must not be more
+        expensive on average than with a single copy."""
+        rng = np.random.default_rng(0)
+        single = AdaptiveReplicationService(net, promote_threshold=10 ** 9)
+        multi = AdaptiveReplicationService(net, promote_threshold=1,
+                                           max_copies=4)
+        single.put("a", payload=b"1", entry_switch=0)
+        multi.put("b", payload=b"1", entry_switch=0)
+        # Warm up the hot item so it reaches max copies.
+        for i in range(10):
+            multi.get("b", entry_switch=i % 25)
+
+        def mean_hops(service, data_id):
+            total = 0
+            for i in range(40):
+                entry = int(rng.integers(0, 25))
+                total += service.get(data_id,
+                                     entry_switch=entry).request_hops
+            return total / 40
+
+        assert mean_hops(multi, "b") <= mean_hops(single, "a") + 0.5
+
+    def test_stats_and_overhead(self, net):
+        service = AdaptiveReplicationService(net, promote_threshold=2,
+                                             max_copies=2)
+        for i in range(4):
+            service.put(f"it-{i}", payload=b"x", entry_switch=0)
+        for _ in range(4):
+            service.get("it-0", entry_switch=3)
+        stats = service.stats()
+        assert stats.items == 4
+        assert stats.promotions == 1
+        assert stats.storage_overhead == pytest.approx(1 / 4)
+
+    def test_evict_copies(self, net):
+        service = AdaptiveReplicationService(net, promote_threshold=1,
+                                             max_copies=3)
+        service.put("ev", payload=b"x", entry_switch=0)
+        for i in range(10):
+            service.get("ev", entry_switch=i % 25)
+        assert service.copies_of("ev") == 3
+        removed = service.evict_copies("ev")
+        assert removed == 2
+        assert service.copies_of("ev") == 1
+        assert service.get("ev", entry_switch=4).found
+
+    def test_invalid_params(self, net):
+        with pytest.raises(ValueError):
+            AdaptiveReplicationService(net, promote_threshold=0)
+        with pytest.raises(ValueError):
+            AdaptiveReplicationService(net, max_copies=0)
+
+
+class TestOverloadManager:
+    def _bounded_net(self, capacity=20):
+        topology = grid_graph(3, 3)
+        servers = {
+            node: [EdgeServer(node, 0, capacity=capacity)]
+            for node in topology.nodes()
+        }
+        return GredNetwork(topology, servers, cvt_iterations=10, seed=0)
+
+    def test_extend_triggered_at_high_watermark(self):
+        net = self._bounded_net(capacity=10)
+        manager = OverloadManager(net, high_watermark=0.5,
+                                  low_watermark=0.1)
+        # Fill one server past 50%.
+        victim = net.server(4, 0)
+        for i in range(6):
+            victim.store(f"fill-{i}")
+        events = manager.sweep()
+        extends = [e for e in events if e.action == "extend"]
+        assert any(e.switch == 4 for e in extends)
+        assert (4, 0) in manager.active_extensions()
+
+    def test_no_action_when_under_watermark(self):
+        net = self._bounded_net()
+        manager = OverloadManager(net)
+        assert manager.sweep() == []
+
+    def test_retract_after_drain(self):
+        net = self._bounded_net(capacity=10)
+        manager = OverloadManager(net, high_watermark=0.5,
+                                  low_watermark=0.2)
+        victim = net.server(4, 0)
+        for i in range(6):
+            victim.store(f"fill-{i}")
+        manager.sweep()
+        # Drain below the low watermark.
+        for i in range(5):
+            victim.delete(f"fill-{i}")
+        events = manager.sweep()
+        assert any(e.action == "retract" for e in events)
+        assert manager.active_extensions() == []
+
+    def test_hysteresis_no_flapping(self):
+        net = self._bounded_net(capacity=10)
+        manager = OverloadManager(net, high_watermark=0.8,
+                                  low_watermark=0.2)
+        victim = net.server(4, 0)
+        for i in range(5):  # 50%: between the watermarks
+            victim.store(f"mid-{i}")
+        assert manager.sweep() == []
+        assert manager.sweep() == []
+
+    def test_unbounded_servers_ignored(self):
+        topology = grid_graph(2, 2)
+        net = GredNetwork(topology, attach_uniform(topology.nodes(), 1),
+                          cvt_iterations=0)
+        manager = OverloadManager(net)
+        net.server(0, 0).store("x")
+        assert manager.sweep() == []
+
+    def test_invalid_watermarks(self):
+        net = self._bounded_net()
+        with pytest.raises(ValueError):
+            OverloadManager(net, high_watermark=0.2, low_watermark=0.5)
+
+    def test_end_to_end_under_pressure(self):
+        """Placements keep succeeding because the manager extends ranges
+        before servers fill up."""
+        net = self._bounded_net(capacity=15)
+        manager = OverloadManager(net, high_watermark=0.7,
+                                  low_watermark=0.1)
+        placed = []
+        for i in range(100):
+            data_id = f"load-{i}"
+            net.place(data_id, payload=i, entry_switch=i % 9)
+            placed.append(data_id)
+            manager.sweep()
+        assert manager.active_extensions()
+        for data_id in placed:
+            assert net.retrieve(data_id, entry_switch=0).found
+
+
+class TestTtlStore:
+    def _store(self, default_ttl=10.0):
+        from repro.services import TtlStore
+
+        topology = grid_graph(3, 3)
+        net = GredNetwork(topology, attach_uniform(topology.nodes(), 2),
+                          cvt_iterations=5, seed=0)
+        return TtlStore(net, default_ttl=default_ttl)
+
+    def test_put_get_before_expiry(self):
+        store = self._store()
+        store.put("fresh", payload=b"v", entry_switch=0)
+        store.advance(5.0)
+        result = store.get("fresh", entry_switch=3)
+        assert result.found
+        assert result.payload == b"v"
+
+    def test_expired_item_not_found(self):
+        store = self._store(default_ttl=10.0)
+        store.put("stale", payload=b"v", entry_switch=0)
+        store.advance(10.0)
+        assert not store.get("stale", entry_switch=0).found
+
+    def test_reap_frees_storage(self):
+        store = self._store(default_ttl=2.0)
+        for i in range(12):
+            store.put(f"tmp-{i}", payload=i, entry_switch=0)
+        assert sum(store.net.load_vector()) == 12
+        store.advance(3.0)
+        reaped = store.reap()
+        assert len(reaped) == 12
+        assert sum(store.net.load_vector()) == 0
+        assert store.live_items() == []
+
+    def test_touch_extends_life(self):
+        store = self._store(default_ttl=5.0)
+        store.put("keep", payload=1, entry_switch=0)
+        store.advance(4.0)
+        assert store.touch("keep")
+        store.advance(4.0)  # would be past original expiry
+        assert store.get("keep", entry_switch=1).found
+
+    def test_touch_expired_fails(self):
+        store = self._store(default_ttl=1.0)
+        store.put("gone", entry_switch=0)
+        store.advance(2.0)
+        assert not store.touch("gone")
+
+    def test_reap_respects_copies(self):
+        store = self._store(default_ttl=1.0)
+        store.put("multi", payload=1, entry_switch=0, copies=3)
+        assert sum(store.net.load_vector()) == 3
+        store.advance(2.0)
+        store.reap()
+        assert sum(store.net.load_vector()) == 0
+
+    def test_mixed_lifetimes(self):
+        store = self._store()
+        store.put("short", ttl=1.0, entry_switch=0)
+        store.put("long", ttl=100.0, entry_switch=0)
+        store.advance(2.0)
+        assert store.reap() == ["short"]
+        assert store.live_items() == ["long"]
+
+    def test_invalid_arguments(self):
+        import pytest
+        from repro.services import TtlStore
+
+        store = self._store()
+        with pytest.raises(ValueError):
+            store.advance(-1.0)
+        with pytest.raises(ValueError):
+            store.put("x", ttl=0.0, entry_switch=0)
+        topology = grid_graph(2, 2)
+        net = GredNetwork(topology, attach_uniform(topology.nodes(), 1),
+                          cvt_iterations=0)
+        with pytest.raises(ValueError):
+            TtlStore(net, default_ttl=0)
+
+    def test_ttl_drain_enables_retraction(self):
+        """The paper's scenario end to end: overload -> extension ->
+        TTL expiry drains the server -> retraction succeeds."""
+        from repro.services import OverloadManager, TtlStore
+
+        topology = grid_graph(3, 3)
+        servers = {node: [EdgeServer(node, 0, capacity=12)]
+                   for node in topology.nodes()}
+        net = GredNetwork(topology, servers, cvt_iterations=5, seed=0)
+        store = TtlStore(net, default_ttl=10.0)
+        manager = OverloadManager(net, high_watermark=0.7,
+                                  low_watermark=0.3)
+        for i in range(60):
+            store.put(f"burst-{i}", payload=i, entry_switch=i % 9)
+            manager.sweep()
+        assert manager.active_extensions()
+        store.advance(20.0)
+        store.reap()
+        events = manager.sweep()
+        assert any(e.action == "retract" for e in events)
+        assert manager.active_extensions() == []

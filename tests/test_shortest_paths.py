@@ -1,0 +1,133 @@
+"""Unit tests for repro.graph.shortest_paths."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    NodeNotFound,
+    NoPath,
+    all_pairs_hop_matrix,
+    all_pairs_weighted_matrix,
+    bfs_distances,
+    bfs_path,
+    dijkstra,
+    dijkstra_path,
+    hop_count,
+)
+from repro.topology import grid_graph, line_graph, ring_graph
+
+
+class TestBfs:
+    def test_distances_on_line(self):
+        g = line_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_unreachable_excluded(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        assert 2 not in bfs_distances(g, 0)
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NodeNotFound):
+            bfs_distances(Graph(), 0)
+
+    def test_path_endpoints_included(self):
+        g = ring_graph(6)
+        path = bfs_path(g, 0, 3)
+        assert path[0] == 0
+        assert path[-1] == 3
+        assert len(path) == 4  # 3 hops either way around the ring
+
+    def test_path_is_valid_walk(self):
+        g = grid_graph(4, 4)
+        path = bfs_path(g, 0, 15)
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)
+
+    def test_path_to_self(self):
+        g = line_graph(3)
+        assert bfs_path(g, 1, 1) == [1]
+
+    def test_no_path_raises(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        with pytest.raises(NoPath):
+            bfs_path(g, 0, 2)
+
+    def test_hop_count(self):
+        g = grid_graph(3, 3)
+        assert hop_count(g, 0, 8) == 4  # manhattan distance on the grid
+        assert hop_count(g, 4, 4) == 0
+
+
+class TestDijkstra:
+    def test_matches_bfs_on_unit_weights(self):
+        g = grid_graph(3, 4)
+        dist, _ = dijkstra(g, 0)
+        bfs = bfs_distances(g, 0)
+        assert {k: int(v) for k, v in dist.items()} == bfs
+
+    def test_prefers_lighter_path(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=10.0)
+        g.add_edge(0, 2, weight=1.0)
+        g.add_edge(2, 1, weight=1.0)
+        dist, _ = dijkstra(g, 0)
+        assert dist[1] == 2.0
+        assert dijkstra_path(g, 0, 1) == [0, 2, 1]
+
+    def test_path_unreachable_raises(self):
+        g = Graph([(0, 1)])
+        g.add_node(5)
+        with pytest.raises(NoPath):
+            dijkstra_path(g, 0, 5)
+
+    def test_unknown_target_raises(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(NodeNotFound):
+            dijkstra_path(g, 0, 9)
+
+
+class TestAllPairs:
+    def test_hop_matrix_symmetric_zero_diagonal(self):
+        g = grid_graph(3, 3)
+        matrix, order = all_pairs_hop_matrix(g)
+        assert matrix.shape == (9, 9)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_hop_matrix_respects_order(self):
+        g = line_graph(3)
+        matrix, order = all_pairs_hop_matrix(g, order=[2, 0, 1])
+        assert order == [2, 0, 1]
+        assert matrix[0, 1] == 2  # dist(2, 0)
+        assert matrix[0, 2] == 1  # dist(2, 1)
+
+    def test_hop_matrix_disconnected_is_inf(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        matrix, order = all_pairs_hop_matrix(g, order=[0, 1, 2])
+        assert np.isinf(matrix[0, 2])
+
+    def test_weighted_matrix_matches_hops_for_unit_weights(self):
+        g = ring_graph(5)
+        hops, order = all_pairs_hop_matrix(g)
+        weighted, _ = all_pairs_weighted_matrix(g, order=order)
+        assert np.allclose(hops, weighted)
+
+    def test_weighted_matrix_uses_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=5.0)
+        matrix, _ = all_pairs_weighted_matrix(g, order=[0, 1])
+        assert matrix[0, 1] == 5.0
+
+    def test_triangle_inequality_holds(self):
+        g = grid_graph(4, 4)
+        matrix, _ = all_pairs_hop_matrix(g)
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(0, n, 5):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j]

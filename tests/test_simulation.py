@@ -1,0 +1,169 @@
+"""Tests for the discrete-event simulator and the response-delay model."""
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork
+from repro.edge import attach_uniform
+from repro.simulation import (
+    LatencyModel,
+    ResponseDelaySimulator,
+    SimulationError,
+    Simulator,
+)
+from repro.topology import testbed_topology
+from repro.workloads import RetrievalRequest, uniform_retrieval_trace
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        end = sim.run()
+        assert fired == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(0.5, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 1.5)]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_schedule_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_runaway_detection(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestLatencyModel:
+    def test_path_delay_linear_in_hops(self):
+        m = LatencyModel(link_delay=1e-3, switch_delay=1e-4,
+                         server_service_time=0.0)
+        assert m.path_delay(0) == 0.0
+        assert m.path_delay(3) == pytest.approx(3 * 1.1e-3)
+
+    def test_negative_hops_raises(self):
+        with pytest.raises(ValueError):
+            LatencyModel().path_delay(-1)
+
+    def test_negative_component_raises(self):
+        with pytest.raises(ValueError):
+            LatencyModel(link_delay=-1.0)
+
+
+class TestResponseDelay:
+    @pytest.fixture
+    def net(self):
+        topology = testbed_topology()
+        servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+        net = GredNetwork(topology, servers, cvt_iterations=5, seed=0)
+        for i in range(20):
+            net.place(f"sim-{i}", payload=b"x", entry_switch=0)
+        return net
+
+    def test_every_request_completes(self, net, rng):
+        items = [f"sim-{i}" for i in range(20)]
+        trace = uniform_retrieval_trace(items, net.switch_ids(), 50,
+                                        1.0, rng)
+        sim = ResponseDelaySimulator(net)
+        completed = sim.run(trace)
+        assert len(completed) == 50
+
+    def test_delay_at_least_service_plus_path(self, net, rng):
+        latency = LatencyModel()
+        items = [f"sim-{i}" for i in range(20)]
+        trace = uniform_retrieval_trace(items, net.switch_ids(), 30,
+                                        1.0, rng)
+        sim = ResponseDelaySimulator(net, latency)
+        for c in sim.run(trace):
+            floor = (latency.server_service_time
+                     + latency.path_delay(c.request_hops)
+                     + latency.path_delay(c.response_hops))
+            assert c.response_delay >= floor - 1e-12
+
+    def test_queueing_under_contention(self, net):
+        """Many simultaneous requests for one item must queue at its
+        server, so later completions see queueing delay."""
+        trace = [RetrievalRequest(time=0.0, data_id="sim-0",
+                                  entry_switch=0)
+                 for _ in range(10)]
+        sim = ResponseDelaySimulator(net)
+        completed = sim.run(trace)
+        queueing = [c.queueing_delay for c in completed]
+        assert max(queueing) >= 9 * LatencyModel().server_service_time \
+            - 1e-9
+
+    def test_average_requires_run(self, net):
+        sim = ResponseDelaySimulator(net)
+        with pytest.raises(ValueError):
+            sim.average_response_delay()
+
+    def test_average_delay_positive(self, net, rng):
+        items = [f"sim-{i}" for i in range(20)]
+        trace = uniform_retrieval_trace(items, net.switch_ids(), 40,
+                                        1.0, rng)
+        sim = ResponseDelaySimulator(net)
+        sim.run(trace)
+        assert sim.average_response_delay() > 0
+
+    def test_works_with_chord_backend(self, rng):
+        from repro.chord import ChordNetwork
+
+        topology = testbed_topology()
+        servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+        chord = ChordNetwork(topology, servers)
+        items = [f"c-{i}" for i in range(10)]
+        for item in items:
+            chord.place(item, entry_switch=0)
+        trace = uniform_retrieval_trace(items, topology.nodes(), 20,
+                                        1.0, rng)
+        sim = ResponseDelaySimulator(chord)
+        completed = sim.run(trace)
+        assert len(completed) == 20

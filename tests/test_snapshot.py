@@ -1,0 +1,111 @@
+"""Tests for snapshot serialization (save/load round trips)."""
+
+import io
+import json
+
+import pytest
+
+from repro import GredNetwork
+from repro.edge import EdgeServer, attach_uniform
+from repro.io import (
+    SnapshotError,
+    from_snapshot,
+    load_network,
+    save_network,
+    to_snapshot,
+)
+from repro.topology import grid_graph
+
+
+@pytest.fixture
+def net():
+    topology = grid_graph(3, 3)
+    servers = attach_uniform(topology.nodes(), servers_per_switch=2)
+    network = GredNetwork(topology, servers, cvt_iterations=10, seed=0)
+    for i in range(20):
+        network.place(f"snap-{i}", payload={"i": i}, entry_switch=0)
+    return network
+
+
+class TestRoundTrip:
+    def test_snapshot_is_json_serializable(self, net):
+        snapshot = to_snapshot(net)
+        json.dumps(snapshot)  # must not raise
+
+    def test_topology_restored(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        assert set(restored.topology.nodes()) == \
+            set(net.topology.nodes())
+        original_edges = {frozenset((u, v))
+                          for u, v, _ in net.topology.edges()}
+        restored_edges = {frozenset((u, v))
+                          for u, v, _ in restored.topology.edges()}
+        assert original_edges == restored_edges
+
+    def test_positions_restored_exactly(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        assert restored.controller.positions == net.controller.positions
+
+    def test_stored_items_restored(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        for i in range(20):
+            result = restored.retrieve(f"snap-{i}", entry_switch=1)
+            assert result.found
+            assert result.payload == {"i": i}
+
+    def test_routing_identical_after_restore(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        for i in range(30):
+            data_id = f"probe-{i}"
+            a = net.route_for(data_id, entry_switch=0)
+            b = restored.route_for(data_id, entry_switch=0)
+            assert a.destination_switch == b.destination_switch
+            assert a.trace == b.trace
+
+    def test_capacities_restored(self):
+        topology = grid_graph(2, 2)
+        servers = {n: [EdgeServer(n, 0, capacity=7)]
+                   for n in topology.nodes()}
+        net = GredNetwork(topology, servers, cvt_iterations=0)
+        restored = from_snapshot(to_snapshot(net))
+        assert restored.server(0, 0).capacity == 7
+
+    def test_extensions_restored(self, net):
+        net.extend_range(4, 0)
+        restored = from_snapshot(to_snapshot(net))
+        entry = restored.controller.switches[4].table.extension_for(0)
+        assert entry is not None
+        original = net.controller.switches[4].table.extension_for(0)
+        assert entry.target_switch == original.target_switch
+
+    def test_file_round_trip(self, net, tmp_path):
+        path = str(tmp_path / "net.json")
+        save_network(net, path)
+        restored = load_network(path)
+        assert restored.load_vector() == net.load_vector()
+
+    def test_stream_round_trip(self, net):
+        buffer = io.StringIO()
+        save_network(net, buffer)
+        buffer.seek(0)
+        restored = load_network(buffer)
+        assert restored.load_vector() == net.load_vector()
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SnapshotError, match="format"):
+            from_snapshot({"format": "something-else"})
+
+    def test_unserializable_payload_rejected(self, net):
+        net.place("bad-item", payload=object(), entry_switch=0)
+        with pytest.raises(SnapshotError, match="JSON-serializable"):
+            to_snapshot(net)
+
+    def test_missing_positions_rejected(self, net):
+        snapshot = to_snapshot(net)
+        del snapshot["positions"]["0"]
+        from repro.controlplane import ControlPlaneError
+
+        with pytest.raises(ControlPlaneError, match="missing"):
+            from_snapshot(snapshot)

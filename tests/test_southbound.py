@@ -1,0 +1,161 @@
+"""Tests for the southbound message layer."""
+
+import pytest
+
+from repro import GredNetwork
+from repro.controlplane import (
+    Controller,
+    ControllerConfig,
+    RecordingChannel,
+    apply_message,
+    compile_messages,
+    install_via_messages,
+    verify_installed_state,
+)
+from repro.controlplane.southbound import (
+    ClearDtState,
+    InstallDtNeighbor,
+    InstallExtension,
+    InstallPhysical,
+    InstallVirtual,
+    RemoveExtension,
+    SetPosition,
+)
+from repro.dataplane import GredSwitch
+from repro.edge import attach_uniform
+from repro.topology import grid_graph
+
+
+@pytest.fixture
+def controller():
+    topology = grid_graph(3, 3)
+    return Controller(
+        topology, attach_uniform(topology.nodes(), 2),
+        config=ControllerConfig(cvt_iterations=5, seed=0),
+    )
+
+
+class TestCompileMessages:
+    def test_every_switch_gets_position_and_clear(self, controller):
+        messages = compile_messages(
+            controller.topology, controller.positions,
+            controller.dt_adjacency())
+        positions = [m for m in messages if isinstance(m, SetPosition)]
+        clears = [m for m in messages if isinstance(m, ClearDtState)]
+        assert len(positions) == 9
+        assert len(clears) == 9
+
+    def test_physical_messages_match_topology(self, controller):
+        messages = compile_messages(
+            controller.topology, controller.positions,
+            controller.dt_adjacency())
+        physical = [m for m in messages
+                    if isinstance(m, InstallPhysical)]
+        # Two directed entries per undirected link.
+        assert len(physical) == 2 * controller.topology.num_edges()
+
+    def test_dt_messages_match_adjacency(self, controller):
+        adjacency = controller.dt_adjacency()
+        messages = compile_messages(
+            controller.topology, controller.positions, adjacency)
+        dt = [m for m in messages if isinstance(m, InstallDtNeighbor)]
+        assert len(dt) == sum(len(v) for v in adjacency.values())
+
+
+class TestEquivalence:
+    def test_message_install_equals_direct_install(self, controller):
+        """Installing via messages must produce the exact same switch
+        state as the direct rule compiler."""
+        fresh = {
+            node: GredSwitch(
+                switch_id=node,
+                position=controller.positions[node],
+                num_servers=len(controller.server_map.get(node, [])),
+            )
+            for node in controller.topology.nodes()
+        }
+        install_via_messages(
+            controller.topology, fresh, controller.positions,
+            controller.dt_adjacency())
+        for node, reference in controller.switches.items():
+            candidate = fresh[node]
+            assert candidate.position == reference.position
+            assert candidate.physical_neighbor_positions == \
+                reference.physical_neighbor_positions
+            assert candidate.dt_neighbor_positions == \
+                reference.dt_neighbor_positions
+            assert set(candidate.table.virtual_entries()) == \
+                set(reference.table.virtual_entries())
+            assert candidate.table.physical_neighbors() == \
+                reference.table.physical_neighbors()
+
+    def test_message_installed_state_verifies_clean(self, controller):
+        fresh = {
+            node: GredSwitch(
+                switch_id=node,
+                position=controller.positions[node],
+                num_servers=len(controller.server_map.get(node, [])),
+            )
+            for node in controller.topology.nodes()
+        }
+        install_via_messages(
+            controller.topology, fresh, controller.positions,
+            controller.dt_adjacency())
+        controller.switches = fresh
+        assert verify_installed_state(controller) == []
+
+
+class TestChannel:
+    def test_channel_records_all_messages(self, controller):
+        channel = RecordingChannel()
+        fresh = {
+            node: GredSwitch(
+                switch_id=node,
+                position=controller.positions[node],
+                num_servers=2,
+            )
+            for node in controller.topology.nodes()
+        }
+        sent = install_via_messages(
+            controller.topology, fresh, controller.positions,
+            controller.dt_adjacency(), channel=channel)
+        assert channel.count() == sent
+        assert channel.count(SetPosition) == 9
+        per_switch = channel.per_switch()
+        assert set(per_switch) == set(controller.topology.nodes())
+        assert all(v >= 2 for v in per_switch.values())
+
+    def test_channel_clear(self):
+        channel = RecordingChannel()
+        channel.send(SetPosition(switch=0, position=(0.5, 0.5)))
+        channel.clear()
+        assert channel.count() == 0
+
+
+class TestExtensionMessages:
+    def test_extension_round_trip(self, controller):
+        apply_message(controller.switches, InstallExtension(
+            switch=0, local_serial=1, target_switch=1,
+            target_serial=0))
+        entry = controller.switches[0].table.extension_for(1)
+        assert entry is not None
+        assert entry.target_switch == 1
+        apply_message(controller.switches,
+                      RemoveExtension(switch=0, local_serial=1))
+        assert controller.switches[0].table.extension_for(1) is None
+
+    def test_unknown_message_type_rejected(self, controller):
+        class Bogus:
+            switch = 0
+
+        with pytest.raises((TypeError, KeyError)):
+            apply_message(controller.switches, Bogus())
+
+
+class TestVirtualLinkMessage:
+    def test_virtual_message_applies(self, controller):
+        apply_message(controller.switches, InstallVirtual(
+            switch=0, sour=0, pred=None, succ=1, dest=8))
+        entry = controller.switches[0].table.virtual_entry(8)
+        assert entry is not None
+        assert entry.succ == 1

@@ -1,0 +1,172 @@
+"""Unit tests for repro.topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import is_connected, min_degree
+from repro.topology import (
+    TESTBED_NUM_SWITCHES,
+    brite_waxman_graph,
+    complete_graph,
+    grid_graph,
+    line_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+    testbed_ring_topology,
+    testbed_topology,
+    waxman_graph,
+)
+
+
+class TestRegularTopologies:
+    def test_line(self):
+        g = line_graph(4)
+        assert g.num_nodes() == 4
+        assert g.num_edges() == 3
+
+    def test_line_single_node(self):
+        g = line_graph(1)
+        assert g.num_nodes() == 1
+        assert g.num_edges() == 0
+
+    def test_line_invalid(self):
+        with pytest.raises(ValueError):
+            line_graph(0)
+
+    def test_ring(self):
+        g = ring_graph(5)
+        assert g.num_edges() == 5
+        assert all(g.degree(n) == 2 for n in g.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_grid_structure(self):
+        g = grid_graph(2, 3)
+        assert g.num_nodes() == 6
+        assert g.num_edges() == 7  # 3 vertical + 4 horizontal
+        assert g.has_edge(0, 3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)  # no wraparound
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert all(g.degree(i) == 1 for i in range(1, 5))
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges() == 15
+
+    def test_random_regular_is_regular_and_connected(self):
+        g = random_regular_graph(12, 3, rng=np.random.default_rng(0))
+        assert all(g.degree(n) == 3 for n in g.nodes())
+        assert is_connected(g)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_degree_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+
+class TestWaxman:
+    def test_flat_waxman_connected_by_default(self):
+        for seed in range(5):
+            g, coords = waxman_graph(40, rng=np.random.default_rng(seed))
+            assert g.num_nodes() == 40
+            assert is_connected(g)
+            assert len(coords) == 40
+
+    def test_flat_waxman_disconnect_allowed(self):
+        # With tiny alpha almost no edges form; connect=False keeps it so.
+        g, _ = waxman_graph(30, alpha=0.001, connect=False,
+                            rng=np.random.default_rng(1))
+        assert not is_connected(g)
+
+    def test_waxman_invalid_n(self):
+        with pytest.raises(ValueError):
+            waxman_graph(0)
+
+    def test_waxman_distance_dependence(self):
+        """Short links must dominate long ones under the Waxman model."""
+        import math
+
+        g, coords = waxman_graph(120, alpha=0.3, beta=0.08,
+                                 rng=np.random.default_rng(3),
+                                 connect=False)
+        max_dist = 1000.0 * math.sqrt(2)
+        edge_d = [
+            math.hypot(coords[u][0] - coords[v][0],
+                       coords[u][1] - coords[v][1]) / max_dist
+            for u, v, _ in g.edges()
+        ]
+        all_pairs = []
+        nodes = g.nodes()
+        for i in nodes:
+            for j in nodes:
+                if i < j:
+                    all_pairs.append(
+                        math.hypot(coords[i][0] - coords[j][0],
+                                   coords[i][1] - coords[j][1]) / max_dist
+                    )
+        assert np.mean(edge_d) < np.mean(all_pairs)
+
+
+class TestBriteWaxman:
+    def test_min_degree_enforced(self):
+        for md in (2, 3, 5):
+            g, _ = brite_waxman_graph(50, min_degree=md,
+                                      rng=np.random.default_rng(md))
+            assert min_degree(g) >= md
+
+    def test_always_connected(self):
+        for seed in range(5):
+            g, _ = brite_waxman_graph(60, min_degree=3,
+                                      rng=np.random.default_rng(seed))
+            assert is_connected(g)
+
+    def test_small_n_clique(self):
+        g, _ = brite_waxman_graph(3, min_degree=4,
+                                  rng=np.random.default_rng(0))
+        assert g.num_edges() == 3  # clique on 3 nodes
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            brite_waxman_graph(0)
+        with pytest.raises(ValueError):
+            brite_waxman_graph(10, min_degree=0)
+
+    def test_deterministic_given_seed(self):
+        g1, c1 = brite_waxman_graph(30, rng=np.random.default_rng(9))
+        g2, c2 = brite_waxman_graph(30, rng=np.random.default_rng(9))
+        assert sorted(map(sorted, ((u, v) for u, v, _ in g1.edges()))) == \
+            sorted(map(sorted, ((u, v) for u, v, _ in g2.edges())))
+        assert c1 == c2
+
+
+class TestTestbed:
+    def test_testbed_matches_paper_scale(self):
+        g = testbed_topology()
+        assert g.num_nodes() == TESTBED_NUM_SWITCHES == 6
+        assert is_connected(g)
+
+    def test_testbed_is_2x3_mesh(self):
+        g = testbed_topology()
+        assert g.num_edges() == 7
+        assert g.has_edge(0, 3)
+        assert g.has_edge(1, 4)
+
+    def test_ring_variant(self):
+        g = testbed_ring_topology()
+        assert g.num_nodes() == 6
+        assert g.num_edges() == 7  # ring + one chord
+        assert is_connected(g)

@@ -1,0 +1,99 @@
+"""Tests for data-plane tracing."""
+
+import pytest
+
+from repro.dataplane import TraceEventKind, Tracer
+
+
+class TestTracerBasics:
+    def test_records_in_sequence(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        tracer.record(TraceEventKind.DELIVER, 1, "a", serial=2)
+        events = tracer.events()
+        assert [e.sequence for e in events] == [0, 1]
+        assert events[1].details == {"serial": 2}
+
+    def test_filter_by_data_id(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        tracer.record(TraceEventKind.INGRESS, 0, "b")
+        assert len(tracer.events(data_id="a")) == 1
+
+    def test_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        tracer.record(TraceEventKind.VL_RELAY, 1, "a", next=2)
+        relays = tracer.events(kind=TraceEventKind.VL_RELAY)
+        assert len(relays) == 1
+        assert relays[0].switch == 1
+
+    def test_clear_and_len(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_render_lines(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.GREEDY_FORWARD, 3, "x", next=7)
+        text = tracer.render()
+        assert "greedy_forward" in text
+        assert "sw=3" in text
+        assert "next=7" in text
+
+
+class TestNetworkTracing:
+    def test_trace_matches_route(self, gred_small):
+        gred_small.place("traced", payload=1, entry_switch=0)
+        route, tracer = gred_small.trace_route("traced",
+                                               entry_switch=8)
+        events = tracer.events()
+        assert events[0].kind == TraceEventKind.INGRESS
+        assert events[-1].kind in (TraceEventKind.DELIVER,
+                                   TraceEventKind.EXTENSION_REWRITE)
+        delivers = tracer.events(kind=TraceEventKind.DELIVER)
+        assert len(delivers) == 1
+        assert delivers[0].switch == route.destination_switch
+
+    def test_forward_events_match_hops(self, gred_small):
+        route, tracer = gred_small.trace_route("hop-check",
+                                               entry_switch=0)
+        moves = [e for e in tracer.events()
+                 if e.kind in (TraceEventKind.GREEDY_FORWARD,
+                               TraceEventKind.VL_START,
+                               TraceEventKind.VL_RELAY)]
+        assert len(moves) == route.physical_hops
+
+    def test_extension_rewrite_traced(self, gred_small):
+        from repro.hashing import server_index
+
+        # Find an item landing on (dest, serial) then extend it.
+        for i in range(2000):
+            data_id = f"ext-trace-{i}"
+            dest = gred_small.destination_switch(data_id)
+            serial = server_index(
+                data_id, len(gred_small.server_map[dest]))
+            route, _ = gred_small.trace_route(data_id, entry_switch=0)
+            break
+        gred_small.extend_range(dest, serial)
+        _, tracer = gred_small.trace_route(data_id, entry_switch=0)
+        rewrites = tracer.events(
+            kind=TraceEventKind.EXTENSION_REWRITE)
+        assert len(rewrites) == 1
+        assert "target_switch" in rewrites[0].details
+
+    def test_vl_relay_traced_on_multihop_link(self, gred_waxman):
+        """Somewhere in a 30-switch network a route crosses a virtual
+        link; the relay hops must appear in the trace."""
+        found_relay = False
+        for i in range(200):
+            route, tracer = gred_waxman.trace_route(
+                f"vl-probe-{i}", entry_switch=i % 30)
+            if tracer.events(kind=TraceEventKind.VL_START):
+                assert route.overlay_hops >= 1
+                found_relay = True
+                break
+        assert found_relay, "no route crossed a virtual link in 200 " \
+                            "probes (unexpected for this topology)"

@@ -1,0 +1,132 @@
+"""Tests for the visualization module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import (
+    SvgCanvas,
+    ascii_load_histogram,
+    render_topology,
+    render_virtual_space,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_empty_canvas_is_valid_svg(self):
+        root = parse(SvgCanvas(100).render())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "100"
+
+    def test_elements_rendered(self):
+        canvas = SvgCanvas(200)
+        canvas.line((0, 0), (10, 10))
+        canvas.circle((5, 5), 2)
+        canvas.text((1, 1), "hello <&>")
+        root = parse(canvas.render())
+        tags = [child.tag for child in root]
+        assert f"{SVG_NS}line" in tags
+        assert f"{SVG_NS}circle" in tags
+        assert f"{SVG_NS}text" in tags
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(100)
+        canvas.text((0, 0), "<script>")
+        assert "<script>" not in canvas.render()
+
+    def test_dashed_line(self):
+        canvas = SvgCanvas(100)
+        canvas.line((0, 0), (1, 1), dashed=True)
+        assert "stroke-dasharray" in canvas.render()
+
+
+class TestRenderVirtualSpace:
+    def test_renders_all_switches(self, gred_small):
+        svg = render_virtual_space(gred_small.controller)
+        root = parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 9  # one per switch
+
+    def test_dt_edges_drawn(self, gred_small):
+        with_dt = render_virtual_space(gred_small.controller,
+                                       show_dt=True)
+        without = render_virtual_space(gred_small.controller,
+                                       show_dt=False)
+        lines_with = parse(with_dt).findall(f"{SVG_NS}line")
+        lines_without = parse(without).findall(f"{SVG_NS}line")
+        assert len(lines_with) > len(lines_without)
+
+    def test_data_positions_drawn_as_crosses(self, gred_small):
+        svg = render_virtual_space(gred_small.controller,
+                                   data_ids=["a", "b"])
+        root = parse(svg)
+        # Each cross is two lines beyond the DT edges.
+        base = render_virtual_space(gred_small.controller)
+        extra = (len(root.findall(f"{SVG_NS}line"))
+                 - len(parse(base).findall(f"{SVG_NS}line")))
+        assert extra == 4
+
+    def test_route_highlighted(self, gred_small):
+        route = gred_small.route_for("r", entry_switch=0)
+        svg = render_virtual_space(gred_small.controller,
+                                   route_trace=route.trace)
+        assert '#e80' in svg or len(route.trace) == 1
+
+    def test_labels_optional(self, gred_small):
+        labelled = render_virtual_space(gred_small.controller,
+                                        label_switches=True)
+        bare = render_virtual_space(gred_small.controller,
+                                    label_switches=False)
+        assert len(parse(labelled).findall(f"{SVG_NS}text")) == 9
+        assert len(parse(bare).findall(f"{SVG_NS}text")) == 0
+
+    def test_coordinates_inside_canvas(self, gred_small):
+        root = parse(render_virtual_space(gred_small.controller,
+                                          size=400))
+        for circle in root.findall(f"{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= 400
+            assert 0 <= float(circle.get("cy")) <= 400
+
+
+class TestRenderTopology:
+    def test_edges_and_nodes(self, small_topology):
+        coords = {n: (n % 3, n // 3) for n in small_topology.nodes()}
+        svg = render_topology(small_topology, coords)
+        root = parse(svg)
+        assert len(root.findall(f"{SVG_NS}circle")) == 9
+        assert len(root.findall(f"{SVG_NS}line")) == \
+            small_topology.num_edges()
+
+    def test_degenerate_coordinates(self, small_topology):
+        coords = {n: (0.0, 0.0) for n in small_topology.nodes()}
+        svg = render_topology(small_topology, coords)
+        parse(svg)  # must not raise
+
+
+class TestAsciiHistogram:
+    def test_basic_histogram(self):
+        out = ascii_load_histogram([1, 1, 2, 2, 2, 9], bins=4)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in lines)
+
+    def test_counts_sum(self):
+        values = list(range(50))
+        out = ascii_load_histogram(values, bins=5)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in out.splitlines())
+        assert total == 50
+
+    def test_constant_loads(self):
+        out = ascii_load_histogram([3, 3, 3])
+        assert "3" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_load_histogram([])

@@ -1,0 +1,102 @@
+"""Unit tests for repro.geometry.voronoi (Monte-Carlo CVT estimates)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    assign_to_sites,
+    cell_load_distribution,
+    cvt_energy,
+    estimate_cell_areas,
+    estimate_cell_centroids,
+    sample_unit_square,
+)
+
+
+class TestSampling:
+    def test_samples_in_unit_square(self, rng):
+        s = sample_unit_square(500, rng)
+        assert s.shape == (500, 2)
+        assert s.min() >= 0.0
+        assert s.max() <= 1.0
+
+    def test_invalid_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_unit_square(0, rng)
+
+
+class TestAssignment:
+    def test_single_site_gets_everything(self, rng):
+        samples = sample_unit_square(100, rng)
+        owners = assign_to_sites(samples, [(0.5, 0.5)])
+        assert np.all(owners == 0)
+
+    def test_halfplane_split(self):
+        samples = np.array([[0.1, 0.5], [0.9, 0.5], [0.2, 0.2],
+                            [0.8, 0.9]])
+        owners = assign_to_sites(samples, [(0.0, 0.5), (1.0, 0.5)])
+        assert list(owners) == [0, 1, 0, 1]
+
+    def test_bad_sites_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            assign_to_sites(sample_unit_square(5, rng), [(1, 2, 3)])
+
+    def test_chunked_assignment_matches_direct(self, rng):
+        """The chunked path must agree with a brute-force computation."""
+        samples = sample_unit_square(1000, rng)
+        sites = [tuple(p) for p in rng.uniform(0, 1, size=(7, 2))]
+        owners = assign_to_sites(samples, sites)
+        site_arr = np.array(sites)
+        for k in range(0, 1000, 97):
+            d = ((samples[k] - site_arr) ** 2).sum(axis=1)
+            assert owners[k] == int(np.argmin(d))
+
+
+class TestCentroids:
+    def test_centroid_of_single_cell_near_center(self, rng):
+        samples = sample_unit_square(20000, rng)
+        centroids, counts = estimate_cell_centroids([(0.3, 0.3)], samples)
+        assert counts[0] == 20000
+        assert centroids[0] == pytest.approx((0.5, 0.5), abs=0.02)
+
+    def test_empty_cell_keeps_site(self):
+        # All samples on the left; the right site's cell is empty.
+        samples = np.array([[0.01, 0.5], [0.02, 0.5]])
+        sites = [(0.0, 0.5), (1.0, 0.5)]
+        centroids, counts = estimate_cell_centroids(sites, samples)
+        assert counts[1] == 0
+        assert centroids[1] == (1.0, 0.5)
+
+
+class TestAreasEnergy:
+    def test_areas_sum_to_one(self, rng):
+        samples = sample_unit_square(5000, rng)
+        sites = [tuple(p) for p in rng.uniform(0, 1, size=(6, 2))]
+        areas = estimate_cell_areas(sites, samples)
+        assert areas.sum() == pytest.approx(1.0)
+
+    def test_symmetric_sites_symmetric_areas(self, rng):
+        samples = sample_unit_square(40000, rng)
+        areas = estimate_cell_areas([(0.25, 0.5), (0.75, 0.5)], samples)
+        assert areas[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_energy_lower_for_better_configuration(self, rng):
+        samples = sample_unit_square(20000, rng)
+        clustered = [(0.5, 0.5), (0.51, 0.5), (0.5, 0.51), (0.51, 0.51)]
+        spread = [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)]
+        assert cvt_energy(spread, samples) < cvt_energy(clustered, samples)
+
+    def test_energy_of_center_site(self, rng):
+        # E[|r - (0.5, 0.5)|^2] over the unit square is 1/6.
+        samples = sample_unit_square(100000, rng)
+        assert cvt_energy([(0.5, 0.5)], samples) == pytest.approx(
+            1 / 6, abs=0.01)
+
+
+class TestCellLoad:
+    def test_counts_match_assignment(self, rng):
+        positions = sample_unit_square(1000, rng)
+        sites = [tuple(p) for p in rng.uniform(0, 1, size=(5, 2))]
+        dist = cell_load_distribution(sites, positions)
+        assert sum(dist.values()) == 1000
+        assert set(dist) == set(range(5))

@@ -1,0 +1,155 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    random_ids,
+    sequential_ids,
+    uniform_retrieval_trace,
+    zipf_choices,
+)
+
+
+class TestIds:
+    def test_sequential(self):
+        assert sequential_ids(3, prefix="p") == ["p-0", "p-1", "p-2"]
+
+    def test_sequential_zero(self):
+        assert sequential_ids(0) == []
+
+    def test_sequential_negative_raises(self):
+        with pytest.raises(ValueError):
+            sequential_ids(-1)
+
+    def test_random_distinct(self, rng):
+        ids = random_ids(500, rng)
+        assert len(set(ids)) == 500
+
+    def test_random_deterministic(self):
+        a = random_ids(10, np.random.default_rng(3))
+        b = random_ids(10, np.random.default_rng(3))
+        assert a == b
+
+
+class TestZipf:
+    def test_uniform_when_exponent_zero(self, rng):
+        items = [f"i{i}" for i in range(10)]
+        picks = zipf_choices(items, 20000, 0.0, rng)
+        counts = [picks.count(i) for i in items]
+        assert max(counts) / min(counts) < 1.3
+
+    def test_skew_increases_with_exponent(self, rng):
+        items = [f"i{i}" for i in range(20)]
+        picks = zipf_choices(items, 20000, 1.2, rng)
+        top = picks.count(items[0])
+        bottom = picks.count(items[-1])
+        assert top > bottom * 5
+
+    def test_rank_order_respected(self, rng):
+        items = [f"i{i}" for i in range(5)]
+        picks = zipf_choices(items, 30000, 1.0, rng)
+        counts = [picks.count(i) for i in items]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_items_raises(self, rng):
+        with pytest.raises(ValueError):
+            zipf_choices([], 10, 1.0, rng)
+
+    def test_negative_exponent_raises(self, rng):
+        with pytest.raises(ValueError):
+            zipf_choices(["a"], 10, -1.0, rng)
+
+
+class TestTrace:
+    def test_trace_shape(self, rng):
+        items = sequential_ids(10)
+        trace = uniform_retrieval_trace(items, [0, 1, 2], 100, 5.0, rng)
+        assert len(trace) == 100
+        for req in trace:
+            assert 0.0 <= req.time <= 5.0
+            assert req.data_id in items
+            assert req.entry_switch in (0, 1, 2)
+
+    def test_times_sorted(self, rng):
+        trace = uniform_retrieval_trace(["a"], [0], 50, 1.0, rng)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            uniform_retrieval_trace(["a"], [0], -1, 1.0, rng)
+        with pytest.raises(ValueError):
+            uniform_retrieval_trace(["a"], [0], 5, 0.0, rng)
+        with pytest.raises(ValueError):
+            uniform_retrieval_trace(["a"], [], 5, 1.0, rng)
+
+
+class TestTraceIO:
+    def _trace(self, rng):
+        from repro.workloads import uniform_retrieval_trace
+
+        return uniform_retrieval_trace(
+            ["a", "b/c", "item-42"], [0, 1, 2], 25, 2.0, rng)
+
+    def test_round_trip_string(self, rng):
+        from repro.workloads import read_trace, trace_to_string
+        import io
+
+        trace = self._trace(rng)
+        text = trace_to_string(trace)
+        restored = read_trace(io.StringIO(text))
+        assert restored == trace
+
+    def test_round_trip_file(self, rng, tmp_path):
+        from repro.workloads import read_trace, write_trace
+
+        trace = self._trace(rng)
+        path = str(tmp_path / "trace.csv")
+        write_trace(trace, path)
+        assert read_trace(path) == trace
+
+    def test_empty_file_rejected(self, tmp_path):
+        import pytest
+        from repro.workloads import TraceFormatError, read_trace
+
+        path = str(tmp_path / "empty.csv")
+        open(path, "w").close()
+        with pytest.raises(TraceFormatError, match="empty"):
+            read_trace(path)
+
+    def test_bad_header_rejected(self):
+        import io
+        import pytest
+        from repro.workloads import TraceFormatError, read_trace
+
+        with pytest.raises(TraceFormatError, match="header"):
+            read_trace(io.StringIO("a,b,c\n"))
+
+    def test_unsorted_times_rejected(self):
+        import io
+        import pytest
+        from repro.workloads import TraceFormatError, read_trace
+
+        text = "time,data_id,entry_switch\n2.0,a,0\n1.0,b,1\n"
+        with pytest.raises(TraceFormatError, match="not sorted"):
+            read_trace(io.StringIO(text))
+
+    def test_malformed_row_rejected(self):
+        import io
+        import pytest
+        from repro.workloads import TraceFormatError, read_trace
+
+        text = "time,data_id,entry_switch\nnot-a-number,a,0\n"
+        with pytest.raises(TraceFormatError, match="malformed"):
+            read_trace(io.StringIO(text))
+
+    def test_float_times_exact(self, rng):
+        """Times survive the round trip bit-exactly (repr round trip)."""
+        import io
+        from repro.workloads import read_trace, trace_to_string
+
+        trace = self._trace(rng)
+        restored = read_trace(io.StringIO(trace_to_string(trace)))
+        for a, b in zip(trace, restored):
+            assert a.time == b.time
