@@ -5,9 +5,10 @@ File-backed workflows over a saved deployment snapshot::
     gred generate --switches 30 --servers 4 -o net.json
     gred place -n net.json videos/a.mp4 --payload '"h264..."' --entry 0
     gred retrieve -n net.json videos/a.mp4 --entry 7
-    gred stats -n net.json
+    gred stats -n net.json [--json]
     gred extend -n net.json 4 0
-    gred experiment fig9a
+    gred experiment fig9a [--metrics-out m.json]
+    gred metrics -n net.json            # or: --from m.json [--json]
 
 (Installed as the ``gred`` console script; also runnable via
 ``python -m repro.cli``.)
@@ -62,6 +63,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="deployment statistics")
     stats.add_argument("-n", "--network", required=True)
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of text")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render telemetry as Prometheus text (or JSON)")
+    metrics.add_argument("-n", "--network", default=None,
+                         help="probe a snapshot: restore it with "
+                              "telemetry enabled and report the "
+                              "resulting registry")
+    metrics.add_argument("--from", dest="from_file", default=None,
+                         help="render a JSON dump previously written "
+                              "by --metrics-out")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the JSON dump instead of "
+                              "Prometheus text")
 
     extend = sub.add_parser("extend",
                             help="activate a range extension")
@@ -106,6 +123,10 @@ def _build_parser() -> argparse.ArgumentParser:
                  "fig9d", "fig10a", "fig10b", "fig10c", "ablations",
                  "extensions"],
     )
+    experiment.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="run with telemetry enabled and write the JSON metrics "
+             "dump next to the results")
     return parser
 
 
@@ -183,22 +204,61 @@ def _cmd_stats(args) -> int:
     net = _load(args.network)
     topology = net.topology
     loads = net.load_vector()
-    print(f"switches          : {topology.num_nodes()}")
-    print(f"links             : {topology.num_edges()}")
-    print(f"servers           : {len(loads)}")
-    print(f"stored items      : {sum(loads)}")
-    if sum(loads):
-        summary = load_imbalance_summary(loads)
-        print(f"load max/avg      : {summary['max_avg']:.3f}")
-        print(f"load Jain index   : {summary['jain']:.3f}")
     avg_entries = average_table_entries(
         net.controller.switches.values())
-    print(f"avg table entries : {avg_entries:.1f}")
     extensions = sum(
         len(s.table.extensions())
         for s in net.controller.switches.values()
     )
+    balance = load_imbalance_summary(loads) if sum(loads) else None
+    if args.json:
+        payload = {
+            "switches": topology.num_nodes(),
+            "links": topology.num_edges(),
+            "servers": len(loads),
+            "stored_items": sum(loads),
+            "avg_table_entries": avg_entries,
+            "active_extensions": extensions,
+            "load_balance": balance,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"switches          : {topology.num_nodes()}")
+    print(f"links             : {topology.num_edges()}")
+    print(f"servers           : {len(loads)}")
+    print(f"stored items      : {sum(loads)}")
+    if balance is not None:
+        print(f"load max/avg      : {balance['max_avg']:.3f}")
+        print(f"load Jain index   : {balance['jain']:.3f}")
+    print(f"avg table entries : {avg_entries:.1f}")
     print(f"active extensions : {extensions}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from . import obs
+
+    if args.from_file is not None:
+        dump = obs.load_json(args.from_file)
+    elif args.network is not None:
+        # Restore the snapshot under a fresh enabled registry so the
+        # probe reports this deployment only (recompute-phase timings,
+        # rule counts, per-server load gauges).
+        previous = obs.set_default_registry(obs.MetricsRegistry())
+        try:
+            net = _load(args.network)
+            net.record_load_gauges()
+            dump = obs.default_registry().to_dict()
+        finally:
+            obs.set_default_registry(previous)
+    else:
+        print("error: metrics needs --network or --from",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(obs.to_json(dump))
+    else:
+        print(obs.render_prometheus(dump), end="")
     return 0
 
 
@@ -343,7 +403,19 @@ def _cmd_experiment(args) -> int:
                             "A3: Chord virtual nodes"),
         ),
     }
-    runners[args.figure]()
+    if args.metrics_out is None:
+        runners[args.figure]()
+        return 0
+    from . import obs
+
+    previous = obs.set_default_registry(obs.MetricsRegistry())
+    try:
+        runners[args.figure]()
+        registry = obs.default_registry()
+    finally:
+        obs.set_default_registry(previous)
+    obs.write_json(registry, args.metrics_out)
+    print(f"\nwrote metrics to {args.metrics_out}")
     return 0
 
 
@@ -353,6 +425,7 @@ _COMMANDS = {
     "retrieve": _cmd_retrieve,
     "delete": _cmd_delete,
     "stats": _cmd_stats,
+    "metrics": _cmd_metrics,
     "extend": _cmd_extend,
     "retract": _cmd_retract,
     "verify": _cmd_verify,

@@ -35,6 +35,7 @@ from ..geometry import (
     euclidean,
 )
 from ..graph import Graph, all_pairs_hop_matrix, is_connected
+from ..obs import EventLevel, default_registry
 from . import rules
 
 
@@ -122,6 +123,8 @@ class Controller:
             skipped and the DT/rules are built over these positions;
             every topology switch must be covered.
         """
+        registry = default_registry()
+        registry.counter("controlplane.recomputes").inc()
         participants = self.dt_participants()
         if not participants:
             raise ControlPlaneError(
@@ -139,38 +142,45 @@ class Controller:
         else:
             positions = self._compute_positions(participants)
         self.positions = positions
-        self._build_dt(participants)
+        with registry.timer("controlplane.phase.dt_build"):
+            self._build_dt(participants)
         self._build_switches()
         self._install_rules()
 
     def _compute_positions(
         self, participants: List[int]
     ) -> Dict[int, Point]:
+        registry = default_registry()
         order = self.topology.nodes()
-        matrix, order = all_pairs_hop_matrix(self.topology, order=order)
-        if self.config.embedding == "classical":
-            embedded = m_position(matrix, margin=self.config.margin)
-        elif self.config.embedding == "smacof":
-            from ..embedding import smacof_position
+        with registry.timer("controlplane.phase.m_position"):
+            matrix, order = all_pairs_hop_matrix(self.topology,
+                                                 order=order)
+            if self.config.embedding == "classical":
+                embedded = m_position(matrix, margin=self.config.margin)
+            elif self.config.embedding == "smacof":
+                from ..embedding import smacof_position
 
-            embedded = smacof_position(matrix, margin=self.config.margin)
-        else:
-            raise ControlPlaneError(
-                f"unknown embedding back end "
-                f"{self.config.embedding!r}; expected 'classical' or "
-                f"'smacof'"
-            )
+                embedded = smacof_position(matrix,
+                                           margin=self.config.margin)
+            else:
+                raise ControlPlaneError(
+                    f"unknown embedding back end "
+                    f"{self.config.embedding!r}; expected 'classical' or "
+                    f"'smacof'"
+                )
         positions = dict(zip(order, embedded))
         participant_sites = [positions[node] for node in participants]
         if self.config.cvt_iterations > 0:
-            result = c_regulation(
-                participant_sites,
-                iterations=self.config.cvt_iterations,
-                samples_per_iteration=self.config.samples_per_iteration,
-                relaxation=self.config.relaxation,
-                rng=np.random.default_rng(self.config.seed + 1),
-                sampler=self.config.density_sampler,
-            )
+            with registry.timer("controlplane.phase.c_regulation"):
+                result = c_regulation(
+                    participant_sites,
+                    iterations=self.config.cvt_iterations,
+                    samples_per_iteration=(
+                        self.config.samples_per_iteration),
+                    relaxation=self.config.relaxation,
+                    rng=np.random.default_rng(self.config.seed + 1),
+                    sampler=self.config.density_sampler,
+                )
             participant_sites = result.sites
         participant_sites = deduplicate_points(participant_sites)
         for node, site in zip(participants, participant_sites):
@@ -218,10 +228,19 @@ class Controller:
             self.switches[node] = switch
 
     def _install_rules(self) -> None:
-        rules.install_all_rules(
-            self.topology, self.switches, self.positions,
-            self.dt_adjacency(),
-        )
+        registry = default_registry()
+        with registry.timer("controlplane.phase.rule_install"):
+            rules.install_all_rules(
+                self.topology, self.switches, self.positions,
+                self.dt_adjacency(),
+            )
+        if registry.enabled:
+            total = sum(s.table.num_entries()
+                        for s in self.switches.values())
+            registry.counter("controlplane.rules_installed").inc(total)
+            registry.gauge("controlplane.table_entries").set(total)
+            registry.gauge("controlplane.switches").set(
+                len(self.switches))
 
     # ------------------------------------------------------------------
     # range extension (paper Section V-B)
@@ -263,6 +282,12 @@ class Controller:
             target_serial=candidate.serial,
         )
         table.install_extension(entry)
+        registry = default_registry()
+        registry.counter("controlplane.extensions_installed").inc()
+        registry.counter("controlplane.rules_rewritten").inc()
+        registry.event("range_extension_installed", switch=switch_id,
+                       serial=serial, target_switch=candidate.switch,
+                       target_serial=candidate.serial)
         return entry
 
     def _pick_takeover_server(self,
@@ -292,6 +317,10 @@ class Controller:
                 f"server ({switch_id}, {serial}) has no active extension"
             )
         table.remove_extension(serial)
+        registry = default_registry()
+        registry.counter("controlplane.extensions_retracted").inc()
+        registry.event("range_extension_retracted", switch=switch_id,
+                       serial=serial)
 
     # ------------------------------------------------------------------
     # network dynamics (paper Section VI)
@@ -331,6 +360,10 @@ class Controller:
             self._dt_switch_to_vertex[switch_id] = vertex
         self._build_switches()
         self._install_rules()
+        registry = default_registry()
+        registry.counter("controlplane.switch_joins").inc()
+        registry.event("switch_join", switch=switch_id,
+                       links=len(links), servers=len(servers))
 
     def _solve_join_position(self, switch_id: int) -> Point:
         """Least-squares position for a joining switch against the
@@ -411,6 +444,9 @@ class Controller:
             raise ControlPlaneError(f"link ({u}, {v}) already exists")
         self.topology.add_edge(u, v)
         self._install_rules()
+        registry = default_registry()
+        registry.counter("controlplane.links_added").inc()
+        registry.event("link_up", u=u, v=v)
 
     def remove_link(self, u: int, v: int) -> None:
         """A physical link fails.
@@ -430,6 +466,9 @@ class Controller:
             )
         self.topology = candidate
         self._install_rules()
+        registry = default_registry()
+        registry.counter("controlplane.links_removed").inc()
+        registry.event("link_down", level=EventLevel.WARNING, u=u, v=v)
 
     def remove_switch(self, switch_id: int) -> None:
         """A switch leaves (or fails).
@@ -465,6 +504,10 @@ class Controller:
         self._build_dt(participants)
         self._build_switches()
         self._install_rules()
+        registry = default_registry()
+        registry.counter("controlplane.switch_leaves").inc()
+        registry.event("switch_leave", level=EventLevel.WARNING,
+                       switch=switch_id)
 
     # ------------------------------------------------------------------
     # introspection

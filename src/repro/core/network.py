@@ -37,11 +37,23 @@ from ..edge import EdgeServer, ServerMap, attach_uniform, load_vector
 from ..geometry import euclidean
 from ..graph import Graph, hop_count
 from ..hashing import data_position, replica_id
+from ..obs import BYTE_BUCKETS, HOP_BUCKETS, default_registry
 from .results import PlacementRecord, PlacementResult, RetrievalResult
 
 
 class GredError(Exception):
     """Raised for invalid requests against a :class:`GredNetwork`."""
+
+
+def _payload_size(payload: Any) -> Optional[int]:
+    """Byte/element size of a payload for the size histogram, or
+    ``None`` for unsized payloads."""
+    if payload is None:
+        return None
+    try:
+        return len(payload)
+    except TypeError:
+        return None
 
 
 class GredNetwork:
@@ -126,6 +138,25 @@ class GredNetwork:
         """Per-server stored-item counts (deterministic order)."""
         return load_vector(self.server_map)
 
+    def record_load_gauges(self) -> None:
+        """Refresh the telemetry gauges from the current edge-plane
+        state: one ``edge.server_load`` gauge per server plus the
+        ``edge.servers`` / ``edge.stored_items`` aggregates.  No-op
+        when the default registry is disabled."""
+        registry = default_registry()
+        if not registry.enabled:
+            return
+        total = 0
+        count = 0
+        for switch in sorted(self.server_map):
+            for server in self.server_map[switch]:
+                registry.gauge("edge.server_load", switch=switch,
+                               serial=server.serial).set(server.load)
+                total += server.load
+                count += 1
+        registry.gauge("edge.servers").set(count)
+        registry.gauge("edge.stored_items").set(total)
+
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
@@ -173,6 +204,20 @@ class GredNetwork:
             target = self.server(delivery.switch, delivery.primary_serial)
             physical_hops = route.physical_hops
         target.store(copy_id, payload)
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("core.places").inc()
+            if extended:
+                registry.counter("core.places_extended").inc()
+            registry.histogram("core.place_hops",
+                               buckets=HOP_BUCKETS).observe(
+                physical_hops)
+            size = _payload_size(payload)
+            if size is not None:
+                registry.histogram("core.payload_bytes",
+                                   buckets=BYTE_BUCKETS).observe(size)
+            registry.gauge("edge.server_load", switch=target.switch,
+                           serial=target.serial).set(target.load)
         return PlacementRecord(
             data_id=copy_id,
             entry_switch=entry,
@@ -227,10 +272,17 @@ class GredNetwork:
             extra = hop_count(self.topology, delivery.switch,
                               delivery.extension.target_switch)
             candidates.append((remote, extra))
+        registry = default_registry()
         for server, extra_hops in candidates:
             if server.has(copy_id):
                 response_hops = hop_count(self.topology, server.switch,
                                           entry)
+                if registry.enabled:
+                    registry.counter("core.retrieves").inc()
+                    registry.histogram(
+                        "core.retrieve_hops", buckets=HOP_BUCKETS,
+                    ).observe(route.physical_hops + extra_hops +
+                              response_hops)
                 return RetrievalResult(
                     data_id=data_id,
                     found=True,
@@ -244,6 +296,8 @@ class GredNetwork:
                     copy_used=copy_index,
                     forked=forked,
                 )
+        if registry.enabled:
+            registry.counter("core.retrieve_misses").inc()
         return RetrievalResult(
             data_id=data_id,
             found=False,
@@ -301,6 +355,13 @@ class GredNetwork:
                 if server.has(copy_id):
                     server.delete(copy_id)
                     removed += 1
+                    registry = default_registry()
+                    if registry.enabled:
+                        registry.counter("core.deletes").inc()
+                        registry.gauge(
+                            "edge.server_load", switch=server.switch,
+                            serial=server.serial,
+                        ).set(server.load)
                     break
         return removed
 
@@ -415,6 +476,9 @@ class GredNetwork:
             entry = self.switch_ids()[0]
         for item_id, payload in orphans:
             self._place_one(item_id, payload, entry)
+        if orphans:
+            default_registry().counter("core.migrations").inc(
+                len(orphans))
         return len(orphans)
 
     def _migrate_from(self, switches: Sequence[int]) -> int:
@@ -431,6 +495,8 @@ class GredNetwork:
                     server.delete(item_id)
                     self._place_one(item_id, payload, switch)
                     moved += 1
+        if moved:
+            default_registry().counter("core.migrations").inc(moved)
         return moved
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..obs import HOP_BUCKETS, default_registry
 from .packet import Packet, VirtualLinkHeader
 from .switch import (
     DeliverAction,
@@ -75,6 +76,14 @@ def route_packet(
         raise ForwardingError(f"unknown entry switch {entry_switch}")
     if max_hops is None:
         max_hops = 4 * len(switches) + 16
+    # Telemetry is a strict no-op unless the default registry is
+    # enabled; counters are fetched once per routed packet, not per hop.
+    registry = default_registry()
+    metrics = registry if registry.enabled else None
+    if metrics is not None:
+        c_greedy = metrics.counter("dataplane.greedy_forwards")
+        c_vl_start = metrics.counter("dataplane.vl_starts")
+        c_vl_relay = metrics.counter("dataplane.vl_relays")
     if tracer is not None:
         tracer.record(TraceEventKind.INGRESS, entry_switch,
                       packet.data_id, packet_kind=packet.kind.value)
@@ -96,6 +105,21 @@ def route_packet(
                         target_switch=action.extension.target_switch,
                         target_serial=action.extension.target_serial,
                     )
+            if metrics is not None:
+                metrics.counter("dataplane.requests_routed",
+                                kind=packet.kind.value).inc()
+                metrics.counter("dataplane.deliveries").inc()
+                if action.extension is not None:
+                    metrics.counter(
+                        "dataplane.extension_rewrites").inc()
+                metrics.histogram(
+                    "dataplane.hops_per_request",
+                    buckets=HOP_BUCKETS,
+                ).observe(packet.physical_hops)
+                metrics.histogram(
+                    "dataplane.overlay_hops_per_request",
+                    buckets=HOP_BUCKETS,
+                ).observe(overlay_hops)
             return RouteResult(
                 delivery=action,
                 trace=list(packet.trace),
@@ -108,6 +132,8 @@ def route_packet(
             )
             overlay_hops += 1
             next_switch = action.succ
+            if metrics is not None:
+                c_vl_start.inc()
             if tracer is not None:
                 tracer.record(TraceEventKind.VL_START, current,
                               packet.data_id, dest=action.dest,
@@ -116,6 +142,8 @@ def route_packet(
             if not action.is_relay:
                 overlay_hops += 1
             next_switch = action.next_switch
+            if metrics is not None:
+                (c_vl_relay if action.is_relay else c_greedy).inc()
             if tracer is not None:
                 kind = (TraceEventKind.VL_RELAY if action.is_relay
                         else TraceEventKind.GREEDY_FORWARD)

@@ -72,7 +72,9 @@ class Tracer:
         return list(out)
 
     def clear(self) -> None:
+        """Drop all events and restart the sequence numbering."""
         self._events.clear()
+        self._sequence = 0
 
     def render(self, data_id: Optional[str] = None) -> str:
         """Multi-line rendering of the (filtered) event stream."""

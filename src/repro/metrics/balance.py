@@ -20,7 +20,7 @@ def max_avg_ratio(loads: Sequence[int]) -> float:
     ValueError
         On an empty load vector or zero total load (no data placed).
     """
-    if not loads:
+    if len(loads) == 0:
         raise ValueError("load vector is empty")
     total = sum(loads)
     if total == 0:
@@ -35,7 +35,7 @@ def jains_fairness_index(loads: Sequence[int]) -> float:
     ``(sum x)^2 / (n * sum x^2)`` — gives a whole-distribution view that
     the paper's max-focused metric does not.
     """
-    if not loads:
+    if len(loads) == 0:
         raise ValueError("load vector is empty")
     total = sum(loads)
     squares = sum(x * x for x in loads)

@@ -33,7 +33,9 @@ class Summary:
 
 
 def mean(values: Sequence[float]) -> float:
-    if not values:
+    # len() instead of truthiness: numpy arrays raise "truth value of
+    # an array is ambiguous" under `not values`.
+    if len(values) == 0:
         raise ValueError("mean of an empty sample is undefined")
     return sum(values) / len(values)
 
@@ -71,16 +73,16 @@ def confidence_interval(values: Sequence[float],
 def summarize(values: Sequence[float],
               confidence: float = 0.90) -> Summary:
     """Full descriptive summary with a CI of the mean."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("cannot summarize an empty sample")
     low, high = confidence_interval(values, confidence)
     return Summary(
         count=len(values),
-        mean=mean(values),
-        std=sample_std(values),
-        minimum=min(values),
-        maximum=max(values),
-        ci_low=low,
-        ci_high=high,
+        mean=float(mean(values)),
+        std=float(sample_std(values)),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        ci_low=float(low),
+        ci_high=float(high),
         confidence=confidence,
     )

@@ -1,0 +1,42 @@
+"""Bridges between the telemetry layer and the per-packet tracer.
+
+The data plane's :class:`repro.dataplane.Tracer` narrates individual
+packets; :class:`CountingTracer` additionally aggregates every trace
+event into per-kind counters of a metrics registry, so a traced
+debugging session and fleet-wide telemetry come from one instrument
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..dataplane.tracing import TraceEventKind, Tracer
+
+
+class CountingTracer(Tracer):
+    """A :class:`Tracer` that mirrors every event into counters.
+
+    Each recorded event increments
+    ``dataplane.trace_events{kind=<event kind>}`` in ``registry`` (the
+    default registry when omitted, resolved at record time).
+    """
+
+    def __init__(self, registry=None) -> None:
+        super().__init__()
+        self._registry = registry
+
+    def record(self, kind: TraceEventKind, switch: int, data_id: str,
+               **details: Any) -> None:
+        super().record(kind, switch, data_id, **details)
+        registry = self._registry
+        if registry is None:
+            from . import default_registry
+
+            registry = default_registry()
+        if registry.enabled:
+            registry.counter(
+                "dataplane.trace_events",
+                help="Trace events bridged from the data-plane tracer",
+                kind=kind.value,
+            ).inc()

@@ -1,0 +1,153 @@
+"""A structured, severity-leveled, memory-bounded event log.
+
+Where metrics aggregate, events narrate: one :class:`Event` per notable
+occurrence (switch join, link failure, range extension, overload sweep)
+with arbitrary structured fields.  The log is a ring buffer — old
+events fall off the back once ``capacity`` is reached, so a long-lived
+deployment cannot grow without bound — and serializes to JSON Lines
+for ingestion by standard log tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+
+class EventLevel(enum.IntEnum):
+    """Severity, ordered so levels can be compared/filtered."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence."""
+
+    sequence: int
+    timestamp: float
+    level: EventLevel
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "seq": self.sequence,
+            "ts": self.timestamp,
+            "level": self.level.name.lower(),
+            "event": self.name,
+        }
+        out.update(self.fields)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+class EventLog:
+    """Collects events in a bounded ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; the oldest are dropped beyond this
+        (``dropped`` counts how many were lost).
+    min_level:
+        Events below this severity are ignored at ``log`` time.
+    clock:
+        Injectable time source (defaults to ``time.time``), so tests
+        can pin timestamps.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 min_level: EventLevel = EventLevel.DEBUG,
+                 clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.min_level = min_level
+        self._clock = clock
+        self._events: deque = deque(maxlen=capacity)
+        self._sequence = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def log(self, level: EventLevel, name: str, **fields: Any) -> None:
+        """Append one event (ignored when below ``min_level``)."""
+        level = EventLevel(level)
+        if level < self.min_level:
+            return
+        if len(self._events) == self.capacity:
+            self._dropped += 1
+        self._events.append(Event(
+            sequence=self._sequence,
+            timestamp=self._clock(),
+            level=level,
+            name=name,
+            fields=fields,
+        ))
+        self._sequence += 1
+
+    def debug(self, name: str, **fields: Any) -> None:
+        self.log(EventLevel.DEBUG, name, **fields)
+
+    def info(self, name: str, **fields: Any) -> None:
+        self.log(EventLevel.INFO, name, **fields)
+
+    def warning(self, name: str, **fields: Any) -> None:
+        self.log(EventLevel.WARNING, name, **fields)
+
+    def error(self, name: str, **fields: Any) -> None:
+        self.log(EventLevel.ERROR, name, **fields)
+
+    # ------------------------------------------------------------------
+    def events(self, name: Optional[str] = None,
+               min_level: Optional[EventLevel] = None) -> List[Event]:
+        """Retained events, optionally filtered by name and severity."""
+        out: List[Event] = list(self._events)
+        if name is not None:
+            out = [e for e in out if e.name == name]
+        if min_level is not None:
+            out = [e for e in out if e.level >= min_level]
+        return out
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop everything and restart the sequence counter."""
+        self._events.clear()
+        self._sequence = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, name: Optional[str] = None,
+                 min_level: Optional[EventLevel] = None) -> str:
+        """The (filtered) events as JSON Lines text."""
+        return "\n".join(e.to_json()
+                         for e in self.events(name, min_level))
+
+    def write(self, destination: Union[str, IO[str]]) -> int:
+        """Write all retained events as JSONL; returns the count."""
+        events = self.events()
+        text = "\n".join(e.to_json() for e in events)
+        if text:
+            text += "\n"
+        if hasattr(destination, "write"):
+            destination.write(text)
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return len(events)

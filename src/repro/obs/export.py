@@ -1,0 +1,131 @@
+"""Exporters: Prometheus-style text exposition and JSON dumps.
+
+Both work from the registry's :meth:`~repro.obs.MetricsRegistry.to_dict`
+representation, so a dump written by ``gred experiment --metrics-out``
+can later be re-rendered as exposition text by ``gred metrics --from``
+without the originating process.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, IO, List, Union
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix applied to every exposed metric name.
+METRIC_NAMESPACE = "gred"
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted instrument name into a Prometheus name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized.startswith(METRIC_NAMESPACE + "_"):
+        sanitized = f"{METRIC_NAMESPACE}_{sanitized}"
+    return sanitized
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_NAME_RE.sub("_", k)}="{v}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _as_dict(registry_or_dict) -> Dict[str, Any]:
+    if isinstance(registry_or_dict, dict):
+        return registry_or_dict
+    return registry_or_dict.to_dict()
+
+
+def render_prometheus(registry_or_dict) -> str:
+    """Prometheus text-exposition rendering of a registry (or of a
+    previously saved ``to_dict`` dump).
+
+    Histograms expose the standard cumulative ``_bucket``/``_sum``/
+    ``_count`` series; the reservoir percentiles are added as a comment
+    line per histogram (they are not part of the exposition format).
+    """
+    dump = _as_dict(registry_or_dict)
+    lines: List[str] = []
+    typed = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for counter in dump.get("counters", []):
+        name = _metric_name(counter["name"])
+        declare(name, "counter")
+        lines.append(f"{name}{_label_suffix(counter.get('labels', {}))} "
+                     f"{_fmt(counter['value'])}")
+    for gauge in dump.get("gauges", []):
+        name = _metric_name(gauge["name"])
+        declare(name, "gauge")
+        lines.append(f"{name}{_label_suffix(gauge.get('labels', {}))} "
+                     f"{_fmt(gauge['value'])}")
+    for hist in dump.get("histograms", []):
+        name = _metric_name(hist["name"])
+        declare(name, "histogram")
+        labels = hist.get("labels", {})
+        cumulative = 0
+        for bound, count in zip(hist["buckets"],
+                                hist["bucket_counts"]):
+            cumulative += count
+            le = dict(labels, le=_fmt(bound))
+            lines.append(f"{name}_bucket{_label_suffix(le)} "
+                         f"{cumulative}")
+        cumulative += hist["bucket_counts"][-1]
+        inf = dict(labels, le="+Inf")
+        lines.append(f"{name}_bucket{_label_suffix(inf)} {cumulative}")
+        lines.append(f"{name}_sum{_label_suffix(labels)} "
+                     f"{_fmt(hist['sum'])}")
+        lines.append(f"{name}_count{_label_suffix(labels)} "
+                     f"{hist['count']}")
+        lines.append(f"# {name}{_label_suffix(labels)} "
+                     f"p50={_fmt(hist.get('p50'))} "
+                     f"p90={_fmt(hist.get('p90'))} "
+                     f"p99={_fmt(hist.get('p99'))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry_or_dict, indent: int = 2) -> str:
+    """The registry dump as a JSON string."""
+    return json.dumps(_as_dict(registry_or_dict), indent=indent,
+                      sort_keys=True, default=str)
+
+
+def write_json(registry_or_dict,
+               destination: Union[str, IO[str]],
+               indent: int = 2) -> None:
+    """Write the JSON dump to a path or open file."""
+    text = to_json(registry_or_dict, indent=indent) + "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def load_json(source: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Load a dump previously written by :func:`write_json`."""
+    if hasattr(source, "read"):
+        dump = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            dump = json.load(handle)
+    if not isinstance(dump, dict) or "counters" not in dump:
+        raise ValueError("not a gred metrics dump")
+    return dump

@@ -1,0 +1,89 @@
+"""Phase timers: wall-time histograms as context managers/decorators.
+
+The control plane times its pipeline phases with these::
+
+    with registry.timer("controlplane.phase.dt_build"):
+        self._build_dt(participants)
+
+or, for a whole function::
+
+    @timed("embedding.m_position")
+    def m_position(...): ...
+
+A timer on a disabled registry never calls ``perf_counter`` — entering
+and leaving costs two attribute checks.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Optional, Sequence
+
+
+class PhaseTimer:
+    """Context manager/decorator recording elapsed seconds into a
+    histogram of ``registry``.
+
+    Attributes
+    ----------
+    elapsed:
+        Seconds of the most recent completed timing, or ``None`` when
+        nothing was timed (e.g. the registry was disabled).
+    """
+
+    def __init__(self, registry, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None,
+                 **labels: Any) -> None:
+        self._registry = registry
+        self._name = name
+        self._help = help
+        self._buckets = buckets
+        self._labels = labels
+        self._start: Optional[float] = None
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        if self._registry.enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+            self._registry.histogram(
+                self._name, help=self._help, buckets=self._buckets,
+                **self._labels,
+            ).observe(self.elapsed)
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def timed(name: str, help: str = "",
+          buckets: Optional[Sequence[float]] = None, **labels: Any):
+    """Decorator timing every call of a function into the *default*
+    registry (resolved at call time, so enabling telemetry later still
+    takes effect)."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from . import default_registry
+
+            registry = default_registry()
+            if not registry.enabled:
+                return fn(*args, **kwargs)
+            with PhaseTimer(registry, name, help=help, buckets=buckets,
+                            **labels):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

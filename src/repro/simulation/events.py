@@ -65,6 +65,18 @@ class Simulator:
         SimulationError
             When more than ``max_events`` events fire (runaway model).
         """
+        from ..obs import default_registry
+
+        registry = default_registry()
+        metrics = registry if registry.enabled else None
+        if metrics is not None:
+            depth_gauge = metrics.gauge("simulation.event_queue_depth")
+            depth_hist = metrics.histogram(
+                "simulation.event_queue_depth_samples",
+                buckets=(1, 4, 16, 64, 256, 1024, 4096, 16384),
+            )
+            events_counter = metrics.counter(
+                "simulation.events_processed")
         fired = 0
         while self._queue:
             time, _, callback = heapq.heappop(self._queue)
@@ -72,6 +84,11 @@ class Simulator:
             callback()
             self._processed += 1
             fired += 1
+            if metrics is not None:
+                depth = len(self._queue)
+                depth_gauge.set(depth)
+                depth_hist.observe(depth)
+                events_counter.inc()
             if fired > max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events"

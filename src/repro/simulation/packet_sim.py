@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph import bfs_path
+from ..obs import default_registry
 from ..workloads import RetrievalRequest
 from .events import Simulator
 
@@ -134,6 +135,10 @@ class PacketLevelSimulator:
                         request: RetrievalRequest,
                         request_size: int, response_size: int):
         def inject() -> None:
+            registry = default_registry()
+            if registry.enabled:
+                registry.counter("simulation.packets_injected").inc()
+                registry.gauge("simulation.inflight_packets").inc()
             forward_path, server_key = self._route_switch_path(request)
             state = {"wait": 0.0}
 
@@ -170,6 +175,11 @@ class PacketLevelSimulator:
         if len(path) <= 1:
             sim.schedule(0.0, done)
             return
+        registry = default_registry()
+        backlog_hist = (
+            registry.histogram("simulation.link_backlog_seconds")
+            if registry.enabled else None
+        )
 
         def hop(index: int) -> None:
             if index >= len(path) - 1:
@@ -181,6 +191,8 @@ class PacketLevelSimulator:
             busy = self._link_busy.get(link, 0.0)
             start_tx = max(ready, busy)
             state["wait"] += start_tx - ready
+            if backlog_hist is not None:
+                backlog_hist.observe(max(0.0, busy - ready))
             end_tx = start_tx + self.model.serialization(size)
             self._link_busy[link] = end_tx
             arrival = end_tx + self.model.propagation_delay
@@ -191,13 +203,23 @@ class PacketLevelSimulator:
     def _complete(self, sim: Simulator, request: RetrievalRequest,
                   request_hops: int, response_hops: int,
                   link_wait: float) -> None:
+        response_delay = sim.now - request.time
         self.completed.append(PacketCompletion(
             request=request,
             request_hops=request_hops,
             response_hops=response_hops,
-            response_delay=sim.now - request.time,
+            response_delay=response_delay,
             link_wait=link_wait,
         ))
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("simulation.packets_completed").inc()
+            registry.gauge("simulation.inflight_packets").dec()
+            registry.histogram(
+                "simulation.response_delay_seconds").observe(
+                response_delay)
+            registry.histogram(
+                "simulation.link_wait_seconds").observe(link_wait)
 
     # ------------------------------------------------------------------
     def average_response_delay(self) -> float:

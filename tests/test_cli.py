@@ -79,6 +79,51 @@ class TestStats:
         assert "stored items      : 1" in out
         assert "avg table entries" in out
 
+    def test_stats_json(self, net_file, capsys):
+        main(["place", "-n", net_file, "s-2", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["stats", "-n", net_file, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["switches"] == 12
+        assert payload["servers"] == 24
+        assert payload["stored_items"] == 1
+        assert payload["load_balance"]["max_avg"] >= 1.0
+        assert payload["avg_table_entries"] > 0
+
+
+class TestMetricsCommand:
+    def test_metrics_from_network_prometheus_text(self, net_file,
+                                                  capsys):
+        code = main(["metrics", "-n", net_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gred_controlplane_recomputes counter" in out
+        assert "gred_controlplane_table_entries" in out
+        assert "gred_edge_server_load" in out
+        assert "gred_controlplane_phase_rule_install_bucket" in out
+
+    def test_metrics_json_flag(self, net_file, capsys):
+        code = main(["metrics", "-n", net_file, "--json"])
+        assert code == 0
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["format"] == "gred-metrics-v1"
+        names = {h["name"] for h in dump["histograms"]}
+        assert "controlplane.phase.rule_install" in names
+
+    def test_metrics_without_source_fails(self, capsys):
+        code = main(["metrics"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_does_not_leak_enabled_registry(self, net_file,
+                                                    capsys):
+        from repro import obs
+
+        main(["metrics", "-n", net_file])
+        capsys.readouterr()
+        assert obs.default_registry().enabled is False
+
 
 class TestExtension:
     def test_extend_and_retract(self, net_file, capsys):
@@ -151,3 +196,27 @@ class TestExperimentCommand:
         assert "Fig 7(a)" in out
         assert "GRED" in out
         assert "GRED-NoCVT" in out
+
+    def test_experiment_metrics_out(self, tmp_path, capsys):
+        out_file = str(tmp_path / "m.json")
+        code = main(["experiment", "fig7a", "--metrics-out", out_file])
+        assert code == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        with open(out_file) as handle:
+            dump = json.load(handle)
+        counters = {c["name"] for c in dump["counters"]}
+        assert "controlplane.recomputes" in counters
+        assert "dataplane.requests_routed" in counters
+        hists = {h["name"]: h for h in dump["histograms"]}
+        assert hists["dataplane.hops_per_request"]["count"] > 0
+        assert hists["controlplane.phase.m_position"]["count"] > 0
+
+    def test_metrics_from_saved_dump(self, tmp_path, capsys):
+        out_file = str(tmp_path / "m.json")
+        main(["experiment", "fig7a", "--metrics-out", out_file])
+        capsys.readouterr()
+        code = main(["metrics", "--from", out_file])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "gred_dataplane_hops_per_request_bucket" in text
+        assert "# TYPE gred_controlplane_recomputes counter" in text

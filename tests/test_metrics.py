@@ -75,6 +75,33 @@ class TestStats:
         with pytest.raises(ValueError):
             summarize([])
 
+    def test_numpy_array_inputs(self):
+        """Regression: callers pass numpy arrays, whose truthiness is
+        ambiguous — emptiness checks must use len()."""
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert mean(values) == 2.5
+        low, high = confidence_interval(values)
+        assert low < 2.5 < high
+        s = summarize(values)
+        assert s.count == 4
+        assert isinstance(s.mean, float)
+        assert isinstance(s.minimum, float)
+
+    def test_numpy_empty_array_raises(self):
+        empty = np.array([])
+        with pytest.raises(ValueError):
+            mean(empty)
+        with pytest.raises(ValueError):
+            summarize(empty)
+
+    def test_numpy_load_vectors(self):
+        loads = np.array([4, 2, 0, 2])
+        assert max_avg_ratio(loads) == 2.0
+        assert jains_fairness_index(np.array([3, 3, 3])) == \
+            pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            max_avg_ratio(np.array([], dtype=int))
+
 
 class TestRoutingStretch:
     def test_basic_ratio(self):

@@ -1,0 +1,371 @@
+"""Unit and integration tests for the telemetry layer (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (
+    EventLevel,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    PhaseTimer,
+    render_prometheus,
+    timed,
+    to_json,
+    write_json,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the process default,
+    restored afterwards so tests never leak telemetry state."""
+    reg = MetricsRegistry()
+    previous = obs.set_default_registry(reg)
+    yield reg
+    obs.set_default_registry(previous)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_same_name_same_instrument(self, registry):
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_labels_partition_series(self, registry):
+        registry.counter("x", kind="a").inc()
+        registry.counter("x", kind="b").inc(5)
+        assert registry.counter("x", kind="a").value == 1
+        assert registry.counter("x", kind="b").value == 5
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucket_counts_cumulative_semantics(self, registry):
+        h = registry.histogram("h", buckets=(1, 5, 10))
+        for v in (0.5, 3, 7, 20):
+            h.observe(v)
+        assert h.bucket_counts() == [1, 1, 1, 1]  # +Inf last
+        assert h.count == 4
+        assert h.sum == pytest.approx(30.5)
+
+    def test_percentiles(self, registry):
+        h = registry.histogram("h", buckets=(50, 100))
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(0.50) == 50
+        assert h.percentile(0.90) == 90
+        assert h.percentile(0.99) == 99
+
+    def test_summary_fields(self, registry):
+        h = registry.histogram("h", buckets=(10,))
+        h.observe(2)
+        h.observe(8)
+        s = h.summary()
+        assert s["count"] == 2
+        assert s["min"] == 2
+        assert s["max"] == 8
+        assert s["mean"] == 5
+        assert s["p50"] is not None
+
+    def test_empty_summary_is_none(self, registry):
+        s = registry.histogram("h").summary()
+        assert s["count"] == 0
+        assert s["p99"] is None
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram("h", buckets=(1,), reservoir_size=16)
+        for v in range(1000):
+            h.observe(v)
+        assert h.count == 1000
+        assert len(h._reservoir) == 16
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 5))
+
+
+class TestDisabledRegistry:
+    def test_disabled_returns_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("x") is NULL_INSTRUMENT
+        assert reg.gauge("x") is NULL_INSTRUMENT
+        assert reg.histogram("x") is NULL_INSTRUMENT
+
+    def test_null_instrument_absorbs_everything(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("x").inc()
+        reg.gauge("x").set(3)
+        reg.histogram("x").observe(1.0)
+        reg.event("something", detail=1)
+        assert reg.to_dict()["counters"] == []
+        assert len(reg.event_log) == 0
+
+    def test_default_registry_starts_disabled(self):
+        # The process-wide default must not collect unless opted in.
+        assert obs.default_registry().enabled in (False, True)
+        fresh = MetricsRegistry(enabled=False)
+        assert not fresh.enabled
+
+    def test_enable_disable_round_trip(self):
+        previous = obs.set_default_registry(
+            MetricsRegistry(enabled=False))
+        try:
+            assert not obs.default_registry().enabled
+            obs.enable()
+            assert obs.default_registry().enabled
+            obs.disable()
+            assert not obs.default_registry().enabled
+        finally:
+            obs.set_default_registry(previous)
+
+
+class TestPhaseTimer:
+    def test_records_into_histogram(self, registry):
+        with registry.timer("phase.sleepless"):
+            sum(range(1000))
+        h = registry.lookup("histogram", "phase.sleepless")
+        assert h is not None
+        assert h.count == 1
+        assert h.sum >= 0
+
+    def test_elapsed_exposed(self, registry):
+        with registry.timer("phase.t") as t:
+            pass
+        assert t.elapsed is not None and t.elapsed >= 0
+
+    def test_disabled_timer_never_records(self):
+        reg = MetricsRegistry(enabled=False)
+        with PhaseTimer(reg, "phase.off") as t:
+            pass
+        assert t.elapsed is None
+        assert reg.to_dict()["histograms"] == []
+
+    def test_timed_decorator(self, registry):
+        @timed("phase.fn")
+        def work(a, b):
+            return a + b
+
+        assert work(2, 3) == 5
+        h = registry.lookup("histogram", "phase.fn")
+        assert h.count == 1
+
+    def test_records_even_when_body_raises(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timer("phase.err"):
+                raise RuntimeError("boom")
+        assert registry.lookup("histogram", "phase.err").count == 1
+
+
+class TestEventLog:
+    def test_levels_and_filtering(self):
+        log = EventLog(clock=lambda: 1.0)
+        log.debug("d")
+        log.info("i", a=1)
+        log.warning("w")
+        log.error("e")
+        assert len(log) == 4
+        assert [e.name for e in
+                log.events(min_level=EventLevel.WARNING)] == ["w", "e"]
+        assert log.events(name="i")[0].fields == {"a": 1}
+
+    def test_min_level_drops_below(self):
+        log = EventLog(min_level=EventLevel.WARNING)
+        log.info("ignored")
+        log.error("kept")
+        assert [e.name for e in log.events()] == ["kept"]
+
+    def test_bounded_capacity(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.info(f"e{i}")
+        assert len(log) == 3
+        assert log.dropped == 7
+        assert [e.name for e in log.events()] == ["e7", "e8", "e9"]
+
+    def test_jsonl_round_trip(self):
+        log = EventLog(clock=lambda: 2.5)
+        log.info("placed", data_id="a", hops=3)
+        lines = log.to_jsonl().splitlines()
+        record = json.loads(lines[0])
+        assert record["event"] == "placed"
+        assert record["hops"] == 3
+        assert record["level"] == "info"
+        assert record["ts"] == 2.5
+
+    def test_write_to_file(self, tmp_path):
+        log = EventLog()
+        log.info("one")
+        log.info("two")
+        path = tmp_path / "events.jsonl"
+        assert log.write(str(path)) == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_clear_resets_sequence(self):
+        log = EventLog()
+        log.info("a")
+        log.clear()
+        log.info("b")
+        assert log.events()[0].sequence == 0
+
+
+class TestExporters:
+    def _populated(self, registry):
+        registry.counter("reqs", kind="read").inc(4)
+        registry.gauge("load").set(2)
+        h = registry.histogram("lat", buckets=(1, 10))
+        h.observe(0.5)
+        h.observe(5)
+        h.observe(50)
+        return registry
+
+    def test_prometheus_text(self, registry):
+        text = render_prometheus(self._populated(registry))
+        assert '# TYPE gred_reqs counter' in text
+        assert 'gred_reqs{kind="read"} 4' in text
+        assert "# TYPE gred_load gauge" in text
+        assert 'gred_lat_bucket{le="1"} 1' in text
+        assert 'gred_lat_bucket{le="10"} 2' in text
+        assert 'gred_lat_bucket{le="+Inf"} 3' in text
+        assert "gred_lat_count 3" in text
+        assert "p50=" in text
+
+    def test_json_dump_and_rerender(self, registry, tmp_path):
+        self._populated(registry)
+        path = tmp_path / "m.json"
+        write_json(registry, str(path))
+        dump = obs.load_json(str(path))
+        assert dump["format"] == "gred-metrics-v1"
+        # Rendering from the dump equals rendering from the registry.
+        assert render_prometheus(dump) == render_prometheus(registry)
+
+    def test_to_json_parses(self, registry):
+        data = json.loads(to_json(self._populated(registry)))
+        assert data["counters"][0]["value"] == 4
+
+    def test_load_json_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "metrics"}')
+        with pytest.raises(ValueError):
+            obs.load_json(str(path))
+
+
+class TestCountingTracer:
+    def test_bridges_trace_events_to_counters(self, registry,
+                                              gred_small):
+        tracer = obs.CountingTracer(registry)
+        from repro.dataplane import route_packet, Packet, PacketKind
+        from repro.hashing import data_position
+
+        packet = Packet(kind=PacketKind.RETRIEVAL, data_id="t",
+                        position=data_position("t"))
+        route_packet(gred_small.controller.switches, 0, packet,
+                     tracer=tracer)
+        deliver = registry.lookup(
+            "counter", "dataplane.trace_events", kind="deliver")
+        assert deliver is not None and deliver.value == 1
+        ingress = registry.lookup(
+            "counter", "dataplane.trace_events", kind="ingress")
+        assert ingress.value == 1
+        assert len(tracer.events()) >= 2  # still a full Tracer
+
+
+class TestEndToEndInstrumentation:
+    def test_network_lifecycle_populates_registry(self, registry):
+        from repro import GredNetwork, attach_uniform, \
+            brite_waxman_graph
+
+        topo, _ = brite_waxman_graph(
+            12, min_degree=3, rng=np.random.default_rng(3))
+        net = GredNetwork(topo, attach_uniform(topo.nodes(), 2),
+                          cvt_iterations=5, seed=0)
+        net.place("it-1", payload=b"0123456789", entry_switch=0)
+        found = net.retrieve("it-1", entry_switch=5)
+        assert found.found
+        net.retrieve("missing", entry_switch=1)
+        net.delete("it-1")
+        net.record_load_gauges()
+
+        dump = registry.to_dict()
+        counters = {c["name"]: c["value"] for c in dump["counters"]
+                    if not c["labels"]}
+        assert counters["core.places"] == 1
+        assert counters["core.retrieves"] == 1
+        assert counters["core.retrieve_misses"] == 1
+        assert counters["core.deletes"] == 1
+        assert counters["controlplane.recomputes"] == 1
+        assert counters["controlplane.rules_installed"] > 0
+        hists = {h["name"]: h for h in dump["histograms"]}
+        for phase in ("controlplane.phase.m_position",
+                      "controlplane.phase.c_regulation",
+                      "controlplane.phase.dt_build",
+                      "controlplane.phase.rule_install"):
+            assert hists[phase]["count"] >= 1
+        assert hists["dataplane.hops_per_request"]["count"] >= 3
+        assert hists["core.payload_bytes"]["p50"] == 10
+        gauges = {(g["name"], tuple(sorted(g["labels"].items())))
+                  for g in dump["gauges"]}
+        assert ("edge.stored_items", ()) in {
+            (n, l) for n, l in gauges}
+
+    def test_churn_counters_and_events(self, registry):
+        from repro import GredNetwork, attach_uniform, \
+            brite_waxman_graph
+
+        topo, _ = brite_waxman_graph(
+            10, min_degree=3, rng=np.random.default_rng(1))
+        net = GredNetwork(topo, attach_uniform(topo.nodes(), 2),
+                          cvt_iterations=0, seed=0)
+        net.add_switch(99, links=[0, 1], servers_per_switch=2)
+        names = [e.name for e in registry.event_log.events()]
+        assert "switch_join" in names
+        joins = registry.lookup("counter",
+                                   "controlplane.switch_joins")
+        assert joins.value == 1
+
+    def test_packet_sim_metrics(self, registry):
+        from repro import GredNetwork, attach_uniform, \
+            brite_waxman_graph
+        from repro.simulation import PacketLevelSimulator
+        from repro.workloads import RetrievalRequest
+
+        topo, _ = brite_waxman_graph(
+            10, min_degree=3, rng=np.random.default_rng(2))
+        net = GredNetwork(topo, attach_uniform(topo.nodes(), 2),
+                          cvt_iterations=0, seed=0)
+        trace = [RetrievalRequest(time=i * 1e-5, data_id=f"d{i}",
+                                  entry_switch=i % 10)
+                 for i in range(20)]
+        sim = PacketLevelSimulator(net)
+        sim.run(trace)
+        completed = registry.lookup(
+            "counter", "simulation.packets_completed")
+        assert completed.value == 20
+        inflight = registry.lookup(
+            "gauge", "simulation.inflight_packets")
+        assert inflight.value == 0
+        delays = registry.lookup(
+            "histogram", "simulation.response_delay_seconds")
+        assert delays.count == 20

@@ -43,6 +43,35 @@ class TestTracerBasics:
         assert "sw=3" in text
         assert "next=7" in text
 
+    def test_render_event_with_empty_details(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 4, "bare")
+        line = tracer.events()[0].render()
+        assert line == "[000] ingress            sw=4"
+        assert not line.endswith(" ")
+        # Multi-line render copes with a mix of empty/non-empty details.
+        tracer.record(TraceEventKind.DELIVER, 4, "bare", serial=1)
+        assert len(tracer.render().splitlines()) == 2
+
+    def test_combined_data_id_and_kind_filter(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        tracer.record(TraceEventKind.DELIVER, 1, "a", serial=0)
+        tracer.record(TraceEventKind.DELIVER, 2, "b", serial=1)
+        both = tracer.events(data_id="a", kind=TraceEventKind.DELIVER)
+        assert len(both) == 1
+        assert both[0].switch == 1
+        assert tracer.events(data_id="b",
+                             kind=TraceEventKind.INGRESS) == []
+
+    def test_clear_resets_sequence_counter(self):
+        tracer = Tracer()
+        tracer.record(TraceEventKind.INGRESS, 0, "a")
+        tracer.record(TraceEventKind.DELIVER, 1, "a")
+        tracer.clear()
+        tracer.record(TraceEventKind.INGRESS, 5, "b")
+        assert tracer.events()[0].sequence == 0
+
 
 class TestNetworkTracing:
     def test_trace_matches_route(self, gred_small):
