@@ -31,6 +31,12 @@ from .core import (
 from .chord import ChordNetwork, ChordRing
 from .controlplane import Controller, ControllerConfig
 from .edge import EdgeServer, attach_heterogeneous, attach_uniform
+from .faults import (
+    FailureDetector,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
 from .graph import Graph
 from .hashing import data_position, replica_id, server_index
 from .metrics import max_avg_ratio, routing_stretch, summarize
@@ -59,6 +65,10 @@ __all__ = [
     "EdgeServer",
     "attach_uniform",
     "attach_heterogeneous",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FailureDetector",
     "Graph",
     "data_position",
     "server_index",

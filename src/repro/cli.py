@@ -9,6 +9,7 @@ File-backed workflows over a saved deployment snapshot::
     gred extend -n net.json 4 0
     gred experiment fig9a [--metrics-out m.json]
     gred metrics -n net.json            # or: --from m.json [--json]
+    gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
 
 (Installed as the ``gred`` console script; also runnable via
 ``python -m repro.cli``.)
@@ -127,6 +128,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="FILE",
         help="run with telemetry enabled and write the JSON metrics "
              "dump next to the results")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a workload under injected faults and report "
+             "availability / recovery")
+    chaos.add_argument("--switches", type=int, default=30)
+    chaos.add_argument("--min-degree", type=int, default=3)
+    chaos.add_argument("--servers", type=int, default=2,
+                       help="servers per switch")
+    chaos.add_argument("--cvt-iterations", type=int, default=20)
+    chaos.add_argument("--items", type=int, default=60)
+    chaos.add_argument("--copies", type=int, default=3)
+    chaos.add_argument("--requests", type=int, default=120)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--plan", default=None, metavar="FILE",
+                       help="JSON fault plan; default crashes one "
+                            "random switch mid-trace")
+    chaos.add_argument("--duration", type=float, default=1.0,
+                       help="request window in simulated seconds")
+    chaos.add_argument("--detection-interval", type=float, default=0.1,
+                       help="heartbeat period of the failure detector")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
     return parser
 
 
@@ -419,6 +443,53 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults import ChaosConfig, FaultPlan, run_chaos
+
+    plan = FaultPlan.from_json(args.plan) if args.plan else None
+    config = ChaosConfig(
+        switches=args.switches,
+        min_degree=args.min_degree,
+        servers_per_switch=args.servers,
+        cvt_iterations=args.cvt_iterations,
+        items=args.items,
+        copies=args.copies,
+        requests=args.requests,
+        seed=args.seed,
+        plan=plan,
+        duration=args.duration,
+        detection_interval=args.detection_interval,
+    )
+    report = run_chaos(config)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    repair = report["repair"]
+    print(f"baseline availability  : "
+          f"{report['baseline']['availability']:.3f} "
+          f"({report['baseline']['mean_round_trip_hops']:.2f} hops)")
+    events = report["plan"]["events"]
+    if events:
+        print(f"fault plan             : {len(events)} event(s), "
+              f"first at t={events[0]['time']:.3f}")
+    else:
+        print("fault plan             : empty")
+    print(f"under faults           : {report['under_faults']['completed']}"
+          f"/{report['under_faults']['requests']} requests completed, "
+          f"{report['under_faults']['failed']} failed")
+    print(f"dead switches detected : {repair['dead_switches']}")
+    print(f"stranded switches      : {repair['stranded_switches']}")
+    print(f"servers replaced       : {repair['servers_replaced']}")
+    print(f"re-replicated copies   : {report['re_replicated']}")
+    print(f"items lost             : {report['items_lost']}")
+    print(f"recovery time          : {report['recovery_time']:.3f}s")
+    print(f"recovered availability : {report['availability']:.3f} "
+          f"({report['recovered']['mean_round_trip_hops']:.2f} hops, "
+          f"inflation x{report['hop_inflation']:.2f})")
+    print(f"verifier violations    : {report['verifier_violations']}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "place": _cmd_place,
@@ -432,6 +503,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "trace": _cmd_trace,
     "experiment": _cmd_experiment,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -34,7 +34,12 @@ from ..geometry import (
     deduplicate_points,
     euclidean,
 )
-from ..graph import Graph, all_pairs_hop_matrix, is_connected
+from ..graph import (
+    Graph,
+    all_pairs_hop_matrix,
+    connected_components,
+    is_connected,
+)
 from ..obs import EventLevel, default_registry
 from . import rules
 
@@ -508,6 +513,87 @@ class Controller:
         registry.counter("controlplane.switch_leaves").inc()
         registry.event("switch_leave", level=EventLevel.WARNING,
                        switch=switch_id)
+
+    def absorb_failures(self, dead_switches=(), dead_links=()
+                        ) -> List[int]:
+        """Repair the control plane after *unannounced* failures.
+
+        Unlike :meth:`remove_switch` (a graceful leave that refuses to
+        partition the network), a crash has already happened — the
+        controller's job is to keep serving with whatever survives.
+        Dead switches and failed links are pruned in one pass; if that
+        partitions the topology, the component with the most DT
+        participants (ties: most switches, then lowest id) stays under
+        management and the rest is stranded — returned to the caller
+        and dropped from the controller's view.  Surviving positions
+        are kept (the DT is repaired incrementally over the surviving
+        participants), extensions pointing at dead targets are
+        withdrawn, and all rules are reinstalled.
+
+        Raises
+        ------
+        ControlPlaneError
+            If no switch, or no server-hosting switch, survives.  The
+            controller state is untouched in that case.
+        """
+        dead = sorted({s for s in dead_switches
+                       if self.topology.has_node(s)})
+        candidate = self.topology.copy()
+        for switch_id in dead:
+            candidate.remove_node(switch_id)
+        for u, v in dead_links:
+            if candidate.has_edge(u, v):
+                candidate.remove_edge(u, v)
+        if candidate.num_nodes() == 0:
+            raise ControlPlaneError(
+                "cannot absorb failures: every switch is dead")
+        components = connected_components(candidate)
+
+        def component_key(component):
+            participants = sum(1 for n in component
+                               if self.server_map.get(n))
+            return (participants, len(component), -min(component))
+
+        keep = max(components, key=component_key)
+        if not any(self.server_map.get(n) for n in keep):
+            raise ControlPlaneError(
+                "cannot absorb failures: no server-hosting switch "
+                "survives"
+            )
+        stranded = sorted(n for component in components
+                          if component is not keep for n in component)
+        for switch_id in stranded:
+            candidate.remove_node(switch_id)
+        self.topology = candidate
+        for switch_id in dead + stranded:
+            self.server_map.pop(switch_id, None)
+            self.positions.pop(switch_id, None)
+            self.switches.pop(switch_id, None)
+        self._drop_dead_extensions()
+        participants = self.dt_participants()
+        self._build_dt(participants)
+        self._build_switches()
+        self._install_rules()
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("controlplane.failures_absorbed").inc()
+            if stranded:
+                registry.counter("controlplane.switches_stranded").inc(
+                    len(stranded))
+        registry.event("failures_absorbed", level=EventLevel.WARNING,
+                       dead_switches=len(dead),
+                       dead_links=len(list(dead_links)),
+                       stranded=len(stranded))
+        return stranded
+
+    def _drop_dead_extensions(self) -> None:
+        """Withdraw range extensions whose takeover server's switch no
+        longer exists (its data is unreachable; re-replication is the
+        repair path)."""
+        for switch in self.switches.values():
+            for entry in list(switch.table.extensions()):
+                if entry.target_switch not in self.server_map:
+                    switch.table.remove_extension(entry.local_serial)
 
     # ------------------------------------------------------------------
     # introspection

@@ -78,6 +78,17 @@ class RemoveExtension(SouthboundMessage):
     local_serial: int = -1
 
 
+@dataclass(frozen=True)
+class Probe(SouthboundMessage):
+    """Liveness probe: the controller's heartbeat to one switch.
+
+    Carries no state — a switch that receives it is, by definition,
+    reachable.  The failure detector counts probes as control-plane
+    traffic through the same :class:`RecordingChannel` used for rule
+    installs.
+    """
+
+
 class RecordingChannel:
     """Observes every message the controller pushes."""
 
@@ -128,6 +139,8 @@ def apply_message(switches: Dict[int, GredSwitch],
             target_serial=message.target_serial))
     elif isinstance(message, RemoveExtension):
         switch.table.remove_extension(message.local_serial)
+    elif isinstance(message, Probe):
+        pass  # liveness only: reaching the switch is the whole effect
     else:
         raise TypeError(f"unknown southbound message {message!r}")
 

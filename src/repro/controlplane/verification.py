@@ -18,13 +18,16 @@ Checked invariants:
 3. every relay chain, followed hop by hop, terminates at its declared
    destination without revisiting a switch;
 4. DT adjacency is symmetric and matches the controller's view;
-5. extension entries point at existing servers on physical neighbors.
+5. extension entries point at existing servers on physical neighbors;
+6. (with ``fault_state``) no installed rule references a crashed
+   switch — dead greedy candidates, relay successors or extension
+   targets mean a repair sweep has not yet run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from .controller import Controller
 
@@ -41,8 +44,16 @@ class Violation:
         return f"[{self.kind}] switch {self.switch}: {self.detail}"
 
 
-def verify_installed_state(controller: Controller) -> List[Violation]:
-    """Audit the data-plane state against the controller's intent."""
+def verify_installed_state(
+    controller: Controller,
+    fault_state: Optional[object] = None,
+) -> List[Violation]:
+    """Audit the data-plane state against the controller's intent.
+
+    With ``fault_state`` (a :class:`repro.faults.FaultState`), also
+    flag rules that reference crashed switches as ``dead-reference``
+    violations; without it the audit is unchanged.
+    """
     violations: List[Violation] = []
     topology = controller.topology
     positions = controller.positions
@@ -102,6 +113,36 @@ def verify_installed_state(controller: Controller) -> List[Violation]:
 
     # 3. relay chains terminate.
     violations.extend(_verify_relay_chains(controller))
+    # 6. nothing references a crashed switch.
+    if fault_state is not None:
+        violations.extend(_verify_liveness(controller, fault_state))
+    return violations
+
+
+def _verify_liveness(controller: Controller,
+                     fault_state) -> List[Violation]:
+    """Flag installed rules that reference crashed switches."""
+    violations: List[Violation] = []
+    for switch_id, switch in controller.switches.items():
+        dead_refs = set()
+        for nid in switch.physical_neighbor_positions:
+            if not fault_state.switch_alive(nid):
+                dead_refs.add(nid)
+        for nid in switch.dt_neighbor_positions:
+            if not fault_state.switch_alive(nid):
+                dead_refs.add(nid)
+        for entry in switch.table.virtual_entries():
+            for nid in (entry.succ, entry.dest):
+                if nid is not None and \
+                        not fault_state.switch_alive(nid):
+                    dead_refs.add(nid)
+        for ext in switch.table.extensions():
+            if not fault_state.switch_alive(ext.target_switch):
+                dead_refs.add(ext.target_switch)
+        for nid in sorted(dead_refs):
+            violations.append(Violation(
+                "dead-reference", switch_id,
+                f"installed state references crashed switch {nid}"))
     return violations
 
 

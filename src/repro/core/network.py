@@ -28,6 +28,7 @@ import numpy as np
 
 from ..controlplane import Controller, ControllerConfig
 from ..dataplane import (
+    ForwardingError,
     Packet,
     PacketKind,
     RouteResult,
@@ -108,10 +109,23 @@ class GredNetwork:
         )
         self._position_fn = position_fn or data_position
         self.controller = Controller(topology, server_map, config=config)
+        self._fault_state = None
 
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
+    @property
+    def fault_state(self):
+        """Ground-truth failure state, or ``None`` when no
+        :class:`~repro.faults.FaultInjector` is attached.  When set,
+        routing degrades around crashed switches/links and retrieval
+        skips crashed servers."""
+        # getattr: snapshots restore via __new__ and predate the field.
+        return getattr(self, "_fault_state", None)
+
+    @fault_state.setter
+    def fault_state(self, state) -> None:
+        self._fault_state = state
     @property
     def topology(self) -> Graph:
         return self.controller.topology
@@ -190,7 +204,8 @@ class GredNetwork:
             position=self._position_fn(copy_id),
             payload=payload,
         )
-        route = route_packet(self.controller.switches, entry, packet)
+        route = route_packet(self.controller.switches, entry, packet,
+                             fault_state=self.fault_state)
         delivery = route.delivery
         extended = delivery.extension is not None
         if extended:
@@ -203,6 +218,13 @@ class GredNetwork:
         else:
             target = self.server(delivery.switch, delivery.primary_serial)
             physical_hops = route.physical_hops
+        if self.fault_state is not None and \
+                not self.fault_state.server_alive(target.server_id):
+            raise GredError(
+                f"cannot place {copy_id!r}: target server "
+                f"{target.server_id} has crashed and has not been "
+                f"repaired yet"
+            )
         target.store(copy_id, payload)
         registry = default_registry()
         if registry.enabled:
@@ -238,31 +260,85 @@ class GredNetwork:
         entry_switch: Optional[int] = None,
         copies: int = 1,
         rng: Optional[np.random.Generator] = None,
+        max_hops: Optional[int] = None,
     ) -> RetrievalResult:
-        """Retrieve ``data_id`` from the copy nearest to the entry point.
+        """Retrieve ``data_id``, walking its replicas nearest-first.
 
         With ``copies > 1`` the access point computes the position of
         every replica and sends the request toward the one closest (in
         the virtual space) to its own switch — the paper's nearest-copy
-        selection (Section VI).
+        selection (Section VI).  When that copy is missing (crashed
+        switch, lost data) or its route fails, the request falls back
+        through the remaining replicas in nearest-first order instead
+        of giving up; ``result.attempts`` counts the replicas probed.
+
+        ``max_hops`` optionally bounds each probe's forwarding path
+        (the per-request hop budget of degraded mode).
         """
         if copies < 1:
             raise GredError(f"copies must be >= 1, got {copies}")
         entry = self._resolve_entry(entry_switch, rng)
-        copy_index = self._nearest_copy(data_id, copies, entry)
+        registry = default_registry()
+        order = self._replica_order(data_id, copies, entry)
+        attempts = 0
+        last_miss: Optional[RetrievalResult] = None
+        for copy_index in order:
+            attempts += 1
+            result = self._retrieve_copy(data_id, copy_index, entry,
+                                         attempts, max_hops)
+            if result is None:
+                continue  # route failed loudly; try the next replica
+            if result.found:
+                if attempts > 1 and registry.enabled:
+                    registry.counter("faults.failovers").inc()
+                return result
+            last_miss = result
+        if registry.enabled:
+            registry.counter("core.retrieve_misses").inc()
+        if last_miss is not None:
+            return last_miss
+        # Every probe died in routing (heavy degradation).
+        return RetrievalResult(
+            data_id=data_id,
+            found=False,
+            payload=None,
+            entry_switch=entry,
+            destination_switch=None,
+            server_id=None,
+            request_hops=0,
+            response_hops=0,
+            trace=[],
+            copy_used=order[-1],
+            forked=False,
+            attempts=attempts,
+        )
+
+    def _retrieve_copy(self, data_id: str, copy_index: int, entry: int,
+                       attempts: int, max_hops: Optional[int]
+                       ) -> Optional[RetrievalResult]:
+        """Probe one replica; ``None`` means the route itself failed."""
         copy_id = replica_id(data_id, copy_index)
         packet = Packet(
             kind=PacketKind.RETRIEVAL,
             data_id=copy_id,
             position=self._position_fn(copy_id),
         )
-        route = route_packet(self.controller.switches, entry, packet)
+        registry = default_registry()
+        try:
+            route = route_packet(self.controller.switches, entry, packet,
+                                 max_hops=max_hops,
+                                 fault_state=self.fault_state)
+        except ForwardingError:
+            if registry.enabled:
+                registry.counter("faults.route_failures").inc()
+            return None
         delivery = route.delivery
         candidates = [
             (self.server(delivery.switch, delivery.primary_serial), 0)
         ]
         forked = False
-        if delivery.extension is not None:
+        if delivery.extension is not None and self._extension_usable(
+                delivery.switch, delivery.extension):
             # Fork: the request goes to both possible locations (paper
             # Section V-C); the remote one costs the extra hops to the
             # neighbor switch.
@@ -272,8 +348,11 @@ class GredNetwork:
             extra = hop_count(self.topology, delivery.switch,
                               delivery.extension.target_switch)
             candidates.append((remote, extra))
-        registry = default_registry()
+        fault = self.fault_state
         for server, extra_hops in candidates:
+            if fault is not None and \
+                    not fault.server_alive(server.server_id):
+                continue
             if server.has(copy_id):
                 response_hops = hop_count(self.topology, server.switch,
                                           entry)
@@ -295,9 +374,8 @@ class GredNetwork:
                     trace=route.trace,
                     copy_used=copy_index,
                     forked=forked,
+                    attempts=attempts,
                 )
-        if registry.enabled:
-            registry.counter("core.retrieve_misses").inc()
         return RetrievalResult(
             data_id=data_id,
             found=False,
@@ -310,21 +388,35 @@ class GredNetwork:
             trace=route.trace,
             copy_used=copy_index,
             forked=forked,
+            attempts=attempts,
         )
 
-    def _nearest_copy(self, data_id: str, copies: int, entry: int) -> int:
+    def _extension_usable(self, switch: int, extension) -> bool:
+        """Whether an extension's takeover server can be forked to
+        (its switch must still exist and not have crashed)."""
+        if not self.topology.has_node(extension.target_switch):
+            return False
+        if self.fault_state is not None and \
+                not self.fault_state.switch_alive(extension.target_switch):
+            return False
+        return True
+
+    def _replica_order(self, data_id: str, copies: int,
+                       entry: int) -> List[int]:
+        """Copy indices sorted by virtual distance from the entry
+        switch (nearest first; ties by index)."""
         if copies == 1:
-            return 0
+            return [0]
         entry_pos = self.controller.switch_position(entry)
-        best = 0
-        best_d = None
+        keyed = []
         for i in range(copies):
             pos = self._position_fn(replica_id(data_id, i))
-            d = euclidean(pos, entry_pos)
-            if best_d is None or d < best_d:
-                best_d = d
-                best = i
-        return best
+            keyed.append((euclidean(pos, entry_pos), i))
+        keyed.sort()
+        return [i for _, i in keyed]
+
+    def _nearest_copy(self, data_id: str, copies: int, entry: int) -> int:
+        return self._replica_order(data_id, copies, entry)[0]
 
     # ------------------------------------------------------------------
     # deletion
@@ -342,7 +434,8 @@ class GredNetwork:
                 data_id=copy_id,
                 position=self._position_fn(copy_id),
             )
-            route = route_packet(self.controller.switches, entry, packet)
+            route = route_packet(self.controller.switches, entry, packet,
+                                 fault_state=self.fault_state)
             delivery = route.delivery
             servers = [self.server(delivery.switch,
                                    delivery.primary_serial)]
@@ -444,6 +537,18 @@ class GredNetwork:
         and items now closest to the new switch migrate to it.  Returns
         the number of migrated items.
         """
+        if self.topology.has_node(switch_id):
+            raise GredError(
+                f"cannot join switch {switch_id}: a switch with that id "
+                f"already exists — pick an unused id"
+            )
+        unknown = [peer for peer in links
+                   if not self.topology.has_node(peer)]
+        if unknown:
+            raise GredError(
+                f"cannot join switch {switch_id}: link peer(s) {unknown} "
+                f"do not exist in the topology"
+            )
         if servers is None:
             servers = [
                 EdgeServer(switch=switch_id, serial=i)
@@ -456,8 +561,17 @@ class GredNetwork:
         return self._migrate_from(neighbors)
 
     def remove_switch(self, switch_id: int) -> int:
-        """A switch leaves; its stored items are re-placed onto the
-        remaining network.  Returns the number of re-placed items."""
+        """A switch leaves gracefully; its stored items are re-placed
+        onto the remaining network.  Returns the number of re-placed
+        items.  (For an *ungraceful* crash — data lost, no migration —
+        see :mod:`repro.faults`.)"""
+        if not self.topology.has_node(switch_id):
+            raise GredError(f"unknown switch {switch_id}")
+        if self.topology.num_nodes() == 1:
+            raise GredError(
+                f"cannot remove switch {switch_id}: it is the last "
+                f"switch and removing it would leave an empty network"
+            )
         servers = self.server_map.get(switch_id, [])
         orphans = []
         for server in servers:
@@ -466,6 +580,7 @@ class GredNetwork:
             server.clear()
         # Re-place from a surviving physical neighbor of the leaver.
         neighbors = [n for n in self.topology.neighbors(switch_id)]
+        leaver_position = self.controller.positions.get(switch_id)
         self.controller.remove_switch(switch_id)
         entry = None
         for n in neighbors:
@@ -473,7 +588,18 @@ class GredNetwork:
                 entry = n
                 break
         if entry is None:
-            entry = self.switch_ids()[0]
+            # Defensive: a connected topology always leaves a neighbor,
+            # but if not, re-enter at the nearest surviving switch in
+            # the virtual space rather than an arbitrary one.
+            entry = min(
+                self.switch_ids(),
+                key=lambda s: (
+                    euclidean(self.controller.positions[s],
+                              leaver_position)
+                    if leaver_position is not None else 0.0,
+                    s,
+                ),
+            )
         for item_id, payload in orphans:
             self._place_one(item_id, payload, entry)
         if orphans:
@@ -510,7 +636,8 @@ class GredNetwork:
             data_id=data_id,
             position=self._position_fn(data_id),
         )
-        return route_packet(self.controller.switches, entry_switch, packet)
+        return route_packet(self.controller.switches, entry_switch,
+                            packet, fault_state=self.fault_state)
 
     def trace_route(self, data_id: str, entry_switch: int):
         """Route a retrieval request with full decision tracing.
@@ -528,7 +655,8 @@ class GredNetwork:
             position=self._position_fn(data_id),
         )
         route = route_packet(self.controller.switches, entry_switch,
-                             packet, tracer=tracer)
+                             packet, tracer=tracer,
+                             fault_state=self.fault_state)
         return route, tracer
 
     def destination_switch(self, data_id: str) -> int:
@@ -538,11 +666,21 @@ class GredNetwork:
 
     def _resolve_entry(self, entry_switch: Optional[int],
                        rng: Optional[np.random.Generator]) -> int:
+        fault = self.fault_state
         if entry_switch is not None:
             if not self.topology.has_node(entry_switch):
                 raise GredError(f"unknown entry switch {entry_switch}")
+            if fault is not None and not fault.switch_alive(entry_switch):
+                raise GredError(
+                    f"entry switch {entry_switch} has crashed; requests "
+                    f"must enter at a live access point"
+                )
             return entry_switch
         ids = self.switch_ids()
+        if fault is not None:
+            ids = [s for s in ids if fault.switch_alive(s)]
+            if not ids:
+                raise GredError("no live switch can serve as entry point")
         if rng is None:
             rng = np.random.default_rng()
         return ids[int(rng.integers(0, len(ids)))]

@@ -69,6 +69,8 @@ class RetrievalResult:
     storage server, including the extension fork hop when taken);
     ``response_hops`` counts the reply path back to the access point
     (network shortest path); ``round_trip_hops`` is their sum.
+    ``attempts`` counts the replicas probed nearest-first before this
+    outcome (1 = the nearest copy answered; > 1 = replica failover).
     """
 
     data_id: str
@@ -82,6 +84,7 @@ class RetrievalResult:
     trace: List[int] = field(default_factory=list)
     copy_used: int = 0
     forked: bool = False
+    attempts: int = 1
 
     @property
     def round_trip_hops(self) -> int:

@@ -40,12 +40,48 @@ class RouteResult:
         return self.delivery.switch
 
 
+def _route_around_failures(switches, switch, current, packet, action,
+                           fault_state, metrics, tracer):
+    """Degraded-mode check of a forwarding decision.
+
+    While the chosen next hop is crashed, unknown (already pruned by a
+    repair) or behind a downed link, ask the switch to re-decide with
+    the failed neighbors excluded — the next-best-neighbor fallback.
+    Terminates because the exclusion set only grows; when every
+    improving neighbor is failed the switch delivers locally or raises
+    :class:`ForwardingError`.
+    """
+    from .tracing import TraceEventKind
+
+    failed = set()
+    while True:
+        if isinstance(action, DeliverAction):
+            return action
+        if isinstance(action, _VirtualLinkStart):
+            next_switch = action.succ
+        elif isinstance(action, ForwardAction):
+            next_switch = action.next_switch
+        else:
+            return action  # unknown action: let the caller raise
+        if next_switch in switches and \
+                fault_state.can_forward(current, next_switch):
+            return action
+        failed.add(next_switch)
+        if metrics is not None:
+            metrics.counter("faults.reroutes").inc()
+        if tracer is not None:
+            tracer.record(TraceEventKind.DEGRADED_REROUTE, current,
+                          packet.data_id, avoided=next_switch)
+        action = switch.reroute(packet, frozenset(failed))
+
+
 def route_packet(
     switches: Dict[int, GredSwitch],
     entry_switch: int,
     packet: Packet,
     max_hops: int = None,
     tracer=None,
+    fault_state=None,
 ) -> RouteResult:
     """Route ``packet`` from ``entry_switch`` until local delivery.
 
@@ -63,17 +99,28 @@ def route_packet(
     tracer:
         Optional :class:`repro.dataplane.Tracer` receiving one event
         per forwarding decision.
+    fault_state:
+        Optional :class:`repro.faults.FaultState`.  When given, the
+        engine refuses to forward into crashed switches or over downed
+        links and asks the current switch for its next-best neighbor
+        instead (degraded greedy forwarding); the entry switch itself
+        must be alive.
 
     Raises
     ------
     ForwardingError
-        On inconsistent data-plane state (missing entries) or when the
-        hop bound is exceeded (a forwarding loop).
+        On inconsistent data-plane state (missing entries), when the
+        hop bound is exceeded (a forwarding loop), or when failures
+        leave a switch with no usable way forward.
     """
     from .tracing import TraceEventKind
 
     if entry_switch not in switches:
         raise ForwardingError(f"unknown entry switch {entry_switch}")
+    if fault_state is not None and \
+            not fault_state.switch_alive(entry_switch):
+        raise ForwardingError(
+            f"entry switch {entry_switch} has crashed")
     if max_hops is None:
         max_hops = 4 * len(switches) + 16
     # Telemetry is a strict no-op unless the default registry is
@@ -93,6 +140,10 @@ def route_packet(
     while True:
         switch = switches[current]
         action = switch.process(packet)
+        if fault_state is not None:
+            action = _route_around_failures(
+                switches, switch, current, packet, action, fault_state,
+                metrics, tracer)
         if isinstance(action, DeliverAction):
             if tracer is not None:
                 tracer.record(TraceEventKind.DELIVER, current,

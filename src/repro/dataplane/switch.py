@@ -104,6 +104,20 @@ class GredSwitch:
                 return action
         return self._greedy_stage(packet)
 
+    def reroute(self, packet: Packet, exclude: frozenset) -> Action:
+        """Re-decide after a forwarding attempt hit a dead neighbor or
+        link (degraded mode).
+
+        The hop is already recorded; any in-progress virtual link is
+        abandoned (its relay chain is unusable) and the greedy stage
+        re-runs with the failed neighbors excluded — the next-best
+        neighbor fallback.  Raises :class:`ForwardingError` when no
+        usable neighbor remains and the packet cannot be delivered
+        locally either.
+        """
+        packet.virtual_link = None
+        return self._greedy_stage(packet, exclude=exclude)
+
     def _process_virtual_link(self, packet: Packet) -> Optional[Action]:
         vl = packet.virtual_link
         if vl.dest == self.switch_id:
@@ -129,47 +143,56 @@ class GredSwitch:
         return (squared_distance(position, target),
                 position[0], position[1])
 
-    def _greedy_stage(self, packet: Packet) -> Action:
+    def _greedy_stage(self, packet: Packet,
+                      exclude: frozenset = frozenset()) -> Action:
         """Algorithm 2: pick the neighbor closest to ``H(d)``; deliver
-        locally when no neighbor improves."""
+        locally when no neighbor improves.
+
+        ``exclude`` (degraded mode only) names neighbors that turned
+        out to be dead or unreachable; improving candidates are walked
+        best-first skipping them, so a crashed DT neighbor degrades to
+        the next-best neighbor instead of a raised error.
+        """
         if not self.in_dt:
             raise ForwardingError(
                 f"greedy stage reached relay-only switch {self.switch_id}"
             )
         target = packet.position
         own_key = self._greedy_key(self.position, target)
-        best_id: Optional[int] = None
-        best_key = own_key
-        best_is_physical = False
-        # Physical neighbors first (Algorithm 2 line 1) so that when a DT
-        # neighbor is also physical we use the direct link.
+        # (key, tiebreak, nid): physical candidates sort before DT-only
+        # ones at equal key, matching Algorithm 2's physical-first scan
+        # (keys of distinct switches never tie — positions are
+        # deduplicated — so the tiebreak is purely defensive).
+        candidates = []
         for nid, pos in self.physical_neighbor_positions.items():
+            if nid in exclude:
+                continue
             key = self._greedy_key(pos, target)
-            if key < best_key:
-                best_key = key
-                best_id = nid
-                best_is_physical = True
+            if key < own_key:
+                candidates.append((key, 0, nid))
         for nid, pos in self.dt_neighbor_positions.items():
+            if nid in exclude or nid in self.physical_neighbor_positions:
+                continue
             key = self._greedy_key(pos, target)
-            if key < best_key:
-                best_key = key
-                best_id = nid
-                best_is_physical = nid in self.physical_neighbor_positions
-        if best_id is None:
-            return self._deliver(packet)
-        if best_is_physical:
-            return ForwardAction(next_switch=best_id)
-        return self._start_virtual_link(best_id)
-
-    def _start_virtual_link(self, dt_neighbor: int) -> Action:
-        entry = self.table.virtual_entry(dt_neighbor)
-        if entry is None or entry.succ is None:
-            raise ForwardingError(
-                f"switch {self.switch_id} has no virtual-link entry "
-                f"toward DT neighbor {dt_neighbor}"
-            )
-        return _VirtualLinkStart(dest=dt_neighbor, sour=self.switch_id,
-                                 succ=entry.succ)
+            if key < own_key:
+                candidates.append((key, 1, nid))
+        candidates.sort()
+        for _, kind, nid in candidates:
+            if kind == 0:
+                return ForwardAction(next_switch=nid)
+            entry = self.table.virtual_entry(nid)
+            if entry is None or entry.succ is None:
+                if exclude:
+                    continue  # degraded: skip the unusable candidate
+                raise ForwardingError(
+                    f"switch {self.switch_id} has no virtual-link entry "
+                    f"toward DT neighbor {nid}"
+                )
+            if entry.succ in exclude:
+                continue  # the relay's first hop is dead
+            return _VirtualLinkStart(dest=nid, sour=self.switch_id,
+                                     succ=entry.succ)
+        return self._deliver(packet)
 
     def _deliver(self, packet: Packet) -> DeliverAction:
         if self.num_servers <= 0:

@@ -23,6 +23,7 @@ class TraceEventKind(enum.Enum):
     VL_RELAY = "vl_relay"
     DELIVER = "deliver"
     EXTENSION_REWRITE = "extension_rewrite"
+    DEGRADED_REROUTE = "degraded_reroute"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,271 @@
+"""Controller-side failure detection and repair.
+
+The detector models the heartbeat loop a production SDN controller
+runs: every ``interval`` seconds it probes each switch (a southbound
+``Probe`` message) and each link.  Crashed switches do not answer;
+detection is therefore driven by the ground-truth
+:class:`~repro.faults.state.FaultState` the injector maintains.
+
+``repair()`` then performs the full recovery pipeline:
+
+1. prune dead switches and failed links from the controller's view in
+   one pass (:meth:`~repro.controlplane.Controller.absorb_failures`),
+   stranding any component disconnected from the main one — the DT is
+   repaired over the surviving participants and all rules reinstalled;
+2. replace crashed edge servers with fresh (empty) ones at the same
+   ``(switch, serial)`` slot, restoring the ``H(d) mod s`` mapping;
+3. re-replicate every catalogued item whose surviving replica count
+   dropped below its target: missing ``H(d || i)`` copies (paper
+   Section VI) are re-placed from a surviving copy.  Items with zero
+   surviving copies are reported as lost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hashing import replica_id
+from ..obs import EventLevel, default_registry
+from .state import FaultState
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Outcome of one probe sweep (no state is mutated)."""
+
+    dead_switches: List[int]
+    dead_links: List[Tuple[int, int]]
+    dead_servers: List[Tuple[int, int]]
+    probes_sent: int
+
+    @property
+    def clean(self) -> bool:
+        return not (self.dead_switches or self.dead_links
+                    or self.dead_servers)
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a full detection + repair pass."""
+
+    detection: DetectionReport
+    stranded_switches: List[int] = field(default_factory=list)
+    servers_replaced: int = 0
+    re_replicated: int = 0
+    lost_items: List[str] = field(default_factory=list)
+    #: Simulated seconds from the first fault to the repairing sweep
+    #: (heartbeat discretization); 0.0 when nothing was repaired.
+    recovery_time: float = 0.0
+
+    @property
+    def items_lost(self) -> int:
+        return len(self.lost_items)
+
+
+class FailureDetector:
+    """Heartbeat-driven failure detection and repair.
+
+    Parameters
+    ----------
+    net:
+        The :class:`~repro.core.GredNetwork` under supervision.
+    state:
+        Fault ground truth; defaults to ``net.fault_state``.
+    catalog:
+        ``data_id -> target copy count`` for re-replication.  Items
+        not catalogued are repaired opportunistically only (their
+        surviving copies stay where they are).
+    channel:
+        Optional southbound :class:`~repro.controlplane.southbound.
+        RecordingChannel`; every heartbeat probe is sent through it so
+        control-plane traffic is observable.
+    interval:
+        Heartbeat period in simulated seconds, used to compute the
+        deterministic detection latency of :meth:`repair`.
+    """
+
+    def __init__(self, net, state: Optional[FaultState] = None,
+                 catalog: Optional[Dict[str, int]] = None,
+                 channel=None, interval: float = 0.1) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.net = net
+        self.state = state if state is not None else net.fault_state
+        if self.state is None:
+            self.state = FaultState()
+        self.catalog: Dict[str, int] = dict(catalog or {})
+        self.channel = channel
+        self.interval = interval
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def register(self, data_id: str, copies: int = 1) -> None:
+        """Track an item's target replica count for re-replication."""
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        self.catalog[data_id] = copies
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def sweep(self) -> DetectionReport:
+        """Probe every switch and link; report what is dead."""
+        from ..controlplane.southbound import Probe
+
+        controller = self.net.controller
+        dead_switches: List[int] = []
+        probes = 0
+        for switch_id in sorted(controller.switches):
+            if self.channel is not None:
+                self.channel.send(Probe(switch=switch_id))
+            probes += 1
+            if not self.state.switch_alive(switch_id):
+                dead_switches.append(switch_id)
+        dead_set = set(dead_switches)
+        dead_links: List[Tuple[int, int]] = []
+        for u, v, _ in controller.topology.edges():
+            if u in dead_set or v in dead_set:
+                continue  # subsumed by the switch failure
+            if self.state.link_down(u, v):
+                dead_links.append((u, v) if u <= v else (v, u))
+        dead_servers = sorted(
+            s for s in self.state.crashed_servers
+            if s[0] not in dead_set and s[0] in controller.switches
+        )
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("faults.sweeps").inc()
+            if dead_switches:
+                registry.counter("faults.detected_switch_failures").inc(
+                    len(dead_switches))
+            if dead_links:
+                registry.counter("faults.detected_link_failures").inc(
+                    len(dead_links))
+        return DetectionReport(
+            dead_switches=dead_switches,
+            dead_links=sorted(dead_links),
+            dead_servers=dead_servers,
+            probes_sent=probes,
+        )
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def repair(self, fault_time: float = 0.0) -> RepairReport:
+        """Detect and repair in one pass; returns what was done.
+
+        ``fault_time`` (simulated) is used to compute the recovery
+        latency: the sweep fires at the next heartbeat tick after the
+        fault, so ``recovery_time = next_tick - fault_time``.
+        """
+        detection = self.sweep()
+        report = RepairReport(detection=detection)
+        if detection.clean:
+            return report
+        registry = default_registry()
+        controller = self.net.controller
+        # 1. prune the control plane and repair DT + rules.
+        if detection.dead_switches or detection.dead_links:
+            report.stranded_switches = controller.absorb_failures(
+                detection.dead_switches, detection.dead_links)
+            for switch_id in detection.dead_switches:
+                self.state.crashed_switches.discard(switch_id)
+            for link in detection.dead_links:
+                self.state.down_links.discard(link)
+            self._prune_link_state()
+        # 2. replace crashed servers on surviving switches.
+        report.servers_replaced = self._replace_servers(
+            detection.dead_servers)
+        # 3. restore replication targets.
+        report.lost_items, report.re_replicated = self._re_replicate()
+        tick = math.floor(fault_time / self.interval) + 1
+        report.recovery_time = tick * self.interval - fault_time
+        if registry.enabled:
+            if report.stranded_switches:
+                registry.counter("faults.stranded_switches").inc(
+                    len(report.stranded_switches))
+            if report.servers_replaced:
+                registry.counter("faults.servers_replaced").inc(
+                    report.servers_replaced)
+            if report.re_replicated:
+                registry.counter("faults.re_replicated").inc(
+                    report.re_replicated)
+            if report.lost_items:
+                registry.counter("faults.items_lost").inc(
+                    len(report.lost_items))
+            registry.gauge("faults.recovery_time").set(
+                report.recovery_time)
+        registry.event(
+            "failures_repaired", level=EventLevel.WARNING,
+            dead_switches=len(detection.dead_switches),
+            dead_links=len(detection.dead_links),
+            stranded=len(report.stranded_switches),
+            re_replicated=report.re_replicated,
+            items_lost=report.items_lost,
+        )
+        return report
+
+    def _prune_link_state(self) -> None:
+        """Drop loss/slow markings for links that no longer exist."""
+        topology = self.net.topology
+        for table in (self.state.loss, self.state.slow):
+            gone = [k for k in table if not topology.has_edge(*k)]
+            for key in gone:
+                table.pop(key, None)
+
+    def _replace_servers(self, dead_servers) -> int:
+        from ..edge import EdgeServer
+
+        replaced = 0
+        for switch_id, serial in dead_servers:
+            servers = self.net.server_map.get(switch_id)
+            if servers is None or not (0 <= serial < len(servers)):
+                self.state.crashed_servers.discard((switch_id, serial))
+                continue
+            old = servers[serial]
+            servers[serial] = EdgeServer(switch=switch_id, serial=serial,
+                                         capacity=old.capacity)
+            self.state.crashed_servers.discard((switch_id, serial))
+            replaced += 1
+        # Servers on switches that died with their switch are gone for
+        # good; forget them.
+        self.state.crashed_servers = {
+            s for s in self.state.crashed_servers
+            if s[0] in self.net.controller.switches
+        }
+        return replaced
+
+    def _re_replicate(self) -> Tuple[List[str], int]:
+        """Re-place missing replicas from surviving copies."""
+        if not self.catalog:
+            return [], 0
+        index: Dict[str, object] = {}
+        for switch_id in sorted(self.net.server_map):
+            for server in self.net.server_map[switch_id]:
+                for item_id in server.stored_ids():
+                    index.setdefault(item_id, server)
+        lost: List[str] = []
+        restored = 0
+        for data_id in sorted(self.catalog):
+            copies = self.catalog[data_id]
+            holders = [
+                (i, index.get(replica_id(data_id, i)))
+                for i in range(copies)
+            ]
+            present = [(i, s) for i, s in holders if s is not None]
+            if not present:
+                lost.append(data_id)
+                continue
+            source_index, source = present[0]
+            missing = [i for i, s in holders if s is None]
+            if not missing:
+                continue
+            payload = source.retrieve(replica_id(data_id, source_index))
+            for i in missing:
+                self.net._place_one(replica_id(data_id, i), payload,
+                                    source.switch)
+                restored += 1
+        return lost, restored

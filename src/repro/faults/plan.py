@@ -1,0 +1,149 @@
+"""Declarative fault plans: timed failure events.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records.
+Plans are pure data — JSON round-trippable, validated on construction,
+and replayed either instantaneously (phase experiments) or on the
+packet simulator's clock (crash-under-load).  Event kinds::
+
+    {"time": 0.2, "kind": "switch_crash", "switch": 4}
+    {"time": 0.3, "kind": "server_crash", "switch": 2, "serial": 0}
+    {"time": 0.4, "kind": "link_down",   "u": 1, "v": 2}
+    {"time": 0.7, "kind": "link_up",     "u": 1, "v": 2}
+    {"time": 0.1, "kind": "packet_loss", "u": 0, "v": 3,
+     "probability": 0.2}
+    {"time": 0.1, "kind": "slow_link",   "u": 0, "v": 3, "factor": 4.0}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Dict, Iterator, List, Optional, Sequence, Union
+
+
+class FaultPlanError(Exception):
+    """Raised for malformed fault plans or inapplicable fault events."""
+
+
+#: Required extra fields per event kind.
+FAULT_KINDS: Dict[str, tuple] = {
+    "switch_crash": ("switch",),
+    "server_crash": ("switch", "serial"),
+    "link_down": ("u", "v"),
+    "link_up": ("u", "v"),
+    "packet_loss": ("u", "v", "probability"),
+    "slow_link": ("u", "v", "factor"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault, validated against its kind's required fields."""
+
+    time: float
+    kind: str
+    switch: Optional[int] = None
+    serial: Optional[int] = None
+    u: Optional[int] = None
+    v: Optional[int] = None
+    probability: Optional[float] = None
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.time < 0:
+            raise FaultPlanError(
+                f"event time must be >= 0, got {self.time}")
+        missing = [f for f in FAULT_KINDS[self.kind]
+                   if getattr(self, f) is None]
+        if missing:
+            raise FaultPlanError(
+                f"{self.kind} event at t={self.time} is missing "
+                f"required field(s) {missing}"
+            )
+        if self.probability is not None and not (
+                0.0 <= self.probability <= 1.0):
+            raise FaultPlanError(
+                f"packet_loss probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        if self.factor is not None and self.factor < 1.0:
+            raise FaultPlanError(
+                f"slow_link factor must be >= 1, got {self.factor}")
+
+    def to_dict(self) -> Dict:
+        record: Dict = {"time": self.time, "kind": self.kind}
+        for name in FAULT_KINDS[self.kind]:
+            record[name] = getattr(self, name)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "FaultEvent":
+        if "kind" not in record or "time" not in record:
+            raise FaultPlanError(
+                f"a fault event needs 'time' and 'kind' fields, got "
+                f"{sorted(record)}"
+            )
+        known = {"time", "kind", "switch", "serial", "u", "v",
+                 "probability", "factor"}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault event field(s) {unknown}")
+        return cls(**record)
+
+
+class FaultPlan:
+    """An immutable, time-ordered sequence of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = sorted(
+            events, key=lambda e: e.time)
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        return list(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def first_fault_time(self) -> Optional[float]:
+        return self._events[0].time if self._events else None
+
+    @property
+    def last_fault_time(self) -> Optional[float]:
+        return self._events[-1].time if self._events else None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"events": [e.to_dict() for e in self._events]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise FaultPlanError(
+                "a fault plan is an object with an 'events' list")
+        events = payload["events"]
+        if not isinstance(events, list):
+            raise FaultPlanError("'events' must be a list")
+        return cls([FaultEvent.from_dict(e) for e in events])
+
+    @classmethod
+    def from_json(cls, source: Union[str, IO[str]]) -> "FaultPlan":
+        """Parse a plan from a JSON file path or an open text file."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        else:
+            payload = json.load(source)
+        return cls.from_dict(payload)

@@ -1,0 +1,76 @@
+"""Shared ground-truth fault state.
+
+A single :class:`FaultState` instance is attached to a
+:class:`~repro.core.GredNetwork` (``net.fault_state``) by the
+:class:`~repro.faults.injector.FaultInjector`.  The data plane
+(:func:`repro.dataplane.route_packet`), the retrieval failover in
+``GredNetwork.retrieve`` and the packet-level simulator all consult it;
+the :class:`~repro.faults.detector.FailureDetector` reads it as the
+heartbeat oracle (a crashed switch does not answer its probe).
+
+The module is deliberately import-free within the package so the data
+plane can type against it without a circular import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+LinkKey = Tuple[int, int]
+
+
+def link_key(u: int, v: int) -> LinkKey:
+    """Canonical (sorted) key for an undirected link."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class FaultState:
+    """Which parts of the network are currently failed or degraded."""
+
+    crashed_switches: Set[int] = field(default_factory=set)
+    crashed_servers: Set[Tuple[int, int]] = field(default_factory=set)
+    down_links: Set[LinkKey] = field(default_factory=set)
+    #: Per-link packet loss probability in [0, 1].
+    loss: Dict[LinkKey, float] = field(default_factory=dict)
+    #: Per-link delay multiplier (> 1 means slower).
+    slow: Dict[LinkKey, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # queries (hot path: keep them trivial)
+    # ------------------------------------------------------------------
+    def switch_alive(self, switch_id: int) -> bool:
+        return switch_id not in self.crashed_switches
+
+    def server_alive(self, server_id: Tuple[int, int]) -> bool:
+        return (server_id not in self.crashed_servers
+                and server_id[0] not in self.crashed_switches)
+
+    def link_down(self, u: int, v: int) -> bool:
+        return link_key(u, v) in self.down_links
+
+    def can_forward(self, u: int, v: int) -> bool:
+        """Whether a packet at ``u`` can be handed to neighbor ``v``."""
+        return (v not in self.crashed_switches
+                and link_key(u, v) not in self.down_links)
+
+    def loss_probability(self, u: int, v: int) -> float:
+        return self.loss.get(link_key(u, v), 0.0)
+
+    def delay_factor(self, u: int, v: int) -> float:
+        return self.slow.get(link_key(u, v), 1.0)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def any_active(self) -> bool:
+        return bool(self.crashed_switches or self.crashed_servers
+                    or self.down_links or self.loss or self.slow)
+
+    def clear(self) -> None:
+        self.crashed_switches.clear()
+        self.crashed_servers.clear()
+        self.down_links.clear()
+        self.loss.clear()
+        self.slow.clear()

@@ -111,6 +111,7 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
         servers.sort(key=lambda s: s.serial)
     config = snapshot["config"]
     net = GredNetwork.__new__(GredNetwork)
+    net.fault_state = None  # __init__ is bypassed; restore healthy
     from ..controlplane import Controller
 
     controller = Controller.__new__(Controller)

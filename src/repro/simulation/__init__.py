@@ -10,6 +10,7 @@ from .response import (
 from .packet_sim import (
     LinkModel,
     PacketCompletion,
+    PacketFailure,
     PacketLevelSimulator,
 )
 
@@ -22,4 +23,5 @@ __all__ = [
     "LinkModel",
     "PacketLevelSimulator",
     "PacketCompletion",
+    "PacketFailure",
 ]

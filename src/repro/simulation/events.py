@@ -57,8 +57,18 @@ class Simulator:
             self._queue, (time, next(self._counter), callback)
         )
 
-    def run(self, max_events: int = 10_000_000) -> float:
+    def run(self, max_events: int = 10_000_000,
+            until: float = None) -> float:
         """Run until the event queue drains; returns the final time.
+
+        Parameters
+        ----------
+        max_events:
+            Safety bound on the number of events fired.
+        until:
+            Optional horizon: stop before the first event scheduled
+            after this time and advance the clock to it.  Remaining
+            events stay queued, so the run can be resumed.
 
         Raises
         ------
@@ -79,6 +89,9 @@ class Simulator:
                 "simulation.events_processed")
         fired = 0
         while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = max(self._now, until)
+                break
             time, _, callback = heapq.heappop(self._queue)
             self._now = time
             callback()

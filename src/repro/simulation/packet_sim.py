@@ -19,6 +19,14 @@ protocol); what is simulated is their transmission:
 This powers the throughput/saturation experiment (X5): GRED's shorter
 paths consume less aggregate bandwidth per request than Chord's, so it
 sustains a higher request rate before the response delay blows up.
+
+With a :class:`repro.faults.FaultState` attached, the simulator also
+models failures in flight: packets are dropped on crashed switches,
+downed links, lossy links (Bernoulli draws from a dedicated RNG) and
+dead servers, and each dropped request is retransmitted with
+exponential backoff up to ``max_attempts`` times before it is recorded
+as failed.  A :class:`repro.faults.FaultPlan` can be woven into the
+event timeline so faults strike mid-trace.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..dataplane import ForwardingError
 from ..graph import bfs_path
 from ..obs import default_registry
 from ..workloads import RetrievalRequest
@@ -63,6 +72,15 @@ class PacketCompletion:
     link_wait: float  # total time spent queued on links
 
 
+@dataclass
+class PacketFailure:
+    """One request that exhausted its retransmission budget."""
+
+    request: RetrievalRequest
+    reason: str
+    attempts: int
+
+
 class PacketLevelSimulator:
     """Simulates a retrieval trace with per-link contention.
 
@@ -73,14 +91,39 @@ class PacketLevelSimulator:
         ``topology`` (GRED, Chord, or a baseline).
     model:
         Physical link/switch/server parameters.
+    fault_state:
+        Optional :class:`repro.faults.FaultState`; defaults to the
+        network's own (``net.fault_state``) when one is attached.
+    loss_rng:
+        RNG (``random()`` method) for packet-loss draws; required only
+        when the fault state carries lossy links.
+    max_attempts:
+        Injection attempts per request, including the first (1 = no
+        retransmission).
+    retry_backoff:
+        Base retransmission delay; attempt ``n`` retries after
+        ``retry_backoff * 2**(n-1)`` seconds.
     """
 
-    def __init__(self, net, model: Optional[LinkModel] = None) -> None:
+    def __init__(self, net, model: Optional[LinkModel] = None,
+                 fault_state=None, loss_rng=None,
+                 max_attempts: int = 1,
+                 retry_backoff: float = 0.01) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.net = net
         self.model = model or LinkModel()
+        self.fault_state = fault_state if fault_state is not None \
+            else getattr(net, "fault_state", None)
+        self.loss_rng = loss_rng
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
         self._link_busy: Dict[Tuple[int, int], float] = {}
         self._server_busy: Dict[object, float] = {}
         self.completed: List[PacketCompletion] = []
+        self.failed: List[PacketFailure] = []
 
     # ------------------------------------------------------------------
     def _route_switch_path(self, request: RetrievalRequest
@@ -115,13 +158,36 @@ class PacketLevelSimulator:
     # ------------------------------------------------------------------
     def run(self, trace: Sequence[RetrievalRequest],
             request_size: int = 256,
-            response_size: int = 4096) -> List[PacketCompletion]:
+            response_size: int = 4096,
+            injector=None, plan=None) -> List[PacketCompletion]:
         """Simulate the whole trace; returns completions sorted by
-        injection time."""
+        injection time.
+
+        Parameters
+        ----------
+        injector:
+            Optional :class:`repro.faults.FaultInjector`; its fault
+            state becomes the simulator's when none was configured.
+        plan:
+            Optional :class:`repro.faults.FaultPlan` whose events are
+            applied through ``injector`` at their scheduled times,
+            interleaved with the request trace (faults at time *t*
+            strike before requests injected at *t*).
+        """
         sim = Simulator()
         self._link_busy = {}
         self._server_busy = {}
         self.completed = []
+        self.failed = []
+        if plan is not None and injector is None:
+            raise ValueError("a fault plan needs an injector")
+        if injector is not None and self.fault_state is None:
+            self.fault_state = injector.state
+        if plan is not None:
+            for event in plan.events:
+                sim.schedule_at(
+                    event.time,
+                    lambda ev=event: injector.apply(ev))
         for request in trace:
             sim.schedule_at(request.time,
                             self._make_injection(sim, request,
@@ -133,16 +199,39 @@ class PacketLevelSimulator:
 
     def _make_injection(self, sim: Simulator,
                         request: RetrievalRequest,
-                        request_size: int, response_size: int):
+                        request_size: int, response_size: int,
+                        attempt: int = 1):
         def inject() -> None:
             registry = default_registry()
             if registry.enabled:
                 registry.counter("simulation.packets_injected").inc()
                 registry.gauge("simulation.inflight_packets").inc()
-            forward_path, server_key = self._route_switch_path(request)
+            fault_state = self.fault_state
+            if fault_state is not None and \
+                    not fault_state.switch_alive(request.entry_switch):
+                self._drop(sim, request, request_size, response_size,
+                           attempt, "entry switch crashed")
+                return
+            try:
+                forward_path, server_key = \
+                    self._route_switch_path(request)
+            except ForwardingError as exc:
+                self._drop(sim, request, request_size, response_size,
+                           attempt, f"no route: {exc}")
+                return
             state = {"wait": 0.0}
 
+            def fail(reason: str) -> None:
+                self._drop(sim, request, request_size, response_size,
+                           attempt, reason)
+
             def after_forward() -> None:
+                if fault_state is not None and \
+                        isinstance(server_key, tuple) and \
+                        len(server_key) == 2 and \
+                        not fault_state.server_alive(server_key):
+                    fail(f"server {server_key} crashed")
+                    return
                 busy = self._server_busy.get(server_key, 0.0)
                 start = max(sim.now, busy)
                 finish = start + self.model.server_service_time
@@ -160,18 +249,46 @@ class PacketLevelSimulator:
                             len(return_path) - 1,
                             state["wait"],
                         ),
+                        fail,
                     )
 
                 sim.schedule(finish - sim.now, after_service)
 
             self._send_along(sim, forward_path, request_size, state,
-                             after_forward)
+                             after_forward, fail)
 
         return inject
 
+    def _drop(self, sim: Simulator, request: RetrievalRequest,
+              request_size: int, response_size: int,
+              attempt: int, reason: str) -> None:
+        """Handle one lost packet: retransmit with backoff or fail."""
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("faults.packets_dropped").inc()
+            registry.gauge("simulation.inflight_packets").dec()
+        if attempt < self.max_attempts:
+            if registry.enabled:
+                registry.counter("faults.retransmissions").inc()
+            backoff = self.retry_backoff * (2 ** (attempt - 1))
+            sim.schedule(backoff, self._make_injection(
+                sim, request, request_size, response_size,
+                attempt + 1))
+            return
+        if registry.enabled:
+            registry.counter("faults.requests_failed").inc()
+        self.failed.append(PacketFailure(
+            request=request, reason=reason, attempts=attempt))
+
     def _send_along(self, sim: Simulator, path: List[int], size: int,
-                    state: Dict[str, float], done) -> None:
-        """Move one packet along ``path`` hop by hop with queueing."""
+                    state: Dict[str, float], done,
+                    fail=None) -> None:
+        """Move one packet along ``path`` hop by hop with queueing.
+
+        ``fail(reason)`` is invoked instead of ``done`` when the packet
+        is lost to a fault mid-path; with no fault state the path is
+        always completed.
+        """
         if len(path) <= 1:
             sim.schedule(0.0, done)
             return
@@ -180,12 +297,26 @@ class PacketLevelSimulator:
             registry.histogram("simulation.link_backlog_seconds")
             if registry.enabled else None
         )
+        fault_state = self.fault_state
 
         def hop(index: int) -> None:
             if index >= len(path) - 1:
                 done()
                 return
             u, v = path[index], path[index + 1]
+            factor = 1.0
+            if fault_state is not None and fail is not None:
+                # Faults are evaluated when the hop is taken, so a
+                # crash mid-flight catches packets already en route.
+                if not fault_state.can_forward(u, v):
+                    fail(f"link {u}-{v} failed in flight")
+                    return
+                loss = fault_state.loss_probability(u, v)
+                if loss > 0.0 and self.loss_rng is not None and \
+                        self.loss_rng.random() < loss:
+                    fail(f"packet lost on link {u}-{v}")
+                    return
+                factor = fault_state.delay_factor(u, v)
             link = (u, v)
             ready = sim.now + self.model.switch_processing
             busy = self._link_busy.get(link, 0.0)
@@ -193,9 +324,9 @@ class PacketLevelSimulator:
             state["wait"] += start_tx - ready
             if backlog_hist is not None:
                 backlog_hist.observe(max(0.0, busy - ready))
-            end_tx = start_tx + self.model.serialization(size)
+            end_tx = start_tx + self.model.serialization(size) * factor
             self._link_busy[link] = end_tx
-            arrival = end_tx + self.model.propagation_delay
+            arrival = end_tx + self.model.propagation_delay * factor
             sim.schedule(arrival - sim.now, lambda: hop(index + 1))
 
         hop(0)

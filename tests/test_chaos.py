@@ -166,3 +166,65 @@ class TestDataPlaneFailsLoudly:
             kinds = {v.kind
                      for v in verify_installed_state(net.controller)}
             assert saw_error or "broken-relay-chain" in kinds
+
+
+class TestCrashUnderLoad:
+    """Ungraceful crashes while a workload is in flight (S4)."""
+
+    def _place(self, net, count=20, copies=2):
+        items = [f"load-{i}" for i in range(count)]
+        for data_id in items:
+            net.place(data_id, payload=data_id, entry_switch=0,
+                      copies=copies)
+        return items
+
+    def test_mid_trace_crash_never_misdelivers(self, net):
+        from repro.faults import FaultEvent, FaultInjector, FaultPlan
+        from repro.simulation import LinkModel, PacketLevelSimulator
+        from repro.workloads import uniform_retrieval_trace
+
+        items = self._place(net)
+        injector = FaultInjector(net, seed=2)
+        victim = injector.random_alive_switch()
+        plan = FaultPlan([FaultEvent(time=0.5, kind="switch_crash",
+                                     switch=victim)])
+        sim = PacketLevelSimulator(net, LinkModel(), max_attempts=2)
+        trace = uniform_retrieval_trace(
+            items, net.switch_ids(), 50, 1.0,
+            np.random.default_rng(6))
+        completions = sim.run(trace, injector=injector, plan=plan)
+        # Every request either completed or failed loudly; none vanish.
+        assert len(completions) + len(sim.failed) == len(trace)
+        for failure in sim.failed:
+            assert failure.reason
+
+    def test_detection_only_repair_matches_survivor_prediction(self, net):
+        """Without a re-replication catalog, exactly the items with a
+        surviving replica stay retrievable after repair."""
+        from repro.faults import FailureDetector, FaultInjector
+        from repro.hashing import replica_id
+
+        items = self._place(net, copies=2)
+        injector = FaultInjector(net, seed=3)
+        victim = injector.random_alive_switch()
+        injector.crash_switch(victim)
+        FailureDetector(net).repair()  # detection only: no catalog
+        assert verify_installed_state(
+            net.controller, fault_state=net.fault_state) == []
+
+        def survived(data_id):
+            return any(
+                server.has(replica_id(data_id, i))
+                for servers in net.server_map.values()
+                for server in servers
+                for i in range(2)
+            )
+
+        entry = net.switch_ids()[0]
+        lost = 0
+        for data_id in items:
+            result = net.retrieve(data_id, entry_switch=entry, copies=2)
+            assert result.found == survived(data_id), data_id
+            lost += not result.found
+        # With 2 replicas and one crashed switch, most items survive.
+        assert lost < len(items)

@@ -5,6 +5,7 @@ import pytest
 
 from repro import GredNetwork
 from repro.controlplane import ControlPlaneError
+from repro.core import GredError
 from repro.edge import EdgeServer, attach_uniform
 from repro.topology import grid_graph
 
@@ -69,6 +70,33 @@ class TestJoin:
         assert landed
 
 
+class TestJoinValidation:
+    def test_duplicate_id_rejected(self, net):
+        with pytest.raises(GredError, match="already exists"):
+            net.add_switch(4, links=[0], servers_per_switch=1)
+
+    def test_unknown_link_peer_rejected(self, net):
+        with pytest.raises(GredError, match="do not exist"):
+            net.add_switch(100, links=[0, 999], servers_per_switch=1)
+
+    def test_failed_join_leaves_state_intact(self, net):
+        ids = place_many(net, 20, prefix="intact")
+        before_nodes = sorted(net.switch_ids())
+        with pytest.raises(GredError):
+            net.add_switch(100, links=[999], servers_per_switch=1)
+        assert sorted(net.switch_ids()) == before_nodes
+        assert not net.topology.has_node(100)
+        assert 100 not in net.server_map
+        for data_id in ids:
+            assert net.retrieve(data_id, entry_switch=0).found
+
+    def test_join_still_works_after_rejection(self, net):
+        with pytest.raises(GredError):
+            net.add_switch(100, links=[999])
+        net.add_switch(100, links=[0, 1], servers_per_switch=1)
+        assert net.topology.has_node(100)
+
+
 class TestLeave:
     def test_leave_preserves_all_data(self, net):
         ids = place_many(net, 60, prefix="leave")
@@ -90,6 +118,25 @@ class TestLeave:
         for data_id in [f"relo-{i}" for i in range(60)]:
             result = net.retrieve(data_id, entry_switch=0)
             assert result.server_id[0] != 4
+
+    def test_remove_unknown_switch_rejected(self, net):
+        with pytest.raises(GredError, match="unknown switch"):
+            net.remove_switch(999)
+
+    def test_remove_last_switch_rejected(self):
+        # Shrink a two-switch network to one, then try to empty it.
+        from repro.topology import line_graph
+
+        topo = line_graph(2)
+        net = GredNetwork(topo, attach_uniform(topo.nodes(), 1),
+                          cvt_iterations=0)
+        net.place("survivor", payload=b"x", entry_switch=0)
+        net.remove_switch(1)
+        with pytest.raises(GredError, match="empty network"):
+            net.remove_switch(0)
+        # The refusal left the switch (and its data) in place.
+        assert net.switch_ids() == [0]
+        assert net.retrieve("survivor", entry_switch=0).found
 
     def test_leave_articulation_rejected(self, net):
         # Build a line where the middle switch is an articulation point.

@@ -129,6 +129,30 @@ class TestReplication:
         ]
         assert result.copy_used == int(np.argmin(distances))
 
+    def test_retrieve_falls_back_when_nearest_copy_missing(
+            self, gred_small):
+        """Regression: losing the nearest replica must not fail the
+        whole retrieval — the remaining copies are probed in
+        nearest-first order."""
+        from repro.hashing import replica_id
+
+        gred_small.place("fall-1", payload=b"p", entry_switch=0,
+                         copies=2)
+        entry = 7
+        order = gred_small._replica_order("fall-1", 2, entry)
+        nearest_id = replica_id("fall-1", order[0])
+        # Delete the nearest copy straight off its server (no
+        # control-plane involvement, as a fault would).
+        for server in gred_small.servers():
+            if server.has(nearest_id):
+                server.delete(nearest_id)
+        result = gred_small.retrieve("fall-1", entry_switch=entry,
+                                     copies=2)
+        assert result.found
+        assert result.payload == b"p"
+        assert result.copy_used == order[1]
+        assert result.attempts == 2
+
     def test_copies_reduce_average_distance(self, gred_waxman):
         """More copies must not increase the mean retrieval hops."""
         rng = np.random.default_rng(0)
