@@ -1,0 +1,24 @@
+"""Standalone runner for the request fast-path throughput benchmark.
+
+Equivalent to ``gred bench``; kept here so the benchmark suite is
+self-contained::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--quick] \
+        [-o BENCH_micro.json]
+
+The report schema (``format: gred-bench-v1``) and methodology live in
+:mod:`repro.bench`.
+"""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+    )
+    from repro.cli import main
+
+    sys.exit(main(["bench"] + sys.argv[1:]))

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import utils
 from ..chord import server_name
 from ..edge import ServerMap, all_servers, attach_uniform, load_vector
 from ..graph import Graph, bfs_path
@@ -127,10 +128,10 @@ class ConsistentHashingNetwork:
         avoids."""
         return len(self._ring)
 
-    def _resolve_entry(self, entry_switch, rng) -> int:
+    def _resolve_entry(self, entry_switch: Optional[int],
+                       rng: Optional[np.random.Generator]) -> int:
         if entry_switch is not None:
             return entry_switch
         ids = self.topology.nodes()
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = utils.rng(rng)
         return ids[int(rng.integers(0, len(ids)))]

@@ -1,0 +1,294 @@
+"""Throughput microbenchmark of the request fast path.
+
+Backs the ``gred bench`` CLI command and
+``benchmarks/bench_throughput.py``: it builds two identical deployments
+from one seed, drives the same seeded workload through the scalar
+per-request loop on one and the batch fast path
+(:meth:`~repro.core.network.GredNetwork.place_many` /
+:meth:`~repro.core.network.GredNetwork.retrieve_many`) on the other,
+asserts the per-request outcomes are identical, and reports
+requests/sec, p50/p99 per-operation latency and control-plane
+recompute time in a stable JSON schema (``format: gred-bench-v1``)
+suitable for committing as ``BENCH_micro.json`` and diffing across
+runs.
+
+Methodology notes:
+
+* every timed section runs with the GC frozen so collection pauses of
+  earlier rounds don't land in later ones;
+* each repeat places a fresh namespace of identifiers (placement cost
+  is storage-independent, so the network can be reused while the
+  streams of both deployments stay in lockstep);
+* throughput is the best of ``repeats`` rounds (the usual "min over
+  repeats estimates the noise floor" microbenchmark convention);
+* scalar p50/p99 come from per-call wall times; batch p50/p99 are
+  per-call amortized (call wall time / call size), the per-request
+  latency a caller batching at that granularity observes.  The default
+  ``chunks = 1`` feeds each round to one ``place_many`` /
+  ``retrieve_many`` call — the batch APIs' natural operating point;
+  raise ``chunks`` to study smaller batch granularities (small chunks
+  fall below the wave router's straggler threshold and degrade toward
+  scalar cost).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class BenchConfig:
+    """Workload shape for :func:`run_bench`."""
+
+    switches: int = 200
+    requests: int = 10_000
+    copies: int = 1
+    servers_per_switch: int = 4
+    min_degree: int = 3
+    cvt_iterations: int = 20
+    seed: int = 0
+    repeats: int = 3
+    #: Number of ``place_many``/``retrieve_many`` calls the workload is
+    #: split into; the per-call amortized latencies form the batch
+    #: latency distribution.
+    chunks: int = 1
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """CI smoke preset: a tiny topology and workload (~seconds)."""
+        return cls(switches=24, requests=400, cvt_iterations=5,
+                   repeats=2)
+
+
+def _percentile_us(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile of per-op seconds, in microseconds."""
+    return float(np.percentile(np.asarray(samples), q) * 1e6)
+
+
+def _stats(best_seconds: float, requests: int,
+           per_op_seconds: List[float]) -> Dict[str, Any]:
+    return {
+        "seconds": best_seconds,
+        "requests_per_sec": requests / best_seconds,
+        "p50_us": _percentile_us(per_op_seconds, 50.0),
+        "p99_us": _percentile_us(per_op_seconds, 99.0),
+    }
+
+
+def _chunk_bounds(total: int, chunks: int) -> List[range]:
+    chunks = max(1, min(chunks, total))
+    step = total // chunks
+    extra = total % chunks
+    bounds = []
+    start = 0
+    for c in range(chunks):
+        size = step + (1 if c < extra else 0)
+        bounds.append(range(start, start + size))
+        start += size
+    return bounds
+
+
+@dataclass
+class _Round:
+    seconds: float
+    per_op: List[float] = field(default_factory=list)
+
+
+def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
+    """Run the fast-path benchmark; returns the report dict
+    (``format: gred-bench-v1``)."""
+    from .core.network import GredNetwork
+    from .edge import attach_uniform
+    from .topology import brite_waxman_graph
+
+    config = config or BenchConfig()
+    topology, _ = brite_waxman_graph(
+        config.switches, min_degree=config.min_degree,
+        rng=np.random.default_rng(config.seed),
+    )
+
+    def build() -> GredNetwork:
+        return GredNetwork(
+            topology,
+            attach_uniform(topology.nodes(),
+                           servers_per_switch=config.servers_per_switch),
+            cvt_iterations=config.cvt_iterations,
+            seed=config.seed,
+        )
+
+    t0 = time.perf_counter()
+    scalar_net = build()
+    build_seconds = time.perf_counter() - t0
+    batch_net = build()
+    t0 = time.perf_counter()
+    scalar_net.controller.recompute()
+    recompute_seconds = time.perf_counter() - t0
+    # Keep both deployments in the same epoch/placement state.
+    batch_net.controller.recompute()
+
+    scalar_rng = np.random.default_rng(config.seed + 1)
+    batch_rng = np.random.default_rng(config.seed + 1)
+    equivalence = {"placement_identical": True,
+                   "retrieval_identical": True,
+                   "load_vector_identical": True}
+    place_rounds: Dict[str, List[_Round]] = {"scalar": [], "batch": []}
+    get_rounds: Dict[str, List[_Round]] = {"scalar": [], "batch": []}
+    bounds = _chunk_bounds(config.requests, config.chunks)
+
+    gc_was_enabled = gc.isenabled()
+    try:
+        for repeat in range(config.repeats):
+            ids = [f"bench/{repeat}/{i}" for i in range(config.requests)]
+            perf = time.perf_counter
+
+            gc.collect()
+            gc.disable()
+            per_op = []
+            start = perf()
+            scalar_placed = []
+            for data_id in ids:
+                op0 = perf()
+                scalar_placed.append(scalar_net.place(
+                    data_id, copies=config.copies, rng=scalar_rng))
+                per_op.append(perf() - op0)
+            place_rounds["scalar"].append(_Round(perf() - start, per_op))
+
+            per_op = []
+            start = perf()
+            batch_placed: List[Any] = []
+            for chunk in bounds:
+                op0 = perf()
+                batch_placed.extend(batch_net.place_many(
+                    ids[chunk.start:chunk.stop],
+                    copies=config.copies, rng=batch_rng))
+                per_op.append((perf() - op0) / len(chunk))
+            place_rounds["batch"].append(_Round(perf() - start, per_op))
+
+            per_op = []
+            start = perf()
+            scalar_got = []
+            for data_id in ids:
+                op0 = perf()
+                scalar_got.append(scalar_net.retrieve(
+                    data_id, copies=config.copies, rng=scalar_rng))
+                per_op.append(perf() - op0)
+            get_rounds["scalar"].append(_Round(perf() - start, per_op))
+
+            per_op = []
+            start = perf()
+            batch_got: List[Any] = []
+            for chunk in bounds:
+                op0 = perf()
+                batch_got.extend(batch_net.retrieve_many(
+                    ids[chunk.start:chunk.stop],
+                    copies=config.copies, rng=batch_rng))
+                per_op.append((perf() - op0) / len(chunk))
+            get_rounds["batch"].append(_Round(perf() - start, per_op))
+            gc.enable()
+
+            if scalar_placed != batch_placed:
+                equivalence["placement_identical"] = False
+            if scalar_got != batch_got:
+                equivalence["retrieval_identical"] = False
+        if scalar_net.load_vector() != batch_net.load_vector():
+            equivalence["load_vector_identical"] = False
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    def section(rounds: Dict[str, List[_Round]]) -> Dict[str, Any]:
+        scalar_best = min(rounds["scalar"], key=lambda r: r.seconds)
+        batch_best = min(rounds["batch"], key=lambda r: r.seconds)
+        return {
+            "scalar": _stats(scalar_best.seconds, config.requests,
+                             scalar_best.per_op),
+            "batch": _stats(batch_best.seconds, config.requests,
+                            batch_best.per_op),
+            "batch_speedup": scalar_best.seconds / batch_best.seconds,
+        }
+
+    return {
+        "format": "gred-bench-v1",
+        "generated_unix": time.time(),
+        "config": {
+            "switches": config.switches,
+            "requests": config.requests,
+            "copies": config.copies,
+            "servers_per_switch": config.servers_per_switch,
+            "min_degree": config.min_degree,
+            "cvt_iterations": config.cvt_iterations,
+            "seed": config.seed,
+            "repeats": config.repeats,
+            "chunks": config.chunks,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "control_plane": {
+            "build_seconds": build_seconds,
+            "recompute_seconds": recompute_seconds,
+        },
+        "placement": section(place_rounds),
+        "retrieval": section(get_rounds),
+        "equivalence": equivalence,
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_summary(report: Dict[str, Any]) -> str:
+    """Human-readable digest of a ``gred-bench-v1`` report."""
+    lines = []
+    cfg = report["config"]
+    lines.append(
+        f"fast-path bench: {cfg['switches']} switches, "
+        f"{cfg['requests']} requests x{cfg['repeats']} repeats "
+        f"(copies={cfg['copies']})"
+    )
+    cp = report["control_plane"]
+    lines.append(
+        f"control plane   : build {cp['build_seconds']:.3f}s, "
+        f"recompute {cp['recompute_seconds']:.3f}s"
+    )
+    for name in ("placement", "retrieval"):
+        sec = report[name]
+        scalar, batch = sec["scalar"], sec["batch"]
+        lines.append(
+            f"{name:<16}: scalar {scalar['requests_per_sec']:,.0f} rps "
+            f"(p50 {scalar['p50_us']:.1f}us p99 {scalar['p99_us']:.1f}us)"
+            f" | batch {batch['requests_per_sec']:,.0f} rps "
+            f"(p50 {batch['p50_us']:.1f}us p99 {batch['p99_us']:.1f}us)"
+            f" | speedup {sec['batch_speedup']:.2f}x"
+        )
+    eq = report["equivalence"]
+    ok = all(eq.values())
+    lines.append(f"equivalence     : "
+                 f"{'identical outcomes' if ok else 'MISMATCH ' + str(eq)}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.bench``)."""
+    from .cli import main as cli_main
+
+    return cli_main(["bench"] + list(sys.argv[1:] if argv is None
+                                     else argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import utils
 from ..edge import ServerMap, all_servers, attach_uniform, load_vector
 from ..graph import Graph, all_pairs_hop_matrix
 from .ring import ChordError, ChordRing, RingNode
@@ -162,6 +163,5 @@ class ChordNetwork:
         if entry_switch is not None:
             return entry_switch
         ids = self.topology.nodes()
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = utils.rng(rng)
         return ids[int(rng.integers(0, len(ids)))]

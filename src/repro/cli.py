@@ -10,6 +10,7 @@ File-backed workflows over a saved deployment snapshot::
     gred experiment fig9a [--metrics-out m.json]
     gred metrics -n net.json            # or: --from m.json [--json]
     gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
+    gred bench [--quick] [-o BENCH_micro.json]
 
 (Installed as the ``gred`` console script; also runnable via
 ``python -m repro.cli``.)
@@ -151,6 +152,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="heartbeat period of the failure detector")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the request fast path (scalar vs batch) and "
+             "write BENCH_micro.json")
+    bench.add_argument("--switches", type=int, default=200)
+    bench.add_argument("--requests", type=int, default=10_000)
+    bench.add_argument("--copies", type=int, default=1)
+    bench.add_argument("--servers", type=int, default=4,
+                       help="servers per switch")
+    bench.add_argument("--min-degree", type=int, default=3)
+    bench.add_argument("--cvt-iterations", type=int, default=20)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing rounds; throughput is the best round")
+    bench.add_argument("--chunks", type=int, default=1,
+                       help="batch calls per round (batch p50/p99 are "
+                            "per-call amortized)")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny CI smoke preset (overrides the "
+                            "workload-shape flags)")
+    bench.add_argument("-o", "--output", default="BENCH_micro.json",
+                       metavar="FILE",
+                       help="report path (default: BENCH_micro.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full report instead of the "
+                            "summary")
     return parser
 
 
@@ -490,6 +518,34 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import BenchConfig, render_summary, run_bench, write_report
+
+    if args.quick:
+        config = BenchConfig.quick()
+        config.seed = args.seed
+    else:
+        config = BenchConfig(
+            switches=args.switches,
+            requests=args.requests,
+            copies=args.copies,
+            servers_per_switch=args.servers,
+            min_degree=args.min_degree,
+            cvt_iterations=args.cvt_iterations,
+            seed=args.seed,
+            repeats=args.repeats,
+            chunks=args.chunks,
+        )
+    report = run_bench(config)
+    write_report(report, args.output)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_summary(report))
+    print(f"wrote {args.output}")
+    return 0 if all(report["equivalence"].values()) else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "place": _cmd_place,
@@ -504,6 +560,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "experiment": _cmd_experiment,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
 }
 
 

@@ -2,6 +2,7 @@
 installation, range extension, dynamics) and the rule compiler."""
 
 from .controller import ControlPlaneError, Controller, ControllerConfig
+from .routing_index import RoutingIndex
 from .verification import Violation, verify_installed_state
 from .southbound import (
     RecordingChannel,
@@ -23,6 +24,7 @@ __all__ = [
     "Controller",
     "ControllerConfig",
     "ControlPlaneError",
+    "RoutingIndex",
     "install_all_rules",
     "compile_port_map",
     "bfs_parent_tree",

@@ -42,6 +42,7 @@ from ..graph import (
 )
 from ..obs import EventLevel, default_registry
 from . import rules
+from .routing_index import RoutingIndex
 
 
 class ControlPlaneError(Exception):
@@ -233,6 +234,13 @@ class Controller:
             self.switches[node] = switch
 
     def _install_rules(self) -> None:
+        # Any rule (re)install means the routing geometry may have
+        # changed: advance the epoch so every epoch-scoped cache
+        # (routing index, compiled fast path, route/hop caches)
+        # invalidates itself.  getattr: snapshots restore controllers
+        # via ``__new__`` and predate the field.
+        self._epoch = getattr(self, "_epoch", 0) + 1
+        self._routing_index = None
         registry = default_registry()
         with registry.timer("controlplane.phase.rule_install"):
             rules.install_all_rules(
@@ -603,9 +611,37 @@ class Controller:
             raise ControlPlaneError(f"unknown switch {switch_id}")
         return self.positions[switch_id]
 
+    @property
+    def epoch(self) -> int:
+        """Monotone counter advanced on every rule (re)install —
+        ``recompute``, switch/link joins and leaves, failure
+        absorption.  Epoch-scoped caches (routing index, compiled
+        fast path, route caches) compare against it to invalidate."""
+        return getattr(self, "_epoch", 0)
+
+    def routing_index(self) -> RoutingIndex:
+        """The grid index over current participant positions (built
+        lazily, cached until the epoch advances)."""
+        index = getattr(self, "_routing_index", None)
+        if index is None:
+            index = RoutingIndex(self.dt_participants(), self.positions)
+            self._routing_index = index
+        return index
+
     def closest_switch(self, point: Point) -> int:
         """The DT participant whose position is nearest to ``point``
-        (ties: lowest x, then y — the paper's rule)."""
+        (ties: lowest x, then y — the paper's rule).
+
+        Served by the epoch-scoped grid index; the exhaustive scan is
+        kept as :meth:`closest_switch_bruteforce` (the index's
+        correctness oracle in the test suite)."""
+        index = self.routing_index()
+        if not len(index):
+            return None
+        return index.closest(point)
+
+    def closest_switch_bruteforce(self, point: Point) -> int:
+        """Reference O(participants) scan with the same tie-break."""
         participants = self.dt_participants()
         best = None
         best_key = None

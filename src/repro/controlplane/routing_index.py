@@ -1,0 +1,167 @@
+"""A uniform-grid spatial index over DT-participant positions.
+
+``Controller.closest_switch`` is the control plane's hottest query: the
+facade resolves every data identifier's destination through it, and the
+brute-force scan is O(participants) per call.  This index buckets the
+participant positions into a uniform grid and answers nearest-neighbor
+queries by expanding-ring search, which is O(1) amortized for
+positions spread over the unit square (CVT-regulated positions are by
+construction).
+
+Exactness contract: :meth:`closest` returns the same switch as the
+brute-force rule — minimal ``(euclidean(pos, point), pos.x, pos.y)``
+key — for every query point.  Candidate keys use the same
+correctly-rounded ``math.hypot`` the brute force uses, and the ring
+search only stops once the next ring's geometric lower bound (minus a
+safety margin for float rounding in the bound itself) strictly exceeds
+the best distance, so boundary ties are never cut off.
+
+Instances are immutable snapshots: the controller rebuilds the index
+whenever its topology/recompute epoch advances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..geometry import Point
+
+#: Safety margin subtracted from the ring lower bound: the bound is
+#: computed with a handful of float additions whose rounding error is
+#: orders of magnitude below this, so shaving it can only make the
+#: search examine one extra ring, never miss the true nearest.
+_BOUND_MARGIN = 1e-9
+
+
+class RoutingIndex:
+    """Immutable nearest-participant index for one control-plane epoch.
+
+    Parameters
+    ----------
+    participants:
+        DT-participant switch ids, in ``dt_participants()`` order.
+    positions:
+        Virtual position of every participant (distinct points — the
+        control plane deduplicates them).
+    """
+
+    def __init__(self, participants: Sequence[int],
+                 positions: Dict[int, Point]) -> None:
+        self._nodes: List[int] = list(participants)
+        self._xs: List[float] = []
+        self._ys: List[float] = []
+        for node in self._nodes:
+            x, y = positions[node]
+            self._xs.append(float(x))
+            self._ys.append(float(y))
+        n = len(self._nodes)
+        if n == 0:
+            self._grid: Dict[Tuple[int, int], List[int]] = {}
+            self._gx = self._gy = 1
+            self._x0 = self._y0 = 0.0
+            self._cell = 1.0
+            return
+        x0, x1 = min(self._xs), max(self._xs)
+        y0, y1 = min(self._ys), max(self._ys)
+        # ~1 point per cell on average: g ≈ sqrt(n) per axis.
+        g = max(1, int(math.sqrt(n)))
+        extent = max(x1 - x0, y1 - y0)
+        cell = extent / g if extent > 0.0 else 1.0
+        self._x0, self._y0 = x0, y0
+        self._cell = cell
+        self._gx = max(1, min(g, int((x1 - x0) / cell) + 1))
+        self._gy = max(1, min(g, int((y1 - y0) / cell) + 1))
+        self._grid = {}
+        for i in range(n):
+            key = self._cell_of(self._xs[i], self._ys[i])
+            self._grid.setdefault(key, []).append(i)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        ix = int((x - self._x0) / self._cell)
+        iy = int((y - self._y0) / self._cell)
+        if ix < 0:
+            ix = 0
+        elif ix >= self._gx:
+            ix = self._gx - 1
+        if iy < 0:
+            iy = 0
+        elif iy >= self._gy:
+            iy = self._gy - 1
+        return ix, iy
+
+    def closest(self, point: Point) -> int:
+        """The participant nearest to ``point`` under the paper's
+        ``(distance, x, y)`` tie-break rule.
+
+        Raises
+        ------
+        ValueError
+            If the index is empty (no DT participants).
+        """
+        if not self._nodes:
+            raise ValueError("routing index has no participants")
+        px = float(point[0])
+        py = float(point[1])
+        cx, cy = self._cell_of(px, py)
+        grid = self._grid
+        xs = self._xs
+        ys = self._ys
+        best_i = -1
+        best_d = math.inf
+        best_x = best_y = 0.0
+        # Rings must reach every in-bounds cell even when the query's
+        # clamped cell sits in a corner.
+        max_ring = max(cx, self._gx - 1 - cx, cy, self._gy - 1 - cy)
+        for ring in range(max_ring + 1):
+            if ring > 0 and best_i >= 0:
+                # Everything in this ring lies outside the box of cells
+                # already examined; its boundary distance lower-bounds
+                # every remaining candidate.  Ties (lb == best_d) must
+                # keep searching: the (x, y) tie-break could still
+                # prefer a boundary point.
+                bx0 = self._x0 + (cx - ring + 1) * self._cell
+                bx1 = self._x0 + (cx + ring) * self._cell
+                by0 = self._y0 + (cy - ring + 1) * self._cell
+                by1 = self._y0 + (cy + ring) * self._cell
+                lb = min(px - bx0, bx1 - px, py - by0, by1 - py)
+                if lb - _BOUND_MARGIN > best_d:
+                    break
+            for ix, iy in self._ring_cells(cx, cy, ring):
+                for i in grid.get((ix, iy), ()):
+                    x = xs[i]
+                    y = ys[i]
+                    d = math.hypot(x - px, y - py)
+                    if d > best_d:
+                        continue
+                    if d < best_d or (x, y) < (best_x, best_y):
+                        best_i = i
+                        best_d = d
+                        best_x = x
+                        best_y = y
+        return self._nodes[best_i]
+
+    def _ring_cells(self, cx: int, cy: int, ring: int):
+        """In-bounds cells at Chebyshev distance ``ring`` from the
+        center cell."""
+        gx, gy = self._gx, self._gy
+        if ring == 0:
+            if 0 <= cx < gx and 0 <= cy < gy:
+                yield cx, cy
+            return
+        x_lo, x_hi = cx - ring, cx + ring
+        y_lo, y_hi = cy - ring, cy + ring
+        for ix in range(max(0, x_lo), min(gx - 1, x_hi) + 1):
+            if 0 <= y_lo < gy:
+                yield ix, y_lo
+            if y_hi != y_lo and 0 <= y_hi < gy:
+                yield ix, y_hi
+        for iy in range(max(0, y_lo + 1), min(gy - 1, y_hi - 1) + 1):
+            if 0 <= x_lo < gx:
+                yield x_lo, iy
+            if x_hi != x_lo and 0 <= x_hi < gx:
+                yield x_hi, iy

@@ -22,12 +22,16 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+import math
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import utils
 from ..controlplane import Controller, ControllerConfig
 from ..dataplane import (
+    CompiledRouter,
     ForwardingError,
     Packet,
     PacketKind,
@@ -36,10 +40,37 @@ from ..dataplane import (
 )
 from ..edge import EdgeServer, ServerMap, attach_uniform, load_vector
 from ..geometry import euclidean
-from ..graph import Graph, hop_count
-from ..hashing import data_position, replica_id
+from ..graph import Graph, bfs_distances, hop_count
+from ..hashing import (
+    data_position,
+    positions_from_digests,
+    replica_id,
+    serials_from_digests,
+    sha256_digests,
+)
 from ..obs import BYTE_BUCKETS, HOP_BUCKETS, default_registry
 from .results import PlacementRecord, PlacementResult, RetrievalResult
+
+#: Bound on the per-epoch ``(entry, copy_id)`` route cache.
+_ROUTE_CACHE_CAP = 65536
+
+
+class _FastPathState:
+    """Epoch-scoped request fast path: the compiled router plus the
+    route and hop-distance caches that share its lifetime."""
+
+    __slots__ = ("epoch", "router", "routes", "hops")
+
+    def __init__(self, epoch: int, router: CompiledRouter) -> None:
+        self.epoch = epoch
+        self.router = router
+        #: LRU of (entry, copy_id) -> (trace, overlay, dest, serial).
+        #: Traces are shared lists — consumers copy, never mutate.
+        #: Extensions are intentionally NOT cached — they are
+        #: resolved live so extend/retract need no epoch bump.
+        self.routes: OrderedDict = OrderedDict()
+        #: BFS hop distances keyed by source switch.
+        self.hops: Dict[int, Dict[int, int]] = {}
 
 
 class GredError(Exception):
@@ -419,6 +450,416 @@ class GredNetwork:
         return self._replica_order(data_id, copies, entry)[0]
 
     # ------------------------------------------------------------------
+    # batch fast path
+    # ------------------------------------------------------------------
+    def _fast_state(self) -> _FastPathState:
+        """The epoch-scoped fast-path state, rebuilt whenever the
+        control plane advances its epoch (recompute, joins/leaves,
+        failure absorption) so stale routes can never be served."""
+        epoch = self.controller.epoch
+        state = getattr(self, "_fastpath", None)
+        if state is None or state.epoch != epoch:
+            state = _FastPathState(
+                epoch, CompiledRouter(self.controller.switches))
+            self._fastpath = state
+        return state
+
+    def _fastpath_usable(self) -> bool:
+        """Whether batch requests may skip the reference pipeline.
+
+        The compiled router emits no telemetry and assumes fault-free
+        forwarding, and the vectorized hashing assumes the paper's
+        SHA-256 position mapping — with telemetry on, faults injected,
+        or a custom ``position_fn``, batches fall back to the scalar
+        path item by item (identical results, just not vectorized).
+        """
+        return (self.fault_state is None
+                and not default_registry().enabled
+                and getattr(self, "_position_fn", None) is data_position)
+
+    def _fast_routes(self, state: _FastPathState,
+                     flat_entries: Sequence[int],
+                     flat_ids: Sequence[str],
+                     positions: np.ndarray, serial_u64s: np.ndarray,
+                     flats: Sequence[int],
+                     max_hops: Optional[int] = None) -> List[Any]:
+        """Routes for the flat request indices ``flats``, combining the
+        per-epoch LRU cache with one wave-routed batch for the misses.
+
+        Returns one ``(trace, overlay, dest, serial)`` per flat index,
+        aligned with ``flats``; a request the reference engine would
+        fail maps to its :class:`ForwardingError` instead (callers
+        raise or skip it).  Cached traces are shared — callers must
+        copy, never mutate.  A custom hop budget changes failure
+        behavior, so it bypasses the cache rather than keying on it.
+        """
+        cache = state.routes
+        if max_hops is not None:
+            routes: List[Any] = [None] * len(flats)
+            misses = list(flats)
+            slots = range(len(flats))
+            miss_keys: Optional[List[Any]] = None
+        else:
+            routes = []
+            misses = []
+            slots = []
+            miss_keys = []
+            append = routes.append
+            for f in flats:
+                key = (flat_entries[f], flat_ids[f])
+                cached = cache.get(key)
+                if cached is None:
+                    slots.append(len(routes))
+                    misses.append(f)
+                    miss_keys.append(key)
+                    append(None)
+                else:
+                    cache.move_to_end(key)
+                    append(cached)
+        if misses:
+            idx = np.asarray(misses, dtype=np.intp)
+            outcomes = state.router.route_batch(
+                [flat_entries[f] for f in misses],
+                [flat_ids[f] for f in misses],
+                positions[idx, 0], positions[idx, 1],
+                serial_u64s[idx], max_hops=max_hops,
+            )
+            if miss_keys is None:
+                for slot, out in zip(slots, outcomes):
+                    routes[slot] = out
+            else:
+                for slot, key, out in zip(slots, miss_keys, outcomes):
+                    routes[slot] = out
+                    if type(out) is tuple:
+                        cache[key] = out
+                while len(cache) > _ROUTE_CACHE_CAP:
+                    cache.popitem(last=False)
+        return routes
+
+    def _fast_hop(self, state: _FastPathState, source: int,
+                  target: int) -> int:
+        """Hop distance with a per-epoch BFS cache (one BFS per
+        distinct source switch instead of one per request)."""
+        dists = state.hops.get(source)
+        if dists is None:
+            dists = bfs_distances(self.topology, source)
+            state.hops[source] = dists
+        return dists[target]
+
+    def _resolve_entries(self, count: int,
+                         entry_switches: Optional[Sequence[int]],
+                         rng: Optional[np.random.Generator]
+                         ) -> List[int]:
+        """Per-item entry switches, drawing from ``rng`` in the same
+        order as the equivalent scalar loop."""
+        if entry_switches is not None and len(entry_switches) != count:
+            raise GredError(
+                f"entry_switches has {len(entry_switches)} entries for "
+                f"{count} data ids"
+            )
+        if (entry_switches is None and self.fault_state is None
+                and (rng is None
+                     or isinstance(rng, np.random.Generator))):
+            # One vectorized draw consumes the PCG64 stream exactly
+            # like ``count`` sequential ``integers`` calls, so the
+            # scalar loop and the batch pick identical entries.
+            ids = self.switch_ids()
+            stream = utils.rng(rng)
+            draws = stream.integers(0, len(ids), size=count)
+            return [ids[v] for v in draws.tolist()]
+        return [
+            self._resolve_entry(
+                entry_switches[i] if entry_switches is not None
+                else None, rng)
+            for i in range(count)
+        ]
+
+    def place_many(
+        self,
+        data_ids: Sequence[str],
+        payloads: Optional[Sequence[Any]] = None,
+        entry_switches: Optional[Sequence[int]] = None,
+        copies: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[PlacementResult]:
+        """Place a batch of items; equivalent to calling :meth:`place`
+        per item in order, but vectorized.
+
+        Identifiers are hashed in one pass (one SHA-256 digest per
+        replica, reused for position and server selection) and routed
+        through the compiled router with an epoch-scoped route cache.
+        Per-request results are byte-identical to the scalar loop
+        under the same ``rng``; when telemetry is enabled, a fault
+        state is attached, or a custom ``position_fn`` is in use, the
+        batch transparently degrades to the scalar path so metrics
+        and fault handling stay exact.
+
+        Parameters
+        ----------
+        data_ids:
+            Identifiers to place.
+        payloads:
+            Optional per-item payloads (same length as ``data_ids``).
+        entry_switches:
+            Optional per-item access switches; random when omitted.
+        copies, rng:
+            As in :meth:`place`.
+        """
+        data_ids = list(data_ids)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        if payloads is not None and len(payloads) != len(data_ids):
+            raise GredError(
+                f"payloads has {len(payloads)} entries for "
+                f"{len(data_ids)} data ids"
+            )
+        if not self._fastpath_usable():
+            return [
+                self.place(
+                    data_id,
+                    payload=(payloads[i] if payloads is not None
+                             else None),
+                    entry_switch=(entry_switches[i]
+                                  if entry_switches is not None
+                                  else None),
+                    copies=copies,
+                    rng=rng,
+                )
+                for i, data_id in enumerate(data_ids)
+            ]
+        entries = self._resolve_entries(len(data_ids), entry_switches,
+                                        rng)
+        flat_ids = [replica_id(d, c) for d in data_ids
+                    for c in range(copies)]
+        flat_entries = (entries if copies == 1 else
+                        [e for e in entries for _ in range(copies)])
+        digests = sha256_digests(flat_ids)
+        positions = positions_from_digests(digests)
+        serial_u64s = serials_from_digests(digests)
+        state = self._fast_state()
+        routes = self._fast_routes(state, flat_entries, flat_ids,
+                                   positions, serial_u64s,
+                                   range(len(flat_ids)))
+        switches = self.controller.switches
+        server_map = self.server_map
+        results: List[PlacementResult] = []
+        flat = 0
+        for i, data_id in enumerate(data_ids):
+            payload = payloads[i] if payloads is not None else None
+            entry = entries[i]
+            records: List[PlacementRecord] = []
+            for _ in range(copies):
+                copy_id = flat_ids[flat]
+                outcome = routes[flat]
+                flat += 1
+                if isinstance(outcome, ForwardingError):
+                    # The scalar loop raises mid-batch: items before
+                    # this one stay stored, the rest are not placed.
+                    raise outcome
+                trace, overlay, dest, serial = outcome
+                extension = switches[dest].table.extension_for(serial)
+                if extension is not None:
+                    target = self.server(extension.target_switch,
+                                         extension.target_serial)
+                    physical = len(trace) - 1 + self._fast_hop(
+                        state, dest, extension.target_switch)
+                else:
+                    # Delivery guarantees the switch has servers and
+                    # the serial is in range (H(d) mod s).
+                    target = server_map[dest][serial]
+                    physical = len(trace) - 1
+                target.store(copy_id, payload)
+                records.append(PlacementRecord(
+                    data_id=copy_id,
+                    entry_switch=entry,
+                    destination_switch=dest,
+                    server_id=target.server_id,
+                    physical_hops=physical,
+                    overlay_hops=overlay,
+                    trace=list(trace),
+                    extended=extension is not None,
+                ))
+            results.append(PlacementResult(data_id=data_id,
+                                           records=records))
+        return results
+
+    def retrieve_many(
+        self,
+        data_ids: Sequence[str],
+        entry_switches: Optional[Sequence[int]] = None,
+        copies: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        max_hops: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """Retrieve a batch of items; equivalent to calling
+        :meth:`retrieve` per item in order, but vectorized.
+
+        Shares the fast-path machinery (and its fallback conditions)
+        with :meth:`place_many`; response hop counts come from a
+        per-epoch BFS distance cache instead of a fresh traversal per
+        request.
+        """
+        data_ids = list(data_ids)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        if not self._fastpath_usable():
+            return [
+                self.retrieve(
+                    data_id,
+                    entry_switch=(entry_switches[i]
+                                  if entry_switches is not None
+                                  else None),
+                    copies=copies,
+                    rng=rng,
+                    max_hops=max_hops,
+                )
+                for i, data_id in enumerate(data_ids)
+            ]
+        entries = self._resolve_entries(len(data_ids), entry_switches,
+                                        rng)
+        flat_ids = [replica_id(d, c) for d in data_ids
+                    for c in range(copies)]
+        flat_entries = (entries if copies == 1 else
+                        [e for e in entries for _ in range(copies)])
+        digests = sha256_digests(flat_ids)
+        positions = positions_from_digests(digests)
+        serial_u64s = serials_from_digests(digests)
+        state = self._fast_state()
+        switches = self.controller.switches
+        count = len(data_ids)
+        if copies == 1:
+            orders: Optional[List[List[int]]] = None
+        else:
+            orders = []
+            for i in range(count):
+                base = i * copies
+                ex, ey = self.controller.switch_position(entries[i])
+                keyed = [
+                    (math.hypot(float(positions[base + c, 0]) - ex,
+                                float(positions[base + c, 1]) - ey), c)
+                    for c in range(copies)
+                ]
+                keyed.sort()
+                orders.append([c for _, c in keyed])
+        results: List[Optional[RetrievalResult]] = [None] * count
+        last_miss: List[Optional[RetrievalResult]] = [None] * count
+        attempts = [0] * count
+        pending = list(range(count))
+        # Probe round ``r`` routes every unresolved item's r-th nearest
+        # replica in one wave-routed batch — the same nearest-first
+        # probe sequence as the scalar loop, just advanced in lockstep.
+        for rnd in range(copies):
+            if not pending:
+                break
+            probes = [
+                i * copies + (rnd if orders is None else orders[i][rnd])
+                for i in pending
+            ]
+            routes = self._fast_routes(state, flat_entries, flat_ids,
+                                       positions, serial_u64s, probes,
+                                       max_hops=max_hops)
+            server_map = self.server_map
+            still: List[int] = []
+            for i, flat, outcome in zip(pending, probes, routes):
+                attempts[i] += 1
+                if isinstance(outcome, ForwardingError):
+                    still.append(i)
+                    continue
+                c = rnd if orders is None else orders[i][rnd]
+                copy_id = flat_ids[flat]
+                entry = entries[i]
+                trace, overlay, dest, serial = outcome
+                request_hops = len(trace) - 1
+                # Delivery guarantees the switch has servers and the
+                # serial is in range (H(d) mod s).
+                candidates = [(server_map[dest][serial], 0)]
+                forked = False
+                extension = switches[dest].table.extension_for(serial)
+                if extension is not None and self._extension_usable(
+                        dest, extension):
+                    forked = True
+                    remote = self.server(extension.target_switch,
+                                         extension.target_serial)
+                    candidates.append((remote, self._fast_hop(
+                        state, dest, extension.target_switch)))
+                for server, extra_hops in candidates:
+                    if server.has(copy_id):
+                        results[i] = RetrievalResult(
+                            data_id=data_ids[i],
+                            found=True,
+                            payload=server.retrieve(copy_id),
+                            entry_switch=entry,
+                            destination_switch=dest,
+                            server_id=server.server_id,
+                            request_hops=request_hops + extra_hops,
+                            response_hops=self._fast_hop(
+                                state, server.switch, entry),
+                            trace=list(trace),
+                            copy_used=c,
+                            forked=forked,
+                            attempts=attempts[i],
+                        )
+                        break
+                if results[i] is None:
+                    last_miss[i] = RetrievalResult(
+                        data_id=data_ids[i],
+                        found=False,
+                        payload=None,
+                        entry_switch=entry,
+                        destination_switch=dest,
+                        server_id=None,
+                        request_hops=request_hops,
+                        response_hops=0,
+                        trace=list(trace),
+                        copy_used=c,
+                        forked=forked,
+                        attempts=attempts[i],
+                    )
+                    still.append(i)
+            pending = still
+        final: List[RetrievalResult] = []
+        for i in range(count):
+            if results[i] is not None:
+                final.append(results[i])
+            elif last_miss[i] is not None:
+                # Like the scalar loop, the reported attempt count is
+                # the one captured when the last *routable* probe
+                # missed, even if later probes failed to route.
+                final.append(last_miss[i])
+            else:
+                final.append(RetrievalResult(
+                    data_id=data_ids[i],
+                    found=False,
+                    payload=None,
+                    entry_switch=entries[i],
+                    destination_switch=None,
+                    server_id=None,
+                    request_hops=0,
+                    response_hops=0,
+                    trace=[],
+                    copy_used=(0 if orders is None else orders[i][-1]),
+                    forked=False,
+                    attempts=attempts[i],
+                ))
+        return final
+
+    def destinations_for(self, data_ids: Sequence[str]) -> List[int]:
+        """Destination switch of every identifier, resolved without
+        simulating any routing (batch :meth:`destination_switch`).
+
+        One vectorized hashing pass plus one grid-index query per id.
+        """
+        data_ids = list(data_ids)
+        if getattr(self, "_position_fn", None) is not data_position:
+            return [self.destination_switch(d) for d in data_ids]
+        positions = positions_from_digests(sha256_digests(data_ids))
+        index = self.controller.routing_index()
+        return [
+            index.closest((positions[i, 0], positions[i, 1]))
+            for i in range(len(data_ids))
+        ]
+
+    # ------------------------------------------------------------------
     # deletion
     # ------------------------------------------------------------------
     def delete(self, data_id: str, copies: int = 1,
@@ -681,6 +1122,5 @@ class GredNetwork:
             ids = [s for s in ids if fault.switch_alive(s)]
             if not ids:
                 raise GredError("no live switch can serve as entry point")
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = utils.rng(rng)
         return ids[int(rng.integers(0, len(ids)))]

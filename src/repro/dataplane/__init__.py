@@ -9,6 +9,7 @@ from .switch import (
     ForwardingError,
     GredSwitch,
 )
+from .fastpath import CompiledRouter
 from .forwarding import RouteResult, route_packet
 from .tracing import TraceEvent, TraceEventKind, Tracer
 
@@ -25,6 +26,7 @@ __all__ = [
     "ForwardingError",
     "RouteResult",
     "route_packet",
+    "CompiledRouter",
     "Tracer",
     "TraceEvent",
     "TraceEventKind",

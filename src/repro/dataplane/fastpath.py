@@ -1,0 +1,535 @@
+"""A compiled greedy router for the batch request fast path.
+
+``route_packet`` is faithful to the paper's per-switch pipeline — one
+``Packet`` object, one ``process`` call and one candidate sort per hop —
+which is the right shape for tracing and fault injection but dominates
+the request latency of large workloads.  ``CompiledRouter`` flattens the
+per-switch state (positions, greedy candidate lists, relay chains) into
+plain tuples once per control-plane epoch and replays the *identical*
+decision procedure with no per-packet object construction:
+
+* greedy stage: minimal ``((d^2, x, y), kind, nid)`` candidate strictly
+  closer than the current switch, physical (kind 0) before DT-only
+  (kind 1), exactly Algorithm 2's comparison;
+* virtual links: the relay chain toward a DT-only neighbor is resolved
+  from the switches' installed ``VirtualLinkEntry`` tuples on first use
+  and cached for the epoch;
+* delivery: ``H(d) mod s`` server selection from the precomputed 64-bit
+  digest prefix; extension entries are looked up live (range
+  extensions come and go without an epoch bump).
+
+:meth:`CompiledRouter.route` walks one request; :meth:`route_batch`
+advances a whole batch in switch-grouped *waves* — every request parked
+at the same switch shares one vectorized candidate evaluation — which
+amortizes the per-hop decision to a few numpy operations per group.
+
+The router must be rebuilt when the control plane recomputes — callers
+key it on :attr:`Controller.epoch`.  It assumes fault-free forwarding
+(the facade falls back to ``route_packet`` when a fault state is
+attached) and raises the same :class:`ForwardingError` messages as the
+reference engine on inconsistent state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .switch import ForwardingError, GredSwitch
+
+#: ``route_batch`` hands stragglers to the scalar walker once the
+#: active set is this small — whole-batch numpy dispatch no longer
+#: amortizes over a handful of in-flight requests.
+_WAVE_MIN_ACTIVE = 96
+
+RouteOutcome = Union[Tuple[List[int], int, int, int], ForwardingError]
+
+
+class _FlatPlane:
+    """Dense, padded form of the whole switch plane for wave routing.
+
+    Row ``r`` is the switch with the ``r``-th smallest id; every
+    candidate list is right-padded to the widest switch so one fancy
+    gather yields the candidate block of all in-flight requests at
+    once.  Pad cells carry ``+inf`` positions (their squared distance
+    can never win the argmin against a finite target) and kind 2 /
+    nid -1 sentinels.
+    """
+
+    __slots__ = ("sid_sorted", "sid", "ox", "oy", "in_dt", "ns",
+                 "cx", "cy", "kind", "nid", "nrow")
+
+    def __init__(self, states: Dict[int, _CompiledSwitch]) -> None:
+        sids = sorted(states)
+        rows = {sid: r for r, sid in enumerate(sids)}
+        n = len(sids)
+        width = max((len(states[sid].cands) for sid in sids), default=0)
+        width = max(width, 1)
+        self.sid_sorted = np.asarray(sids, dtype=np.int64)
+        self.sid = self.sid_sorted
+        self.ox = np.empty(n, dtype=np.float64)
+        self.oy = np.empty(n, dtype=np.float64)
+        self.in_dt = np.empty(n, dtype=bool)
+        self.ns = np.empty(n, dtype=np.uint64)
+        self.cx = np.full((n, width), np.inf, dtype=np.float64)
+        self.cy = np.full((n, width), np.inf, dtype=np.float64)
+        self.kind = np.full((n, width), 2, dtype=np.int64)
+        self.nid = np.full((n, width), -1, dtype=np.int64)
+        self.nrow = np.full((n, width), -1, dtype=np.int64)
+        for sid in sids:
+            r = rows[sid]
+            state = states[sid]
+            self.ox[r] = state.x
+            self.oy[r] = state.y
+            self.in_dt[r] = state.in_dt
+            self.ns[r] = max(state.num_servers, 0)
+            for c, (x, y, kind, nid) in enumerate(state.cands):
+                self.cx[r, c] = x
+                self.cy[r, c] = y
+                self.kind[r, c] = kind
+                self.nid[r, c] = nid
+                self.nrow[r, c] = rows.get(nid, -1)
+
+
+class _CompiledSwitch:
+    """Per-switch state flattened for the hot loop."""
+
+    __slots__ = ("x", "y", "in_dt", "num_servers", "cands", "table",
+                 "cand_x", "cand_y", "cand_kind", "cand_nid",
+                 "neighbors_known")
+
+    def __init__(self, switch: GredSwitch) -> None:
+        self.x = switch.position[0]
+        self.y = switch.position[1]
+        self.in_dt = switch.in_dt
+        self.num_servers = switch.num_servers
+        self.table = switch.table
+        # (x, y, kind, nid): physical candidates (kind 0) and DT-only
+        # candidates (kind 1), mirroring the two scans of the greedy
+        # stage.  Neighbors present in both sets are physical-only,
+        # like the reference pipeline.  Sorted by (x, y, kind, nid) so
+        # a first-occurrence argmin over squared distances selects the
+        # same winner as the scalar lexicographic comparison.
+        cands: List[Tuple[float, float, int, int]] = []
+        for nid, pos in switch.physical_neighbor_positions.items():
+            cands.append((pos[0], pos[1], 0, nid))
+        for nid, pos in switch.dt_neighbor_positions.items():
+            if nid not in switch.physical_neighbor_positions:
+                cands.append((pos[0], pos[1], 1, nid))
+        cands.sort()
+        self.cands = cands
+        self.cand_x = np.array([c[0] for c in cands], dtype=np.float64)
+        self.cand_y = np.array([c[1] for c in cands], dtype=np.float64)
+        self.cand_kind = np.array([c[2] for c in cands], dtype=np.int64)
+        self.cand_nid = np.array([c[3] for c in cands], dtype=np.int64)
+
+
+class CompiledRouter:
+    """Epoch-scoped compiled form of a switch plane.
+
+    Parameters
+    ----------
+    switches:
+        The live data-plane switches (the compiled state snapshots
+        their positions/candidates; forwarding *tables* are referenced,
+        not copied, so extension rewrites are always current).
+    """
+
+    def __init__(self, switches: Dict[int, GredSwitch]) -> None:
+        self._states: Dict[int, _CompiledSwitch] = {
+            sid: _CompiledSwitch(sw) for sid, sw in switches.items()
+        }
+        for state in self._states.values():
+            # Lets the wave router skip the unknown-neighbor check in
+            # its hot loop (it stays exact: a False flag falls back to
+            # the per-candidate check the scalar walker performs).
+            state.neighbors_known = all(
+                nid in self._states for nid in state.cand_nid.tolist())
+        self._default_max_hops = 4 * len(switches) + 16
+        # (switch, dest) -> relay chain (first relay ... dest).
+        self._chains: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        # Dense plane for route_batch, built on first use.
+        self._flat: Optional[_FlatPlane] = None
+
+    # ------------------------------------------------------------------
+    def _chain(self, source: int, dest: int) -> Tuple[int, ...]:
+        """Relay switches from ``source``'s successor through ``dest``
+        for the virtual link toward DT neighbor ``dest``."""
+        cached = self._chains.get((source, dest))
+        if cached is not None:
+            return cached
+        entry = self._states[source].table.virtual_entry(dest)
+        if entry is None or entry.succ is None:
+            raise ForwardingError(
+                f"switch {source} has no virtual-link entry "
+                f"toward DT neighbor {dest}"
+            )
+        chain = [entry.succ]
+        current = entry.succ
+        bound = self._default_max_hops
+        while current != dest:
+            if current not in self._states:
+                raise ForwardingError(
+                    f"switch {chain[-2] if len(chain) > 1 else source} "
+                    f"forwarded to unknown switch {current}"
+                )
+            relay = self._states[current].table.virtual_entry(dest)
+            if relay is None or relay.succ is None:
+                raise ForwardingError(
+                    f"switch {current} has no relay entry toward "
+                    f"virtual-link destination {dest}"
+                )
+            current = relay.succ
+            chain.append(current)
+            if len(chain) > bound:
+                raise ForwardingError(
+                    f"virtual link {source}->{dest} does not "
+                    f"terminate within {bound} relays"
+                )
+        result = tuple(chain)
+        self._chains[(source, dest)] = result
+        return result
+
+    def route(self, entry: int, data_id: str, px: float, py: float,
+              serial_u64: int, max_hops: Optional[int] = None
+              ) -> Tuple[List[int], int, int, int]:
+        """Route one request; returns ``(trace, overlay_hops,
+        destination_switch, primary_serial)``.
+
+        Byte-identical to ``route_packet`` with no faults/tracing: the
+        trace lists every switch visited (entry first), the hop bound
+        raises the same error, and the primary serial is the
+        ``H(d) mod s`` choice at the delivery switch.
+        """
+        states = self._states
+        if entry not in states:
+            raise ForwardingError(f"unknown entry switch {entry}")
+        if max_hops is None:
+            max_hops = self._default_max_hops
+        trace = [entry]
+        current = entry
+        overlay = 0
+        hops = 0
+        while True:
+            state = states[current]
+            if not state.in_dt:
+                raise ForwardingError(
+                    f"greedy stage reached relay-only switch {current}"
+                )
+            ox = state.x
+            oy = state.y
+            dx = ox - px
+            dy = oy - py
+            # Best strictly-improving candidate under the scalar sort
+            # key ((d^2, x, y), kind, nid).  Seeding "best" with the
+            # switch's own key and a sentinel kind is exact because
+            # participant positions are deduplicated — no candidate
+            # can tie the full (d^2, x, y) key of a distinct switch.
+            bd2 = dx * dx + dy * dy
+            bx = ox
+            by = oy
+            bkind = 2
+            bnid = -1
+            for (cx, cy, kind, nid) in state.cands:
+                dx = cx - px
+                dy = cy - py
+                d2 = dx * dx + dy * dy
+                if d2 > bd2:
+                    continue
+                if d2 == bd2:
+                    if cx > bx:
+                        continue
+                    if cx == bx:
+                        if cy > by:
+                            continue
+                        if cy == by and (kind > bkind or (
+                                kind == bkind and nid >= bnid)):
+                            continue
+                bd2 = d2
+                bx = cx
+                by = cy
+                bkind = kind
+                bnid = nid
+            if bkind == 2:
+                # No neighbor improves: deliver locally.
+                if state.num_servers <= 0:
+                    raise ForwardingError(
+                        f"switch {current} must deliver {data_id!r} "
+                        f"but has no attached servers"
+                    )
+                return (trace, overlay,
+                        current, int(serial_u64 % state.num_servers))
+            overlay += 1
+            if bkind == 0:
+                if bnid not in states:
+                    raise ForwardingError(
+                        f"switch {current} forwarded to unknown "
+                        f"switch {bnid}"
+                    )
+                trace.append(bnid)
+                current = bnid
+                hops += 1
+                if hops > max_hops:
+                    raise ForwardingError(
+                        f"hop bound {max_hops} exceeded routing "
+                        f"{data_id!r} (trace {trace})"
+                    )
+            else:
+                for relay in self._chain(current, bnid):
+                    trace.append(relay)
+                    hops += 1
+                    if hops > max_hops:
+                        raise ForwardingError(
+                            f"hop bound {max_hops} exceeded routing "
+                            f"{data_id!r} (trace {trace})"
+                        )
+                current = bnid
+
+    # ------------------------------------------------------------------
+    def route_batch(self, entries: Sequence[int],
+                    data_ids: Sequence[str],
+                    pxs: np.ndarray, pys: np.ndarray,
+                    serial_u64s: np.ndarray,
+                    max_hops: Optional[int] = None
+                    ) -> List[RouteOutcome]:
+        """Route many requests in switch-grouped waves.
+
+        Each wave groups the in-flight requests by their current
+        switch and evaluates that switch's candidate set against all
+        of them with one vectorized pass; the per-request winner and
+        strict-improvement test replicate :meth:`route`'s float
+        arithmetic and lexicographic tie-breaks exactly, so every
+        outcome is byte-identical to the scalar walk.
+
+        Returns one outcome per request, in order: the same
+        ``(trace, overlay_hops, destination_switch, primary_serial)``
+        tuple :meth:`route` produces, or the :class:`ForwardingError`
+        it would have raised (the caller decides whether to raise).
+        """
+        k = len(entries)
+        if max_hops is None:
+            max_hops = self._default_max_hops
+        results: List[Optional[RouteOutcome]] = [None] * k
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = _FlatPlane(self._states)
+        traces: List[Optional[List[int]]] = [None] * k
+        overlay = np.zeros(k, dtype=np.int64)
+        hops = np.zeros(k, dtype=np.int64)
+        entries_arr = np.asarray(entries, dtype=np.int64)
+        if flat.sid_sorted.size:
+            lookup = np.minimum(
+                np.searchsorted(flat.sid_sorted, entries_arr),
+                flat.sid_sorted.size - 1)
+            known = flat.sid_sorted[lookup] == entries_arr
+        else:
+            lookup = np.zeros(k, dtype=np.int64)
+            known = np.zeros(k, dtype=bool)
+        current = lookup  # row index per request, valid where known
+        if known.all():
+            active = np.arange(k, dtype=np.int64)
+            for j, entry in enumerate(entries):
+                traces[j] = [entry]
+        else:
+            active = np.flatnonzero(known)
+            for j in np.flatnonzero(~known).tolist():
+                results[j] = ForwardingError(
+                    f"unknown entry switch {entries[j]}")
+            for j in active.tolist():
+                traces[j] = [entries[j]]
+        while active.size:
+            if active.size < _WAVE_MIN_ACTIVE:
+                # Stragglers: whole-plane numpy dispatch would no
+                # longer amortize — rerun them through the scalar
+                # walker from their entry (same outcome) instead.
+                for j in active.tolist():
+                    try:
+                        results[j] = self.route(
+                            entries[j], data_ids[j],
+                            pxs[j], pys[j], serial_u64s[j],
+                            max_hops=max_hops)
+                    except ForwardingError as exc:
+                        results[j] = exc
+                break
+            rows = current[active]
+            tx = pxs[active]
+            ty = pys[active]
+            in_dt = flat.in_dt[rows]
+            if not in_dt.all():
+                stuck = active[~in_dt]
+                sids = flat.sid[rows[~in_dt]].tolist()
+                for j, sid in zip(stuck.tolist(), sids):
+                    results[j] = ForwardingError(
+                        f"greedy stage reached relay-only switch {sid}"
+                    )
+                active = active[in_dt]
+                if not active.size:
+                    break
+                rows = rows[in_dt]
+                tx = tx[in_dt]
+                ty = ty[in_dt]
+            ox = flat.ox[rows]
+            oy = flat.oy[rows]
+            dx = ox - tx
+            dy = oy - ty
+            od2 = dx * dx + dy * dy
+            cxb = flat.cx[rows]
+            cyb = flat.cy[rows]
+            cdx = cxb - tx[:, None]
+            cdy = cyb - ty[:, None]
+            d2 = cdx * cdx + cdy * cdy
+            best = d2.argmin(axis=1)
+            bd2 = d2.min(axis=1)
+            improved = bd2 < od2
+            ties = bd2 == od2
+            if ties.any():
+                # Strict improvement over the switch's own key.  The
+                # scalar walker's sentinel kind makes a full
+                # (d^2, x, y) tie win for the candidate, hence ``<=``
+                # on ``y``.  (Pad cells are at +inf and cannot tie.)
+                t = np.flatnonzero(ties)
+                bx = cxb[t, best[t]]
+                by = cyb[t, best[t]]
+                improved[t] |= (bx < ox[t]) | (
+                    (bx == ox[t]) & (by <= oy[t]))
+            if not improved.all():
+                keep = ~improved
+                stay = active[keep]
+                ns = flat.ns[rows[keep]]
+                sids = flat.sid[rows[keep]].tolist()
+                serials = (serial_u64s[stay]
+                           % np.maximum(ns, 1)).tolist()
+                overlays = overlay[stay].tolist()
+                if (ns == 0).any():
+                    empty = (ns == 0).tolist()
+                    for j, sid, ov, serial, bad in zip(
+                            stay.tolist(), sids, overlays, serials,
+                            empty):
+                        if bad:
+                            results[j] = ForwardingError(
+                                f"switch {sid} must deliver "
+                                f"{data_ids[j]!r} but has no "
+                                f"attached servers"
+                            )
+                        else:
+                            results[j] = (traces[j], ov, sid, serial)
+                else:
+                    for j, sid, ov, serial in zip(
+                            stay.tolist(), sids, overlays, serials):
+                        results[j] = (traces[j], ov, sid, serial)
+                if not improved.any():
+                    break
+                moved = active[improved]
+                rows_m = rows[improved]
+                best_m = best[improved]
+            else:
+                moved = active
+                rows_m = rows
+                best_m = best
+            overlay[moved] += 1
+            kinds = flat.kind[rows_m, best_m]
+            nrows = flat.nrow[rows_m, best_m]
+            phys = kinds == 0
+            if phys.all():
+                pj, prow = moved, nrows
+                vl = None
+            elif not phys.any():
+                pj = prow = None
+                vl = ~phys
+            else:
+                pj = moved[phys]
+                prow = nrows[phys]
+                vl = ~phys
+            phys_ok: Optional[np.ndarray] = None
+            if pj is not None and pj.size:
+                walked = hops[pj] + 1
+                if prow.min() >= 0 and not walked.max() > max_hops:
+                    current[pj] = prow
+                    hops[pj] = walked
+                    nxt_sids = flat.sid[prow].tolist()
+                    for j, nxt in zip(pj.tolist(), nxt_sids):
+                        traces[j].append(nxt)
+                    phys_ok = pj
+                else:
+                    # Unknown neighbor or hop-bound breach somewhere
+                    # in this wave: take the exact per-request path.
+                    current[pj] = np.maximum(prow, 0)
+                    hops[pj] = walked
+                    src_sids = flat.sid[rows_m[phys] if vl is not None
+                                        else rows_m].tolist()
+                    nids = flat.nid[rows_m, best_m]
+                    pn = (nids[phys] if vl is not None
+                          else nids).tolist()
+                    ok: List[int] = []
+                    exceeded = (walked > max_hops).tolist()
+                    for j, src, nxt, nrow, exc in zip(
+                            pj.tolist(), src_sids, pn,
+                            prow.tolist(), exceeded):
+                        if nrow < 0:
+                            results[j] = ForwardingError(
+                                f"switch {src} forwarded to unknown "
+                                f"switch {nxt}"
+                            )
+                            continue
+                        traces[j].append(nxt)
+                        if exc:
+                            results[j] = ForwardingError(
+                                f"hop bound {max_hops} exceeded "
+                                f"routing {data_ids[j]!r} "
+                                f"(trace {traces[j]})"
+                            )
+                        else:
+                            ok.append(j)
+                    phys_ok = np.asarray(ok, dtype=np.int64)
+            vl_ok: List[int] = []
+            if vl is not None:
+                vj = moved[vl]
+                if vj.size:
+                    vrows = nrows[vl]
+                    src_sids = flat.sid[rows_m[vl]].tolist()
+                    dest_sids = flat.nid[rows_m, best_m][vl].tolist()
+                    hv = hops[vj].tolist()
+                    for j, src, dest, nrow, stepped in zip(
+                            vj.tolist(), src_sids, dest_sids,
+                            vrows.tolist(), hv):
+                        try:
+                            chain = self._chain(src, dest)
+                        except ForwardingError as exc:
+                            results[j] = exc
+                            continue
+                        if nrow < 0:
+                            # The scalar walker would key the states
+                            # dict with the unknown destination next
+                            # iteration; surface the same KeyError.
+                            raise KeyError(dest)
+                        budget = stepped + len(chain)
+                        if budget <= max_hops:
+                            traces[j].extend(chain)
+                            hops[j] = budget
+                            current[j] = nrow
+                            vl_ok.append(j)
+                        else:
+                            # Replay relay by relay so the error
+                            # trace truncates exactly where the
+                            # scalar walker raised.
+                            trace = traces[j]
+                            for relay in chain:
+                                trace.append(relay)
+                                stepped += 1
+                                if stepped > max_hops:
+                                    results[j] = ForwardingError(
+                                        f"hop bound {max_hops} "
+                                        f"exceeded routing "
+                                        f"{data_ids[j]!r} "
+                                        f"(trace {trace})"
+                                    )
+                                    break
+            if phys_ok is None:
+                active = np.asarray(vl_ok, dtype=np.int64)
+            elif vl_ok:
+                active = np.concatenate(
+                    [phys_ok, np.asarray(vl_ok, dtype=np.int64)])
+            else:
+                active = phys_ok
+        return results

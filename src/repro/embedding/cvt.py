@@ -42,8 +42,9 @@ class CRegulationResult:
     sites:
         Refined switch positions (the paper's ``Q*``).
     energy_history:
-        Estimated CVT energy after each iteration (useful for the
-        convergence ablation).
+        Estimated CVT energy after each iteration, measured on a fresh
+        held-out Monte-Carlo batch (useful for the convergence
+        ablation).
     iterations_run:
         Number of iterations actually executed (may be fewer than the
         requested ``T`` when ``energy_threshold`` triggers early stop).
@@ -65,7 +66,7 @@ def c_regulation(
     samples_per_iteration: int = 1000,
     energy_threshold: Optional[float] = None,
     relaxation: float = 1.0,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
     sampler=None,
 ) -> CRegulationResult:
     """Refine ``sites`` toward a CVT of the unit square.
@@ -80,7 +81,9 @@ def c_regulation(
     samples_per_iteration:
         Monte-Carlo sample count per iteration (paper: 1000).
     energy_threshold:
-        Optional early-stop threshold on the estimated CVT energy.
+        Optional early-stop threshold on the estimated CVT energy.  The
+        estimate is computed on a held-out sample batch, not the batch
+        the sites were just fitted to, so the stopping rule is unbiased.
     relaxation:
         Blend factor in ``(0, 1]``: ``new = (1 - r) * old + r * centroid``.
     rng:
@@ -111,6 +114,13 @@ def c_regulation(
 
     if sampler is None:
         sampler = sample_unit_square
+    # The early-stop energy must be measured on samples the sites were
+    # NOT fitted to this iteration: evaluating on the training batch
+    # biases the estimate low (each site just moved to the centroid of
+    # exactly these points) and fires ``energy_threshold`` prematurely.
+    # A spawned child stream supplies held-out batches without
+    # perturbing the main stream that drives the site trajectory.
+    eval_rng = rng.spawn(1)[0]
     current: List[Point] = [(float(p[0]), float(p[1])) for p in sites]
     history: List[float] = []
     iterations_run = 0
@@ -134,7 +144,10 @@ def c_regulation(
             ))
         current = moved
         iterations_run += 1
-        energy = cvt_energy(current, samples)
+        eval_samples = np.asarray(
+            sampler(samples_per_iteration, eval_rng), dtype=float
+        )
+        energy = cvt_energy(current, eval_samples)
         history.append(energy)
         if energy_threshold is not None and energy <= energy_threshold:
             break

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import utils
 from ..edge import ServerMap, attach_uniform, load_vector
 from ..graph import Graph
 from ..hashing import sha256_digest
@@ -142,10 +143,10 @@ class GhtNetwork:
     def load_vector(self) -> List[int]:
         return load_vector(self.server_map)
 
-    def _resolve_entry(self, entry_switch, rng) -> int:
+    def _resolve_entry(self, entry_switch: Optional[int],
+                       rng: Optional[np.random.Generator]) -> int:
         if entry_switch is not None:
             return entry_switch
         ids = self.topology.nodes()
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = utils.rng(rng)
         return ids[int(rng.integers(0, len(ids)))]

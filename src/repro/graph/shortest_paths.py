@@ -119,8 +119,31 @@ def dijkstra_path(graph: Graph, source: Node, target: Node) -> List[Node]:
 
 
 def hop_count(graph: Graph, source: Node, target: Node) -> int:
-    """Number of hops on a shortest path between two nodes."""
-    return len(bfs_path(graph, source, target)) - 1
+    """Number of hops on a shortest path between two nodes.
+
+    A distance-only BFS that stops as soon as ``target`` is labelled —
+    no parent bookkeeping or path reconstruction, so per-request cost
+    tracking (e.g. response hops on every retrieval) stays cheap.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    if not graph.has_node(target):
+        raise NodeNotFound(target)
+    if source == target:
+        return 0
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        d = dist[u] + 1
+        for v in graph.neighbors(u):
+            if v in dist:
+                continue
+            if v == target:
+                return d
+            dist[v] = d
+            queue.append(v)
+    raise NoPath(source, target)
 
 
 def all_pairs_hop_matrix(
@@ -145,12 +168,33 @@ def all_pairs_hop_matrix(
     nodes = list(order) if order is not None else graph.nodes()
     index = {node: i for i, node in enumerate(nodes)}
     n = len(nodes)
-    matrix = np.full((n, n), _UNREACHABLE)
     for node in nodes:
-        i = index[node]
-        for other, d in bfs_distances(graph, node).items():
-            if other in index:
-                matrix[i, index[other]] = d
+        if not graph.has_node(node):
+            raise NodeNotFound(node)
+    matrix = np.full((n, n), _UNREACHABLE)
+    np.fill_diagonal(matrix, 0.0)
+    # The graph is undirected, so d(i, j) == d(j, i): each source only
+    # resolves the targets ordered after it (filling both triangle
+    # halves) and its BFS stops as soon as the last one is labelled.
+    for i, node in enumerate(nodes):
+        pending = set(range(i + 1, n))
+        if not pending:
+            continue
+        dist: Dict[Node, int] = {node: 0}
+        queue = deque([node])
+        while queue and pending:
+            u = queue.popleft()
+            d = dist[u] + 1
+            for v in graph.neighbors(u):
+                if v in dist:
+                    continue
+                dist[v] = d
+                j = index.get(v)
+                if j is not None and j > i:
+                    matrix[i, j] = d
+                    matrix[j, i] = d
+                    pending.discard(j)
+                queue.append(v)
     return matrix, nodes
 
 

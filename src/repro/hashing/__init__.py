@@ -2,6 +2,16 @@
 positions, destination-server selection, replica ids, and Chord ring
 identifiers."""
 
+from .batch import (
+    batch_hash,
+    data_positions,
+    positions_from_digests,
+    replica_ids,
+    serials_from_digests,
+    server_indices,
+    server_indices_from_digests,
+    sha256_digests,
+)
 from .position import (
     chord_id,
     data_position,
@@ -18,4 +28,12 @@ __all__ = [
     "replica_id",
     "chord_id",
     "position_and_server",
+    "sha256_digests",
+    "data_positions",
+    "server_indices",
+    "replica_ids",
+    "positions_from_digests",
+    "server_indices_from_digests",
+    "serials_from_digests",
+    "batch_hash",
 ]

@@ -1,0 +1,114 @@
+"""Vectorized batch variants of the SHA-256 position/selection hashes.
+
+The scalar helpers in :mod:`repro.hashing.position` hash one identifier
+at a time and re-digest the identifier for every derived quantity
+(position, server serial).  The batch fast path needs all three derived
+quantities for thousands of identifiers per call, so this module
+
+* computes **one digest per identifier** and reuses it,
+* derives positions / server serials / 64-bit serial keys with numpy
+  array arithmetic instead of per-id ``int.from_bytes`` calls.
+
+Bit-exactness contract: for every identifier the batch results equal
+the scalar ``data_position`` / ``server_index`` outputs exactly (same
+big-endian byte slices, same ``/ (2**32 - 1)`` float64 division), which
+the equivalence tests in ``tests/test_fastpath.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+_MAX_U32 = np.float64(2 ** 32 - 1)
+
+
+def sha256_digests(data_ids: Sequence[str]) -> np.ndarray:
+    """Per-identifier SHA-256 digests as a ``(k, 32) uint8`` array."""
+    k = len(data_ids)
+    if k == 0:
+        return np.empty((0, 32), dtype=np.uint8)
+    buf = bytearray(32 * k)
+    for i, data_id in enumerate(data_ids):
+        if not isinstance(data_id, str):
+            raise TypeError(f"data identifier must be str, got "
+                            f"{type(data_id).__name__}")
+        h = hashlib.sha256(data_id.encode("utf-8"))
+        buf[32 * i:32 * (i + 1)] = h.digest()
+    return np.frombuffer(bytes(buf), dtype=np.uint8).reshape(k, 32)
+
+
+def positions_from_digests(digests: np.ndarray) -> np.ndarray:
+    """``(k, 2) float64`` unit-square positions from digest rows.
+
+    Bytes ``[-8:-4]`` and ``[-4:]`` of each digest, read big-endian,
+    divided by ``2**32 - 1`` — identical to the scalar
+    :func:`repro.hashing.data_position`.
+    """
+    tail = np.ascontiguousarray(digests[:, 24:32])
+    words = tail.view(">u4").astype(np.float64)
+    return words / _MAX_U32
+
+
+def server_indices_from_digests(digests: np.ndarray,
+                                num_servers: int) -> np.ndarray:
+    """``(k,) int64`` server serials: first 8 digest bytes mod ``s``."""
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive, got {num_servers}")
+    head = np.ascontiguousarray(digests[:, 0:8])
+    words = head.view(">u8").reshape(-1)
+    return (words % np.uint64(num_servers)).astype(np.int64)
+
+
+def serials_from_digests(digests: np.ndarray) -> np.ndarray:
+    """``(k,) uint64`` keys (first 8 digest bytes, big-endian).
+
+    Equal to ``int.from_bytes(digest[:8], "big")`` per id; the fast
+    path carries these instead of re-digesting at the destination.
+    """
+    head = np.ascontiguousarray(digests[:, 0:8])
+    return head.view(">u8").reshape(-1).astype(np.uint64)
+
+
+def data_positions(data_ids: Sequence[str]) -> np.ndarray:
+    """Batch :func:`repro.hashing.data_position`: ``(k, 2)`` positions.
+
+    >>> import numpy as np
+    >>> from repro.hashing import data_position
+    >>> ids = ["sensor-42/frame-7", "a", "b"]
+    >>> batch = data_positions(ids)
+    >>> all(tuple(batch[i]) == data_position(d)
+    ...     for i, d in enumerate(ids))
+    True
+    """
+    return positions_from_digests(sha256_digests(data_ids))
+
+
+def server_indices(data_ids: Sequence[str],
+                   num_servers: int) -> np.ndarray:
+    """Batch :func:`repro.hashing.server_index` over ``data_ids``."""
+    return server_indices_from_digests(sha256_digests(data_ids),
+                                       num_servers)
+
+
+def replica_ids(data_ids: Sequence[str], copies: int) -> List[List[str]]:
+    """Replica identifier lists, ``copies`` per id (copy 0 = the id)."""
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    return [
+        [d if c == 0 else f"{d}#copy{c}" for c in range(copies)]
+        for d in data_ids
+    ]
+
+
+def batch_hash(data_ids: Sequence[str], num_servers: int
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One digest pass → ``(positions, server serials, u64 serials)``."""
+    digests = sha256_digests(data_ids)
+    return (
+        positions_from_digests(digests),
+        server_indices_from_digests(digests, num_servers),
+        serials_from_digests(digests),
+    )

@@ -7,10 +7,11 @@ examples recognisable shapes.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import utils
 from ..graph import Graph
 
 
@@ -75,7 +76,7 @@ def complete_graph(n: int) -> Graph:
 
 
 def random_regular_graph(n: int, degree: int,
-                         rng: np.random.Generator = None,
+                         rng: Optional[np.random.Generator] = None,
                          max_tries: int = 200) -> Graph:
     """A random ``degree``-regular graph on ``n`` nodes (pairing model).
 
@@ -92,8 +93,7 @@ def random_regular_graph(n: int, degree: int,
         raise ValueError(f"degree {degree} must be < n {n}")
     if (n * degree) % 2 != 0:
         raise ValueError(f"n * degree must be even, got {n} * {degree}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = utils.rng(rng)
     from ..graph import is_connected
 
     for _ in range(max_tries):
@@ -126,7 +126,7 @@ def random_regular_graph(n: int, degree: int,
 
 
 def random_geometric_graph(n: int, radius: float,
-                           rng: np.random.Generator = None,
+                           rng: Optional[np.random.Generator] = None,
                            max_tries: int = 50):
     """A connected unit-disk graph: ``n`` points uniform in the unit
     square, edges between pairs within ``radius``.
@@ -145,8 +145,7 @@ def random_geometric_graph(n: int, radius: float,
         raise ValueError(f"n must be positive, got {n}")
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = utils.rng(rng)
     from ..graph import is_connected
 
     for _ in range(max_tries):

@@ -25,10 +25,11 @@ use to validate the distance-dependence of the model.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import utils
 from ..graph import Graph
 
 Coordinates = Dict[int, Tuple[float, float]]
@@ -49,7 +50,7 @@ def waxman_graph(
     alpha: float = 0.4,
     beta: float = 0.2,
     plane_size: float = 1000.0,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
     connect: bool = True,
 ) -> Tuple[Graph, Coordinates]:
     """Generate a flat Waxman random graph of ``n`` nodes.
@@ -65,8 +66,9 @@ def waxman_graph(
     plane_size:
         Side of the square on which nodes are placed.
     rng:
-        Explicit random generator (required for reproducibility in the
-        experiment harness; defaults to a fresh unseeded generator).
+        Explicit random generator (required for isolated reproducibility
+        in the experiment harness; defaults to the process-global seeded
+        stream from :mod:`repro.utils`).
     connect:
         When True (default), bridge disconnected components by linking each
         component to its nearest node in the growing connected part, so
@@ -79,8 +81,7 @@ def waxman_graph(
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = utils.rng(rng)
     coords = _place_nodes(n, plane_size, rng)
     max_dist = plane_size * math.sqrt(2.0)
     graph = Graph()
@@ -126,7 +127,7 @@ def brite_waxman_graph(
     alpha: float = 0.4,
     beta: float = 0.2,
     plane_size: float = 1000.0,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[Graph, Coordinates]:
     """Generate a BRITE-style incremental Waxman graph.
 
@@ -141,8 +142,7 @@ def brite_waxman_graph(
         raise ValueError(f"n must be positive, got {n}")
     if min_degree < 1:
         raise ValueError(f"min_degree must be >= 1, got {min_degree}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = utils.rng(rng)
     coords = _place_nodes(n, plane_size, rng)
     max_dist = plane_size * math.sqrt(2.0)
     graph = Graph()

@@ -220,3 +220,33 @@ class TestExperimentCommand:
         text = capsys.readouterr().out
         assert "gred_dataplane_hops_per_request_bucket" in text
         assert "# TYPE gred_controlplane_recomputes counter" in text
+
+
+class TestBench:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_micro.json")
+        code = main(["bench", "--switches", "10", "--requests", "60",
+                     "--cvt-iterations", "2", "--repeats", "1",
+                     "-o", out])
+        assert code == 0
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["format"] == "gred-bench-v1"
+        assert report["config"]["switches"] == 10
+        for section in ("placement", "retrieval"):
+            assert report[section]["scalar"]["requests_per_sec"] > 0
+            assert report[section]["batch"]["p99_us"] > 0
+        assert all(report["equivalence"].values())
+        text = capsys.readouterr().out
+        assert "speedup" in text
+        assert "identical outcomes" in text
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        out = str(tmp_path / "b.json")
+        code = main(["bench", "--switches", "10", "--requests", "40",
+                     "--cvt-iterations", "2", "--repeats", "1",
+                     "--json", "-o", out])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[:stdout.rindex("}") + 1])
+        assert payload["format"] == "gred-bench-v1"

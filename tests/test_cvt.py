@@ -107,3 +107,51 @@ class TestCRegulation:
                                            eval_samples).std()
         spread_long = estimate_cell_areas(long.sites, eval_samples).std()
         assert spread_long <= spread_short * 1.1
+
+
+class TestHeldOutEnergy:
+    """The early-stop energy must come from a held-out batch (the
+    regression where evaluating on the training batch biased the
+    estimate low and fired ``energy_threshold`` prematurely)."""
+
+    def test_history_measured_on_held_out_batch(self):
+        result = c_regulation(clustered_sites(12), iterations=1,
+                              samples_per_iteration=500,
+                              rng=np.random.default_rng(9))
+        # Replay the stream protocol: site updates consume the main
+        # stream, the energy estimate a spawned child stream.
+        main = np.random.default_rng(9)
+        eval_rng = main.spawn(1)[0]
+        train = sample_unit_square(500, main)
+        held_out = sample_unit_square(500, eval_rng)
+        assert result.energy_history[0] == \
+            cvt_energy(result.sites, held_out)
+        assert result.energy_history[0] != \
+            cvt_energy(result.sites, train)
+
+    def test_training_batch_energy_is_biased_low(self):
+        iterations, n = 5, 200
+        result = c_regulation(clustered_sites(20), iterations=iterations,
+                              samples_per_iteration=n,
+                              rng=np.random.default_rng(11))
+        main = np.random.default_rng(11)
+        eval_rng = main.spawn(1)[0]
+        for _ in range(iterations):
+            train = sample_unit_square(n, main)
+            sample_unit_square(n, eval_rng)
+        # Sites were just moved to the centroids of ``train``: the
+        # training-batch estimate underestimates the true energy.
+        assert cvt_energy(result.sites, train) < \
+            result.energy_history[-1]
+
+    def test_threshold_compares_against_held_out_estimate(self):
+        probe = c_regulation(clustered_sites(12), iterations=1,
+                             samples_per_iteration=500,
+                             rng=np.random.default_rng(4))
+        threshold = probe.energy_history[0]
+        stopped = c_regulation(clustered_sites(12), iterations=50,
+                               samples_per_iteration=500,
+                               energy_threshold=threshold,
+                               rng=np.random.default_rng(4))
+        assert stopped.iterations_run == 1
+        assert stopped.energy_history == probe.energy_history

@@ -1,0 +1,321 @@
+"""Tests for the batch request fast path.
+
+Pins the contracts the fast path is built on:
+
+* batch hashing is bit-exact against the scalar SHA-256 helpers;
+* ``place_many`` / ``retrieve_many`` / ``destinations_for`` return
+  byte-identical per-request outcomes to the scalar loop under the
+  same seed — including replicas, misses, and hop-budget failures;
+* the epoch-scoped route cache is invalidated by every control-plane
+  mutation (recompute, join, leave, failure absorption);
+* the grid routing index agrees with the brute-force nearest-switch
+  scan everywhere, ties included.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork, utils
+from repro.controlplane import RoutingIndex
+from repro.edge import attach_uniform
+from repro.hashing import (
+    batch_hash,
+    data_position,
+    data_positions,
+    replica_id,
+    replica_ids,
+    serials_from_digests,
+    server_index,
+    server_indices,
+    sha256_digests,
+)
+from repro.topology import brite_waxman_graph
+
+IDS = ["videos/a.mp4", "sensor-42/frame-7", "x", "", "data#copy1",
+       "ünïcode/πath", "a" * 300] + [f"bulk-{i}" for i in range(64)]
+
+
+def build_pair(switches=40, servers=3, seed=0):
+    """Two identical deployments for scalar-vs-batch comparison."""
+    topology, _ = brite_waxman_graph(
+        switches, min_degree=3, rng=np.random.default_rng(seed))
+
+    def build():
+        servers_map = attach_uniform(topology.nodes(),
+                                     servers_per_switch=servers)
+        return GredNetwork(topology, servers_map, cvt_iterations=10,
+                           seed=seed)
+
+    return build(), build()
+
+
+class TestBatchHashing:
+    def test_positions_match_scalar(self):
+        batch = data_positions(IDS)
+        for i, data_id in enumerate(IDS):
+            assert tuple(batch[i]) == data_position(data_id)
+
+    def test_server_indices_match_scalar(self):
+        for s in (1, 2, 7, 64):
+            batch = server_indices(IDS, s)
+            for i, data_id in enumerate(IDS):
+                assert batch[i] == server_index(data_id, s)
+
+    def test_serials_are_leading_u64(self):
+        serials = serials_from_digests(sha256_digests(IDS))
+        for i, data_id in enumerate(IDS):
+            digest = hashlib.sha256(data_id.encode("utf-8")).digest()
+            assert int(serials[i]) == int.from_bytes(digest[:8], "big")
+
+    def test_replica_ids_match_scalar(self):
+        for row, data_id in zip(replica_ids(IDS, 3), IDS):
+            assert row == [replica_id(data_id, c) for c in range(3)]
+
+    def test_batch_hash_is_one_digest_pass(self):
+        positions, serials, keys = batch_hash(IDS, 5)
+        assert positions.shape == (len(IDS), 2)
+        np.testing.assert_array_equal(positions, data_positions(IDS))
+        np.testing.assert_array_equal(serials, server_indices(IDS, 5))
+
+    def test_non_string_identifier_rejected(self):
+        with pytest.raises(TypeError, match="must be str"):
+            sha256_digests(["ok", 7])
+
+    def test_empty_batch(self):
+        assert data_positions([]).shape == (0, 2)
+
+
+class TestBatchScalarEquivalence:
+    def test_place_many_matches_scalar_loop(self):
+        scalar, batch = build_pair()
+        ids = [f"eq/{i}" for i in range(300)]
+        r1 = np.random.default_rng(3)
+        r2 = np.random.default_rng(3)
+        expected = [scalar.place(d, payload={"k": d}, rng=r1)
+                    for d in ids]
+        got = batch.place_many(ids, payloads=[{"k": d} for d in ids],
+                               rng=r2)
+        assert got == expected
+        assert scalar.load_vector() == batch.load_vector()
+
+    def test_place_many_with_replicas(self):
+        scalar, batch = build_pair()
+        ids = [f"rep/{i}" for i in range(120)]
+        r1, r2 = (np.random.default_rng(4) for _ in range(2))
+        expected = [scalar.place(d, copies=3, rng=r1) for d in ids]
+        assert batch.place_many(ids, copies=3, rng=r2) == expected
+        assert scalar.load_vector() == batch.load_vector()
+
+    def test_retrieve_many_matches_scalar_loop(self):
+        scalar, batch = build_pair()
+        ids = [f"get/{i}" for i in range(200)]
+        scalar.place_many(ids, rng=np.random.default_rng(5))
+        batch.place_many(ids, rng=np.random.default_rng(5))
+        # Interleave hits with never-placed ids so misses are
+        # exercised in the same batch.
+        probe = [d for pair in zip(ids, (f"miss/{i}" for i in
+                                         range(len(ids))))
+                 for d in pair]
+        r1, r2 = (np.random.default_rng(6) for _ in range(2))
+        expected = [scalar.retrieve(d, copies=2, rng=r1) for d in probe]
+        got = batch.retrieve_many(probe, copies=2, rng=r2)
+        assert got == expected
+        assert sum(1 for r in got if r.found) == len(ids)
+
+    def test_retrieve_many_respects_hop_budget(self):
+        scalar, batch = build_pair()
+        ids = [f"hop/{i}" for i in range(150)]
+        scalar.place_many(ids, rng=np.random.default_rng(7))
+        batch.place_many(ids, rng=np.random.default_rng(7))
+        r1, r2 = (np.random.default_rng(8) for _ in range(2))
+        expected = [scalar.retrieve(d, max_hops=2, rng=r1) for d in ids]
+        got = batch.retrieve_many(ids, max_hops=2, rng=r2)
+        assert got == expected
+        # The tiny budget must fail at least one probe for the test
+        # to mean anything.
+        assert any(not r.found for r in got)
+
+    def test_explicit_entry_switches(self):
+        scalar, batch = build_pair()
+        ids = [f"ent/{i}" for i in range(60)]
+        entries = [scalar.switch_ids()[i % 40] for i in range(60)]
+        expected = [scalar.place(d, entry_switch=e)
+                    for d, e in zip(ids, entries)]
+        assert batch.place_many(ids, entry_switches=entries) == expected
+
+    def test_destinations_for_matches_scalar(self):
+        net, _ = build_pair()
+        ids = [f"dest/{i}" for i in range(200)]
+        assert net.destinations_for(ids) == \
+            [net.destination_switch(d) for d in ids]
+
+    def test_cached_routes_are_stable(self):
+        """A second identical batch is served from the route cache and
+        must still equal the scalar outcome (shared traces are copied,
+        never mutated)."""
+        scalar, batch = build_pair()
+        ids = [f"cache/{i}" for i in range(80)]
+        scalar.place_many(ids, rng=np.random.default_rng(9))
+        batch.place_many(ids, rng=np.random.default_rng(9))
+        r1 = np.random.default_rng(10)
+        expected = [scalar.retrieve(d, rng=r1) for d in ids]
+        for _ in range(2):  # second pass hits the warm route cache
+            got = batch.retrieve_many(ids,
+                                      rng=np.random.default_rng(10))
+            assert got == expected
+            # Returned traces are private copies: mutating them must
+            # not corrupt the cache for the next pass.
+            for result in got:
+                result.trace.clear()
+
+    def test_batch_raises_like_scalar_on_invalid_input(self):
+        net, _ = build_pair(switches=12)
+        from repro import GredError
+
+        with pytest.raises(GredError, match="copies"):
+            net.place_many(["a"], copies=0)
+        with pytest.raises(GredError, match="payloads"):
+            net.place_many(["a", "b"], payloads=[1])
+        with pytest.raises(GredError, match="entry_switches"):
+            net.place_many(["a", "b"], entry_switches=[0])
+
+
+class TestEpochInvalidation:
+    def test_join_invalidates_cached_routes(self):
+        scalar, batch = build_pair()
+        ids = [f"join/{i}" for i in range(150)]
+        scalar.place_many(ids, rng=np.random.default_rng(1))
+        batch.place_many(ids, rng=np.random.default_rng(1))
+        links = [scalar.switch_ids()[0], scalar.switch_ids()[1]]
+        scalar.add_switch(999, links, servers_per_switch=3)
+        batch.add_switch(999, links, servers_per_switch=3)
+        r1, r2 = (np.random.default_rng(2) for _ in range(2))
+        expected = [scalar.retrieve(d, rng=r1) for d in ids]
+        assert batch.retrieve_many(ids, rng=r2) == expected
+        assert scalar.load_vector() == batch.load_vector()
+
+    def test_leave_invalidates_cached_routes(self):
+        scalar, batch = build_pair()
+        ids = [f"leave/{i}" for i in range(150)]
+        scalar.place_many(ids, rng=np.random.default_rng(1))
+        batch.place_many(ids, rng=np.random.default_rng(1))
+        victim = scalar.destinations_for(ids)[0]
+        scalar.remove_switch(victim)
+        batch.remove_switch(victim)
+        r1, r2 = (np.random.default_rng(2) for _ in range(2))
+        expected = [scalar.retrieve(d, rng=r1) for d in ids]
+        got = batch.retrieve_many(ids, rng=r2)
+        assert got == expected
+        # Stale cache entries must never route to the removed switch.
+        for result in got:
+            if result.found:
+                assert result.server_id[0] != victim
+        assert [r.found for r in got] == [True] * len(ids)
+
+    def test_absorb_failures_invalidates_cached_routes(self):
+        scalar, batch = build_pair()
+        ids = [f"fail/{i}" for i in range(150)]
+        scalar.place_many(ids, rng=np.random.default_rng(1))
+        batch.place_many(ids, rng=np.random.default_rng(1))
+        dead = batch.destinations_for(ids)[0]
+        epoch_before = batch.controller.epoch
+        scalar.controller.absorb_failures(dead_switches=[dead])
+        batch.controller.absorb_failures(dead_switches=[dead])
+        assert batch.controller.epoch > epoch_before
+        r1, r2 = (np.random.default_rng(2) for _ in range(2))
+        expected = [scalar.retrieve(d, rng=r1) for d in ids]
+        got = batch.retrieve_many(ids, rng=r2)
+        assert got == expected
+        assert dead not in batch.destinations_for(ids)
+
+    def test_recompute_rebuilds_fast_state(self):
+        net, _ = build_pair(switches=12)
+        net.place_many([f"r/{i}" for i in range(20)],
+                       rng=np.random.default_rng(0))
+        state = net._fastpath
+        net.controller.recompute()
+        net.place_many([f"r2/{i}" for i in range(20)],
+                       rng=np.random.default_rng(0))
+        assert net._fastpath is not state
+        assert net._fastpath.epoch == net.controller.epoch
+
+
+class TestRoutingIndex:
+    def test_grid_matches_bruteforce_on_controller(self):
+        net, _ = build_pair(switches=60)
+        controller = net.controller
+        points = np.random.default_rng(11).random((1000, 2))
+        for x, y in points:
+            assert controller.closest_switch((x, y)) == \
+                controller.closest_switch_bruteforce((x, y))
+
+    def test_grid_matches_bruteforce_with_ties(self):
+        # A lattice of participants and queries on cell boundaries:
+        # equidistant pairs force the (distance, x, y) tie-break.
+        positions = {i * 10 + j: (i / 4.0, j / 4.0)
+                     for i in range(5) for j in range(5)}
+        index = RoutingIndex(sorted(positions), positions)
+        import math
+
+        def brute(point):
+            return min(
+                sorted(positions),
+                key=lambda n: (math.hypot(positions[n][0] - point[0],
+                                          positions[n][1] - point[1]),
+                               positions[n][0], positions[n][1]),
+            )
+
+        queries = [(x / 8.0, y / 8.0) for x in range(9)
+                   for y in range(9)]
+        queries += [(0.5 + 1e-12, 0.5), (-0.3, 1.7), (2.0, -1.0)]
+        for q in queries:
+            assert index.closest(q) == brute(q)
+
+    def test_empty_index_rejects_queries(self):
+        index = RoutingIndex([], {})
+        assert len(index) == 0
+        with pytest.raises(ValueError, match="no participants"):
+            index.closest((0.5, 0.5))
+
+    def test_index_cached_per_epoch(self):
+        net, _ = build_pair(switches=12)
+        controller = net.controller
+        first = controller.routing_index()
+        assert controller.routing_index() is first
+        controller.recompute()
+        assert controller.routing_index() is not first
+
+
+class TestSeededFallbackRng:
+    def test_unseeded_operations_reproducible_after_reseed(self):
+        """Omitting ``rng`` draws from the process-global seeded
+        stream: two identically reseeded runs pick identical entries."""
+        net, _ = build_pair(switches=12)
+        ids = [f"seed/{i}" for i in range(30)]
+        utils.reseed(77)
+        first = [net.retrieve(d).attempts for d in ids]
+        first_entries = net.place_many(
+            [f"p/{i}" for i in range(30)])
+        utils.reseed(77)
+        second = [net.retrieve(d).attempts for d in ids]
+        second_entries = net.place_many(
+            [f"p2/{i}" for i in range(30)])
+        utils.reseed()
+        assert first == second
+        assert [r.primary.entry_switch for r in first_entries] == \
+            [r.primary.entry_switch for r in second_entries]
+
+    def test_int_seed_coerced_per_call(self):
+        assert utils.rng(5).integers(0, 1 << 30) == \
+            utils.rng(5).integers(0, 1 << 30)
+
+    def test_topology_generation_reproducible_after_reseed(self):
+        utils.reseed(13)
+        g1, pos1 = brite_waxman_graph(20, min_degree=3)
+        utils.reseed(13)
+        g2, pos2 = brite_waxman_graph(20, min_degree=3)
+        utils.reseed()
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        assert pos1 == pos2

@@ -15,7 +15,12 @@ from repro.graph import (
     dijkstra_path,
     hop_count,
 )
-from repro.topology import grid_graph, line_graph, ring_graph
+from repro.topology import (
+    brite_waxman_graph,
+    grid_graph,
+    line_graph,
+    ring_graph,
+)
 
 
 class TestBfs:
@@ -131,3 +136,30 @@ class TestAllPairs:
             for j in range(n):
                 for k in range(0, n, 5):
                     assert matrix[i, j] <= matrix[i, k] + matrix[k, j]
+
+
+class TestHopCountEarlyExit:
+    """The distance-only early-exit BFS must agree with the full BFS
+    labelling everywhere, including its error behavior."""
+
+    def test_matches_full_bfs_on_random_graph(self):
+        g, _ = brite_waxman_graph(40, min_degree=3,
+                                  rng=np.random.default_rng(17))
+        nodes = sorted(g.nodes())
+        for source in nodes[::7]:
+            full = bfs_distances(g, source)
+            for target in nodes:
+                assert hop_count(g, source, target) == full[target]
+
+    def test_unknown_endpoints_raise(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(NodeNotFound):
+            hop_count(g, 9, 0)
+        with pytest.raises(NodeNotFound):
+            hop_count(g, 0, 9)
+
+    def test_disconnected_raises_no_path(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        with pytest.raises(NoPath):
+            hop_count(g, 0, 2)
