@@ -39,6 +39,14 @@ from .faults import (
 )
 from .graph import Graph
 from .hashing import data_position, replica_id, server_index
+from .resilience import (
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilientNetwork,
+    ResilientOutcome,
+)
 from .metrics import max_avg_ratio, routing_stretch, summarize
 from .simulation import LatencyModel, ResponseDelaySimulator
 from .topology import (
@@ -70,6 +78,12 @@ __all__ = [
     "FaultInjector",
     "FailureDetector",
     "Graph",
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResilientNetwork",
+    "ResilientOutcome",
     "data_position",
     "server_index",
     "replica_id",

@@ -10,6 +10,7 @@ File-backed workflows over a saved deployment snapshot::
     gred experiment fig9a [--metrics-out m.json]
     gred metrics -n net.json            # or: --from m.json [--json]
     gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
+    gred loadtest [--quick] [--min-goodput 0.99] [-o SLO_report.json]
     gred bench [--quick] [-o BENCH_micro.json]
 
 (Installed as the ``gred`` console script; also runnable via
@@ -67,6 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("-n", "--network", required=True)
     stats.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of text")
+    stats.add_argument("--sweep", action="store_true",
+                       help="run one OverloadManager sweep and report "
+                            "its extend/retract actions (persists any "
+                            "range changes back to the snapshot)")
+    stats.add_argument("--high-watermark", type=float, default=0.85,
+                       help="utilization that triggers an extension "
+                            "during --sweep")
+    stats.add_argument("--low-watermark", type=float, default=0.4,
+                       help="utilization that allows a retraction "
+                            "during --sweep")
 
     metrics = sub.add_parser(
         "metrics",
@@ -152,6 +163,64 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="heartbeat period of the failure detector")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
+    chaos.add_argument("--min-availability", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit nonzero when recovered availability "
+                            "falls below this threshold (CI gate)")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive open-loop arrivals through the resilience "
+             "pipeline and report goodput / shed rate / latency / "
+             "SLO attainment")
+    loadtest.add_argument("--switches", type=int, default=200)
+    loadtest.add_argument("--entry-switches", type=int, default=20,
+                          help="access gateways policed by admission "
+                               "control")
+    loadtest.add_argument("--servers", type=int, default=4,
+                          help="servers per switch")
+    loadtest.add_argument("--min-degree", type=int, default=3)
+    loadtest.add_argument("--cvt-iterations", type=int, default=20)
+    loadtest.add_argument("--items", type=int, default=1000)
+    loadtest.add_argument("--copies", type=int, default=2)
+    loadtest.add_argument("--requests", type=int, default=8000,
+                          help="requests per load point")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--load-factors", type=float, nargs="+",
+                          default=None, metavar="FACTOR",
+                          help="offered load as fractions of capacity "
+                               "(default: 0.8 1.5)")
+    loadtest.add_argument("--deadline", type=float, default=0.25,
+                          help="per-request SLO deadline in seconds")
+    loadtest.add_argument("--rate", type=float, default=200.0,
+                          help="admission tokens/second per entry "
+                               "switch")
+    loadtest.add_argument("--burst", type=float, default=40.0,
+                          help="admission token-bucket capacity")
+    loadtest.add_argument("--queue-limit", type=int, default=32,
+                          help="pending-queue bound per entry switch")
+    loadtest.add_argument("--plan", default=None, metavar="FILE",
+                          help="JSON fault plan replayed on the "
+                               "arrival clock")
+    loadtest.add_argument("--quick", action="store_true",
+                          help="tiny CI smoke preset (overrides the "
+                               "workload-shape flags)")
+    loadtest.add_argument("-o", "--output", default="SLO_report.json",
+                          metavar="FILE",
+                          help="report path (default: SLO_report.json)")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the full report instead of the "
+                               "summary")
+    loadtest.add_argument("--min-goodput", type=float, default=None,
+                          metavar="FRACTION",
+                          help="exit nonzero when goodput at any "
+                               "at-or-below-capacity point falls below "
+                               "this threshold (CI gate)")
+    loadtest.add_argument("--min-attainment", type=float, default=None,
+                          metavar="FRACTION",
+                          help="exit nonzero when SLO attainment at "
+                               "any point falls below this threshold "
+                               "(CI gate)")
 
     bench = sub.add_parser(
         "bench",
@@ -254,6 +323,16 @@ def _cmd_stats(args) -> int:
     from .metrics import load_imbalance_summary
 
     net = _load(args.network)
+    overload_events = None
+    if args.sweep:
+        from .services import OverloadManager
+
+        manager = OverloadManager(net,
+                                  high_watermark=args.high_watermark,
+                                  low_watermark=args.low_watermark)
+        overload_events = manager.sweep()
+        if overload_events:
+            _save(net, args.network)
     topology = net.topology
     loads = net.load_vector()
     avg_entries = average_table_entries(
@@ -263,6 +342,9 @@ def _cmd_stats(args) -> int:
         for s in net.controller.switches.values()
     )
     balance = load_imbalance_summary(loads) if sum(loads) else None
+    from .dataplane import batch_fastpath_blockers
+
+    blockers = batch_fastpath_blockers(net)
     if args.json:
         payload = {
             "switches": topology.num_nodes(),
@@ -272,7 +354,14 @@ def _cmd_stats(args) -> int:
             "avg_table_entries": avg_entries,
             "active_extensions": extensions,
             "load_balance": balance,
+            "fastpath_blockers": blockers,
         }
+        if overload_events is not None:
+            payload["overload_events"] = [
+                {"action": e.action, "switch": e.switch,
+                 "serial": e.serial, "utilization": e.utilization}
+                for e in overload_events
+            ]
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"switches          : {topology.num_nodes()}")
@@ -284,6 +373,13 @@ def _cmd_stats(args) -> int:
         print(f"load Jain index   : {balance['jain']:.3f}")
     print(f"avg table entries : {avg_entries:.1f}")
     print(f"active extensions : {extensions}")
+    print(f"fastpath blockers : "
+          f"{', '.join(blockers) if blockers else 'none'}")
+    if overload_events is not None:
+        print(f"overload sweep    : {len(overload_events)} action(s)")
+        for event in overload_events:
+            print(f"  {event.action} ({event.switch}, {event.serial}) "
+                  f"at utilization {event.utilization:.2f}")
     return 0
 
 
@@ -489,9 +585,16 @@ def _cmd_chaos(args) -> int:
         detection_interval=args.detection_interval,
     )
     report = run_chaos(config)
+    gate_failed = (args.min_availability is not None
+                   and report["availability"] < args.min_availability)
+    if gate_failed:
+        print(f"error: recovered availability "
+              f"{report['availability']:.4f} is below the "
+              f"--min-availability gate {args.min_availability}",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
-        return 0
+        return 1 if gate_failed else 0
     repair = report["repair"]
     print(f"baseline availability  : "
           f"{report['baseline']['availability']:.3f} "
@@ -515,7 +618,53 @@ def _cmd_chaos(args) -> int:
           f"({report['recovered']['mean_round_trip_hops']:.2f} hops, "
           f"inflation x{report['hop_inflation']:.2f})")
     print(f"verifier violations    : {report['verifier_violations']}")
-    return 0
+    return 1 if gate_failed else 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .faults import FaultPlan
+    from .slo import (DEFAULT_LOAD_FACTORS, SloConfig, evaluate_gates,
+                      render_summary, run_loadtest, write_report)
+
+    plan = FaultPlan.from_json(args.plan) if args.plan else None
+    if args.quick:
+        config = SloConfig.quick()
+        config.seed = args.seed
+        config.plan = plan
+        if args.load_factors is not None:
+            config.load_factors = tuple(args.load_factors)
+    else:
+        config = SloConfig(
+            switches=args.switches,
+            entry_switches=args.entry_switches,
+            servers_per_switch=args.servers,
+            min_degree=args.min_degree,
+            cvt_iterations=args.cvt_iterations,
+            items=args.items,
+            copies=args.copies,
+            requests=args.requests,
+            seed=args.seed,
+            load_factors=(tuple(args.load_factors)
+                          if args.load_factors is not None
+                          else DEFAULT_LOAD_FACTORS),
+            deadline=args.deadline,
+            rate_per_switch=args.rate,
+            burst=args.burst,
+            queue_limit=args.queue_limit,
+            plan=plan,
+        )
+    report = run_loadtest(config)
+    write_report(report, args.output)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_summary(report))
+    print(f"wrote {args.output}")
+    failures = evaluate_gates(report, min_goodput=args.min_goodput,
+                              min_attainment=args.min_attainment)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_bench(args) -> int:
@@ -560,6 +709,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "experiment": _cmd_experiment,
     "chaos": _cmd_chaos,
+    "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
 }
 

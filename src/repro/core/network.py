@@ -449,6 +449,43 @@ class GredNetwork:
     def _nearest_copy(self, data_id: str, copies: int, entry: int) -> int:
         return self._replica_order(data_id, copies, entry)[0]
 
+    def replica_order(self, data_id: str, copies: int,
+                      entry: int) -> List[int]:
+        """Public form of the nearest-first replica order used by
+        retrieval failover (and by the resilience pipeline's
+        breaker-aware candidate selection)."""
+        return self._replica_order(data_id, copies, entry)
+
+    def probe_replica(self, data_id: str, copy_index: int, entry: int,
+                      max_hops: Optional[int] = None,
+                      attempts: int = 1) -> Optional[RetrievalResult]:
+        """Probe a single replica without failover: route toward copy
+        ``copy_index`` from ``entry`` and return the outcome, or
+        ``None`` when the route itself failed.  This is the unit step
+        of :meth:`retrieve`'s failover walk, exposed so external
+        request pipelines (hedging, breaker-aware candidate ordering)
+        can drive the walk themselves."""
+        return self._retrieve_copy(data_id, copy_index, entry,
+                                   attempts, max_hops)
+
+    # ------------------------------------------------------------------
+    # resilience interop
+    # ------------------------------------------------------------------
+    def resilient(self, config=None):
+        """Wrap this network in a
+        :class:`~repro.resilience.ResilientNetwork` (admission
+        control, deadline-bounded retries, circuit breakers, hedged
+        reads).  The wrapper registers itself so the batch fast path
+        stands down while any breaker is tripped."""
+        from ..resilience import ResilientNetwork
+
+        return ResilientNetwork(self, config)
+
+    def _resilience_blocks_fastpath(self) -> bool:
+        # getattr: snapshots restore via __new__ and predate the field.
+        pipeline = getattr(self, "_resilience", None)
+        return pipeline is not None and pipeline.blocks_fastpath()
+
     # ------------------------------------------------------------------
     # batch fast path
     # ------------------------------------------------------------------
@@ -470,12 +507,14 @@ class GredNetwork:
         The compiled router emits no telemetry and assumes fault-free
         forwarding, and the vectorized hashing assumes the paper's
         SHA-256 position mapping — with telemetry on, faults injected,
-        or a custom ``position_fn``, batches fall back to the scalar
+        a custom ``position_fn``, or a tripped circuit breaker on an
+        attached resilience pipeline, batches fall back to the scalar
         path item by item (identical results, just not vectorized).
         """
         return (self.fault_state is None
                 and not default_registry().enabled
-                and getattr(self, "_position_fn", None) is data_position)
+                and getattr(self, "_position_fn", None) is data_position
+                and not self._resilience_blocks_fastpath())
 
     def _fast_routes(self, state: _FastPathState,
                      flat_entries: Sequence[int],

@@ -9,7 +9,7 @@ from .switch import (
     ForwardingError,
     GredSwitch,
 )
-from .fastpath import CompiledRouter
+from .fastpath import CompiledRouter, batch_fastpath_blockers
 from .forwarding import RouteResult, route_packet
 from .tracing import TraceEvent, TraceEventKind, Tracer
 
@@ -27,6 +27,7 @@ __all__ = [
     "RouteResult",
     "route_packet",
     "CompiledRouter",
+    "batch_fastpath_blockers",
     "Tracer",
     "TraceEvent",
     "TraceEventKind",

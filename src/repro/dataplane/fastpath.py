@@ -38,6 +38,32 @@ import numpy as np
 
 from .switch import ForwardingError, GredSwitch
 
+
+def batch_fastpath_blockers(net) -> List[str]:
+    """Why ``place_many``/``retrieve_many`` would currently fall back
+    to the scalar reference pipeline for ``net`` (empty = fast path
+    eligible).
+
+    Mirrors the facade's ``_fastpath_usable`` gate reason by reason so
+    operators can see *which* condition is costing them the vectorized
+    path (``gred stats --json`` surfaces this list).
+    """
+    from ..hashing import data_position
+    from ..obs import default_registry
+
+    blockers: List[str] = []
+    if getattr(net, "fault_state", None) is not None:
+        blockers.append("fault state attached")
+    if default_registry().enabled:
+        blockers.append("telemetry enabled")
+    if getattr(net, "_position_fn", None) is not data_position:
+        blockers.append("custom position_fn")
+    pipeline = getattr(net, "_resilience", None)
+    if pipeline is not None and pipeline.blocks_fastpath():
+        blockers.append("resilience breakers tripped")
+    return blockers
+
+
 #: ``route_batch`` hands stragglers to the scalar walker once the
 #: active set is this small — whole-batch numpy dispatch no longer
 #: amortizes over a handful of in-flight requests.

@@ -120,12 +120,7 @@ def _retrieval_pass(net: GredNetwork, item_ids: List[str],
 
 def _faults_counters(registry: MetricsRegistry) -> Dict[str, float]:
     """All ``faults.*`` counter values, name-sorted."""
-    out: Dict[str, float] = {}
-    for instrument in registry.instruments():
-        if instrument.kind == "counter" and \
-                instrument.name.startswith("faults."):
-            out[instrument.name] = instrument.value
-    return out
+    return registry.counter_values("faults.")
 
 
 def run_chaos(config: ChaosConfig) -> Dict:

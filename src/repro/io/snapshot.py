@@ -30,7 +30,31 @@ class SnapshotError(Exception):
 
 
 def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
-    """A JSON-serializable dict capturing the full network state."""
+    """A JSON-serializable dict capturing the full network state.
+
+    Degraded deployments snapshot faithfully: an attached
+    :class:`~repro.faults.FaultState` (crashed switches/servers, downed
+    or degraded links) is persisted in a ``"faults"`` section and
+    re-attached on restore, so dead nodes stay dead across a round
+    trip.  What cannot be captured is *refused*: a resilience pipeline
+    with tripped circuit breakers holds runtime state (consecutive
+    failure counts, half-open probe progress on the live traffic
+    clock) that a snapshot cannot faithfully restore, so
+    :class:`SnapshotError` is raised rather than silently writing a
+    snapshot that would come back healthy.
+    """
+    pipeline = getattr(net, "_resilience", None)
+    if pipeline is not None and pipeline.breakers.any_tripped():
+        tripped = ", ".join(f"{kind}:{ident}" for kind, ident
+                            in pipeline.breakers.tripped())
+        raise SnapshotError(
+            f"cannot snapshot a network whose resilience pipeline has "
+            f"tripped circuit breakers ({tripped}): breaker runtime "
+            f"state is not restorable, and restoring without it would "
+            f"silently resurrect nodes the pipeline knows are sick. "
+            f"Let the breakers close (or reset the pipeline) before "
+            f"snapshotting."
+        )
     controller = net.controller
     edges = [[u, v, w] for u, v, w in controller.topology.edges()]
     servers = []
@@ -57,7 +81,7 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
                 "target_serial": ext.target_serial,
             })
     config = controller.config
-    return {
+    snapshot = {
         "format": SNAPSHOT_FORMAT,
         "nodes": controller.topology.nodes(),
         "edges": edges,
@@ -75,6 +99,20 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
         },
         "extensions": extensions,
     }
+    fault = net.fault_state
+    if fault is not None and fault.any_active():
+        snapshot["faults"] = {
+            "crashed_switches": sorted(fault.crashed_switches),
+            "crashed_servers": [list(ref) for ref
+                                in sorted(fault.crashed_servers)],
+            "down_links": [list(link) for link
+                           in sorted(fault.down_links)],
+            "loss": [[u, v, p] for (u, v), p
+                     in sorted(fault.loss.items())],
+            "slow": [[u, v, f] for (u, v), f
+                     in sorted(fault.slow.items())],
+        }
+    return snapshot
 
 
 def _check_payload(item_id: str, payload: Any) -> None:
@@ -84,6 +122,33 @@ def _check_payload(item_id: str, payload: Any) -> None:
         raise SnapshotError(
             f"payload of {item_id!r} is not JSON-serializable: {exc}"
         ) from exc
+
+
+def _restore_fault_state(record: Any):
+    """Rebuild a ``FaultState`` from a snapshot's ``"faults"`` section
+    (``None`` when the snapshot was healthy)."""
+    if record is None:
+        return None
+    from ..faults import FaultState
+    from ..faults.state import link_key
+
+    try:
+        state = FaultState(
+            crashed_switches={int(s) for s
+                              in record.get("crashed_switches", [])},
+            crashed_servers={(int(sw), int(serial)) for sw, serial
+                             in record.get("crashed_servers", [])},
+            down_links={link_key(int(u), int(v)) for u, v
+                        in record.get("down_links", [])},
+            loss={link_key(int(u), int(v)): float(p) for u, v, p
+                  in record.get("loss", [])},
+            slow={link_key(int(u), int(v)): float(f) for u, v, f
+                  in record.get("slow", [])},
+        )
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"malformed 'faults' section: {exc}") from exc
+    return state if state.any_active() else None
 
 
 def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
@@ -111,7 +176,10 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
         servers.sort(key=lambda s: s.serial)
     config = snapshot["config"]
     net = GredNetwork.__new__(GredNetwork)
-    net.fault_state = None  # __init__ is bypassed; restore healthy
+    # __init__ is bypassed; re-attach the persisted fault state (if
+    # any) so a degraded deployment restores degraded — crashed nodes
+    # must never come back to life through a snapshot round trip.
+    net.fault_state = _restore_fault_state(snapshot.get("faults"))
     from ..controlplane import Controller
 
     controller = Controller.__new__(Controller)

@@ -347,6 +347,28 @@ class MetricsRegistry:
         return self._instruments.get(
             (instrument_kind, name, _label_pairs(labels)))
 
+    def counter_values(self, prefix: str = "") -> Dict[str, float]:
+        """Current counter values, optionally filtered by name prefix.
+
+        Labeled series are keyed ``name{k=v,...}`` (labels sorted) so
+        one flat dict carries the whole counter state — handy for
+        embedding in JSON reports.
+        """
+        out: Dict[str, float] = {}
+        for instrument in self.instruments():
+            if instrument.kind != "counter":
+                continue
+            if prefix and not instrument.name.startswith(prefix):
+                continue
+            if instrument.labels:
+                label_text = ",".join(f"{k}={v}" for k, v
+                                      in instrument.labels)
+                key = f"{instrument.name}{{{label_text}}}"
+            else:
+                key = instrument.name
+            out[key] = instrument.value
+        return out
+
     def reset(self) -> None:
         """Drop every instrument and all logged events."""
         with self._lock:

@@ -1,0 +1,37 @@
+"""Request-level resilience: admission control, deadlines & retries,
+circuit breakers and hedged replica reads.
+
+The package wraps a :class:`~repro.core.GredNetwork` in a
+:class:`ResilientNetwork` (see :mod:`repro.resilience.pipeline` for the
+full pipeline description) and is **off by default** — a wrapper built
+from a default :class:`ResilienceConfig` is a transparent passthrough.
+The companion SLO load-test harness lives in :mod:`repro.slo` and is
+driven by ``gred loadtest``.
+"""
+
+from .admission import (
+    SHED_PRIORITY,
+    SHED_QUEUE_FULL,
+    AdmissionController,
+    AdmissionVerdict,
+)
+from .breaker import BreakerBoard, BreakerState, CircuitBreaker
+from .config import ResilienceConfig
+from .deadline import DeadlineBudget, RetryPolicy
+from .pipeline import SHED_ENTRY_DOWN, ResilientNetwork, ResilientOutcome
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionVerdict",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "ResilienceConfig",
+    "ResilientNetwork",
+    "ResilientOutcome",
+    "RetryPolicy",
+    "SHED_ENTRY_DOWN",
+    "SHED_PRIORITY",
+    "SHED_QUEUE_FULL",
+]

@@ -1,0 +1,102 @@
+"""Deadline budgets and budget-respecting retry backoff.
+
+A :class:`DeadlineBudget` is created once when a request arrives and
+propagated through every stage of the pipeline — admission queueing,
+replica probes, retry backoffs — so each stage can ask "how much time
+is left?" instead of keeping its own timeout.  :class:`RetryPolicy`
+computes jittered exponential backoff delays that are *guaranteed* to
+fit the remaining budget: when the next backoff would not leave room to
+finish before the deadline, it returns ``None`` and the pipeline gives
+up instead of burning time on a doomed retry.
+
+All times are virtual seconds on the caller's clock (the pipeline never
+reads a wall clock), so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """A request's time budget: ``timeout`` seconds from ``start``."""
+
+    start: float
+    timeout: float
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def deadline(self) -> float:
+        """Absolute time after which the request has failed its SLO."""
+        return self.start + self.timeout
+
+    def remaining(self, now: float) -> float:
+        """Budget left at ``now`` (clamped at zero)."""
+        return max(0.0, self.deadline - now)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+    def elapsed(self, now: float) -> float:
+        return max(0.0, now - self.start)
+
+
+class RetryPolicy:
+    """Jittered exponential backoff bounded by the deadline budget.
+
+    ``next_delay(attempts, remaining, rng)`` returns the backoff to
+    sleep before retry number ``attempts + 1`` (``attempts`` counts
+    tries already made, so the first call passes 1), or ``None`` when
+    the attempt limit is reached or the delay would not fit the
+    remaining budget.  The jitter draw always consumes exactly one
+    uniform variate from ``rng`` per computed delay, keeping request
+    streams deterministic under a seeded generator.
+    """
+
+    def __init__(self, base: float = 0.005, multiplier: float = 2.0,
+                 jitter: float = 0.5, max_attempts: int = 3) -> None:
+        if base < 0 or multiplier < 1:
+            raise ValueError(
+                "base must be >= 0 and multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.base = base
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.max_attempts = max_attempts
+
+    def next_delay(self, attempts: int, remaining: float,
+                   rng: np.random.Generator) -> Optional[float]:
+        """Backoff before the next try, or ``None`` to give up.
+
+        Parameters
+        ----------
+        attempts:
+            Tries already made (>= 1).
+        remaining:
+            Seconds left in the caller's deadline budget.
+        rng:
+            Seeded generator supplying the jitter draw.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if attempts >= self.max_attempts:
+            return None
+        delay = self.base * self.multiplier ** (attempts - 1)
+        if self.jitter:
+            span = self.jitter
+            delay *= 1.0 - span + 2.0 * span * float(rng.random())
+        if delay >= remaining:
+            return None
+        return delay

@@ -1,0 +1,705 @@
+"""The resilient request pipeline: admission → deadline → breakers →
+hedged probes → budget-bounded retries.
+
+:class:`ResilientNetwork` wraps a :class:`~repro.core.GredNetwork` and
+re-exposes ``place`` / ``retrieve`` / ``place_many`` / ``retrieve_many``
+with request-level resilience:
+
+1. **Admission** — each request passes the per-entry-switch
+   :class:`~repro.resilience.admission.AdmissionController`; shed
+   requests never touch the data plane.
+2. **Deadline budget** — the admission queue wait, every probe's
+   modeled service time and every retry backoff are charged against one
+   :class:`~repro.resilience.deadline.DeadlineBudget` that starts at
+   arrival.
+3. **Circuit breakers** — destination switches and storage servers
+   carry breakers on a :class:`~repro.resilience.breaker.BreakerBoard`
+   fed by the PR 2 fault ground truth (``breakers.absorb``) and by
+   consecutive request failures; replicas behind open breakers are
+   skipped (routed around) while at least one candidate remains, and
+   placement fails fast on them.
+4. **Hedged retrieval** — with ``copies > 1``, when the deadline is at
+   risk (or on any retry) the read is forked to the two nearest live
+   replicas and the first success wins.
+
+Latency is *virtual*: the pipeline charges
+``per_hop_latency × hops + service_time`` per probe (plus
+``failure_penalty`` for probes that die in routing) on the caller's
+clock, so every run is deterministic and reports are bit-identical
+under a fixed seed — there is no wall clock anywhere in the pipeline.
+
+With ``config.enabled == False`` (the default) every call delegates
+straight to the wrapped network and returns its result untouched inside
+the :class:`ResilientOutcome` envelope: results are byte-identical to
+calling the raw network, and no admission, breaker or metric state is
+created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.network import GredError
+from ..dataplane import ForwardingError
+from ..hashing import replica_id, server_index
+from ..obs import TIME_BUCKETS, default_registry
+from .admission import AdmissionController, AdmissionVerdict
+from .breaker import BreakerBoard, BreakerKey
+from .config import ResilienceConfig
+from .deadline import DeadlineBudget, RetryPolicy
+
+#: Shed reason when the resolved entry switch has crashed.
+SHED_ENTRY_DOWN = "entry_down"
+
+
+@dataclass
+class ResilientOutcome:
+    """Envelope around one request's journey through the pipeline.
+
+    ``result`` holds the wrapped network's ``PlacementResult`` /
+    ``RetrievalResult`` when the request reached the data plane and
+    succeeded (for placement: *all* copies acknowledged).  ``latency``
+    is virtual seconds from arrival to completion — admission queue
+    wait plus modeled probe service times plus retry backoffs.
+    ``deadline_missed`` is True when that latency exceeds the
+    request's budget (a late success still misses its SLO).
+    """
+
+    kind: str
+    data_id: str
+    admitted: bool = True
+    shed_reason: Optional[str] = None
+    ok: bool = False
+    result: Any = None
+    latency: float = 0.0
+    queue_wait: float = 0.0
+    attempts: int = 0
+    retries: int = 0
+    hedged: bool = False
+    hedge_won: bool = False
+    deadline_missed: bool = False
+    records: List[Any] = field(default_factory=list)
+
+
+class ResilientNetwork:
+    """Resilience pipeline over a :class:`~repro.core.GredNetwork`.
+
+    Parameters
+    ----------
+    net:
+        The wrapped network.  The pipeline registers itself as
+        ``net._resilience`` so the batch fast path can disengage while
+        breakers are tripped.
+    config:
+        Pipeline policy; a default (disabled) config makes the wrapper
+        a transparent passthrough.
+
+    The pipeline keeps a monotonically advancing virtual clock.  Every
+    request accepts an explicit arrival time ``now`` (open-loop
+    harnesses pass their arrival process); when omitted, the internal
+    clock is used and advanced by each request's latency (a closed-loop
+    single client).
+    """
+
+    def __init__(self, net, config: Optional[ResilienceConfig] = None
+                 ) -> None:
+        self.net = net
+        self.config = config or ResilienceConfig()
+        cfg = self.config
+        self.admission = AdmissionController(
+            rate=cfg.rate_per_switch,
+            burst=cfg.burst,
+            queue_limit=cfg.queue_limit,
+            max_priority=cfg.max_priority,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=cfg.breaker_failure_threshold,
+            recovery_time=cfg.breaker_recovery_time,
+            half_open_probes=cfg.breaker_half_open_probes,
+        )
+        self.retry_policy = RetryPolicy(
+            base=cfg.backoff_base,
+            multiplier=cfg.backoff_multiplier,
+            jitter=cfg.backoff_jitter,
+            max_attempts=cfg.max_attempts,
+        )
+        self._rng = np.random.default_rng(cfg.seed)
+        self._clock = 0.0
+        net._resilience = self
+
+    # ------------------------------------------------------------------
+    # fast-path interop
+    # ------------------------------------------------------------------
+    def blocks_fastpath(self) -> bool:
+        """Whether the wrapped network's batch fast path must stand
+        down: only while the pipeline is enabled *and* a breaker is
+        tripped (traffic must be re-evaluated per request)."""
+        return self.config.enabled and self.breakers.any_tripped()
+
+    def absorb_faults(self, now: Optional[float] = None) -> int:
+        """Force-open breakers for the wrapped network's current fault
+        ground truth (``net.fault_state``); returns breakers tripped."""
+        return self.breakers.absorb(self.net.fault_state,
+                                    self._time(now))
+
+    # ------------------------------------------------------------------
+    # scalar requests
+    # ------------------------------------------------------------------
+    def retrieve(self, data_id: str, entry_switch: Optional[int] = None,
+                 copies: int = 1, priority: int = 1,
+                 deadline: Optional[float] = None,
+                 now: Optional[float] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 max_hops: Optional[int] = None) -> ResilientOutcome:
+        if not self.config.enabled:
+            result = self.net.retrieve(data_id,
+                                       entry_switch=entry_switch,
+                                       copies=copies, rng=rng,
+                                       max_hops=max_hops)
+            return ResilientOutcome(kind="retrieve", data_id=data_id,
+                                    ok=result.found, result=result,
+                                    attempts=result.attempts)
+        arrival = self._time(now)
+        entry, verdict = self._admit(data_id, "retrieve", entry_switch,
+                                     arrival, priority, rng)
+        if verdict is not None and not verdict.admitted:
+            return self._shed_outcome("retrieve", data_id,
+                                      verdict.shed_reason, arrival)
+        if entry is None:  # entry switch down
+            return self._shed_outcome("retrieve", data_id,
+                                      SHED_ENTRY_DOWN, arrival)
+        outcome = self._retrieve_admitted(
+            data_id, entry, copies, arrival, verdict.queued_delay,
+            deadline, max_hops)
+        self._finish(outcome, arrival)
+        return outcome
+
+    def place(self, data_id: str, payload: Any = None,
+              entry_switch: Optional[int] = None, copies: int = 1,
+              priority: int = 1, deadline: Optional[float] = None,
+              now: Optional[float] = None,
+              rng: Optional[np.random.Generator] = None
+              ) -> ResilientOutcome:
+        if not self.config.enabled:
+            result = self.net.place(data_id, payload=payload,
+                                    entry_switch=entry_switch,
+                                    copies=copies, rng=rng)
+            return ResilientOutcome(kind="place", data_id=data_id,
+                                    ok=True, result=result,
+                                    attempts=1)
+        arrival = self._time(now)
+        entry, verdict = self._admit(data_id, "place", entry_switch,
+                                     arrival, priority, rng)
+        if verdict is not None and not verdict.admitted:
+            return self._shed_outcome("place", data_id,
+                                      verdict.shed_reason, arrival)
+        if entry is None:
+            return self._shed_outcome("place", data_id,
+                                      SHED_ENTRY_DOWN, arrival)
+        outcome = self._place_admitted(
+            data_id, payload, entry, copies, arrival,
+            verdict.queued_delay, deadline)
+        self._finish(outcome, arrival)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # batch requests
+    # ------------------------------------------------------------------
+    def retrieve_many(self, data_ids: Sequence[str],
+                      entry_switches: Optional[Sequence[int]] = None,
+                      copies: int = 1,
+                      priorities: Optional[Sequence[int]] = None,
+                      deadline: Optional[float] = None,
+                      now: Optional[float] = None,
+                      rng: Optional[np.random.Generator] = None,
+                      max_hops: Optional[int] = None
+                      ) -> List[ResilientOutcome]:
+        """Batch retrieval.  Disabled: one delegated ``retrieve_many``
+        call, results untouched.  Enabled and healthy (no tripped
+        breaker): admission per item, then one delegated batch call
+        for the admitted subset — single attempt, no hedging (the
+        throughput path).  Enabled with tripped breakers: every item
+        takes the full scalar resilient path."""
+        data_ids = list(data_ids)
+        if not self.config.enabled:
+            results = self.net.retrieve_many(
+                data_ids, entry_switches=entry_switches, copies=copies,
+                rng=rng, max_hops=max_hops)
+            return [ResilientOutcome(kind="retrieve", data_id=d,
+                                     ok=r.found, result=r,
+                                     attempts=r.attempts)
+                    for d, r in zip(data_ids, results)]
+        if self.breakers.any_tripped():
+            return [
+                self.retrieve(
+                    d,
+                    entry_switch=(entry_switches[i]
+                                  if entry_switches is not None
+                                  else None),
+                    copies=copies,
+                    priority=(priorities[i] if priorities is not None
+                              else 1),
+                    deadline=deadline, now=now, rng=rng,
+                    max_hops=max_hops)
+                for i, d in enumerate(data_ids)
+            ]
+        arrival = self._time(now)
+        plan = self._admit_batch(data_ids, "retrieve", entry_switches,
+                                 arrival, priorities, rng)
+        outcomes, admitted_idx, entries, waits = plan
+        if admitted_idx:
+            results = self.net.retrieve_many(
+                [data_ids[i] for i in admitted_idx],
+                entry_switches=[entries[i] for i in admitted_idx],
+                copies=copies, max_hops=max_hops)
+            timeout = deadline or self.config.default_deadline
+            for j, i in enumerate(admitted_idx):
+                r = results[j]
+                wait = waits[i]
+                service = self._retrieval_service_time(r)
+                self._feed_breakers_retrieval(data_ids[i], r, copies,
+                                              arrival + wait + service)
+                outcomes[i] = ResilientOutcome(
+                    kind="retrieve", data_id=data_ids[i],
+                    ok=r.found, result=r, latency=wait + service,
+                    queue_wait=wait, attempts=r.attempts,
+                    deadline_missed=wait + service > timeout,
+                )
+                self._finish(outcomes[i], arrival)
+        return outcomes
+
+    def place_many(self, data_ids: Sequence[str],
+                   payloads: Optional[Sequence[Any]] = None,
+                   entry_switches: Optional[Sequence[int]] = None,
+                   copies: int = 1,
+                   priorities: Optional[Sequence[int]] = None,
+                   deadline: Optional[float] = None,
+                   now: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> List[ResilientOutcome]:
+        """Batch placement; same structure as :meth:`retrieve_many`."""
+        data_ids = list(data_ids)
+        if not self.config.enabled:
+            results = self.net.place_many(
+                data_ids, payloads=payloads,
+                entry_switches=entry_switches, copies=copies, rng=rng)
+            return [ResilientOutcome(kind="place", data_id=d, ok=True,
+                                     result=r, attempts=1)
+                    for d, r in zip(data_ids, results)]
+        if self.breakers.any_tripped():
+            return [
+                self.place(
+                    d,
+                    payload=(payloads[i] if payloads is not None
+                             else None),
+                    entry_switch=(entry_switches[i]
+                                  if entry_switches is not None
+                                  else None),
+                    copies=copies,
+                    priority=(priorities[i] if priorities is not None
+                              else 1),
+                    deadline=deadline, now=now, rng=rng)
+                for i, d in enumerate(data_ids)
+            ]
+        arrival = self._time(now)
+        plan = self._admit_batch(data_ids, "place", entry_switches,
+                                 arrival, priorities, rng)
+        outcomes, admitted_idx, entries, waits = plan
+        if admitted_idx:
+            timeout = deadline or self.config.default_deadline
+            try:
+                results = self.net.place_many(
+                    [data_ids[i] for i in admitted_idx],
+                    payloads=([payloads[i] for i in admitted_idx]
+                              if payloads is not None else None),
+                    entry_switches=[entries[i] for i in admitted_idx],
+                    copies=copies)
+            except (GredError, ForwardingError):
+                # A mid-batch failure means some node is sick: fall
+                # back to the scalar resilient path per item so
+                # breakers and retries engage.
+                for i in admitted_idx:
+                    outcomes[i] = self._place_admitted(
+                        data_ids[i],
+                        payloads[i] if payloads is not None else None,
+                        entries[i], copies, arrival, waits[i],
+                        deadline)
+                    self._finish(outcomes[i], arrival)
+                return outcomes
+            for j, i in enumerate(admitted_idx):
+                r = results[j]
+                wait = waits[i]
+                service = sum(
+                    self.config.per_hop_latency * 2 * rec.physical_hops
+                    + self.config.service_time for rec in r.records)
+                for rec in r.records:
+                    when = arrival + wait + service
+                    self.breakers.success(
+                        ("switch", rec.destination_switch), when)
+                    self.breakers.success(
+                        ("server", rec.server_id), when)
+                outcomes[i] = ResilientOutcome(
+                    kind="place", data_id=data_ids[i], ok=True,
+                    result=r, latency=wait + service, queue_wait=wait,
+                    attempts=1,
+                    deadline_missed=wait + service > timeout,
+                )
+                self._finish(outcomes[i], arrival)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly pipeline state for ``gred stats``."""
+        return {
+            "enabled": self.config.enabled,
+            "clock": self._clock,
+            "breakers": self.breakers.states(),
+            "tripped": [f"{kind}:{ident}" for kind, ident
+                        in self.breakers.tripped()],
+            "blocks_fastpath": self.blocks_fastpath(),
+        }
+
+    # ------------------------------------------------------------------
+    # internals — admission
+    # ------------------------------------------------------------------
+    def _time(self, now: Optional[float]) -> float:
+        if now is None:
+            return self._clock
+        self._clock = max(self._clock, now)
+        return now
+
+    def _admit(self, data_id: str, kind: str,
+               entry_switch: Optional[int], arrival: float,
+               priority: int, rng: Optional[np.random.Generator]
+               ) -> Tuple[Optional[int], Optional[AdmissionVerdict]]:
+        """Resolve the entry switch and offer the request to admission
+        control.  ``(None, None)`` means the entry is down."""
+        registry = default_registry()
+        try:
+            entry = self.net._resolve_entry(entry_switch, rng)
+        except GredError:
+            if registry.enabled:
+                registry.counter("resilience.shed",
+                                 reason=SHED_ENTRY_DOWN).inc()
+            return None, None
+        return entry, self.admission.offer(entry, arrival, priority)
+
+    def _admit_batch(self, data_ids: Sequence[str], kind: str,
+                     entry_switches: Optional[Sequence[int]],
+                     arrival: float,
+                     priorities: Optional[Sequence[int]],
+                     rng: Optional[np.random.Generator]):
+        """Per-item admission for a batch call; returns the outcome
+        list (shed slots filled in), admitted indices, resolved
+        entries and queue waits."""
+        outcomes: List[Optional[ResilientOutcome]] = [None] * len(
+            data_ids)
+        admitted_idx: List[int] = []
+        entries: Dict[int, int] = {}
+        waits: Dict[int, float] = {}
+        for i, data_id in enumerate(data_ids):
+            entry_arg = (entry_switches[i]
+                         if entry_switches is not None else None)
+            priority = priorities[i] if priorities is not None else 1
+            entry, verdict = self._admit(data_id, kind, entry_arg,
+                                         arrival, priority, rng)
+            if entry is None:
+                outcomes[i] = self._shed_outcome(kind, data_id,
+                                                 SHED_ENTRY_DOWN,
+                                                 arrival)
+            elif not verdict.admitted:
+                outcomes[i] = self._shed_outcome(kind, data_id,
+                                                 verdict.shed_reason,
+                                                 arrival)
+            else:
+                admitted_idx.append(i)
+                entries[i] = entry
+                waits[i] = verdict.queued_delay
+        return outcomes, admitted_idx, entries, waits
+
+    def _shed_outcome(self, kind: str, data_id: str, reason: str,
+                      arrival: float) -> ResilientOutcome:
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("resilience.requests", kind=kind).inc()
+        return ResilientOutcome(kind=kind, data_id=data_id,
+                                admitted=False, shed_reason=reason,
+                                ok=False)
+
+    # ------------------------------------------------------------------
+    # internals — retrieval
+    # ------------------------------------------------------------------
+    def _retrieve_admitted(self, data_id: str, entry: int, copies: int,
+                           arrival: float, queue_wait: float,
+                           deadline: Optional[float],
+                           max_hops: Optional[int]
+                           ) -> ResilientOutcome:
+        cfg = self.config
+        budget = DeadlineBudget(arrival,
+                                deadline or cfg.default_deadline)
+        registry = default_registry()
+        clock = arrival + queue_wait
+        outcome = ResilientOutcome(kind="retrieve", data_id=data_id,
+                                   queue_wait=queue_wait)
+        tries = 0
+        last_result = None
+        while True:
+            tries += 1
+            clock, result = self._attempt_retrieve(
+                data_id, entry, copies, clock, budget, max_hops,
+                retrying=tries > 1, outcome=outcome)
+            if result is not None:
+                last_result = result
+            if result is not None and result.found:
+                outcome.ok = True
+                outcome.result = result
+                break
+            delay = self.retry_policy.next_delay(
+                tries, budget.remaining(clock), self._rng)
+            if delay is None or budget.expired(clock):
+                break
+            clock += delay
+            outcome.retries += 1
+            if registry.enabled:
+                registry.counter("resilience.retries").inc()
+        if not outcome.ok:
+            outcome.result = last_result
+        outcome.latency = clock - arrival
+        outcome.deadline_missed = outcome.latency > budget.timeout
+        return outcome
+
+    def _attempt_retrieve(self, data_id: str, entry: int, copies: int,
+                          clock: float, budget: DeadlineBudget,
+                          max_hops: Optional[int], retrying: bool,
+                          outcome: ResilientOutcome):
+        """One failover walk over the (breaker-filtered) replica order.
+        Returns ``(clock, best_result_or_None)``; ``outcome`` collects
+        attempt/hedge accounting."""
+        cfg = self.config
+        registry = default_registry()
+        order = self.net.replica_order(data_id, copies, entry)
+        open_order = [i for i in order
+                      if self._replica_allowed(data_id, i, clock)]
+        if not open_order:
+            # Every replica sits behind an open breaker.  Correctness
+            # beats fail-fast: probe the original order anyway (the
+            # breakers may be wrong, e.g. opened by misses on a
+            # never-placed item).
+            open_order = order
+            if registry.enabled:
+                registry.counter("resilience.breaker_overrides").inc()
+        walk = list(open_order)
+        miss_result = None
+        # Hedge: fork the read to the two nearest live replicas when
+        # the deadline is at risk or this is already a retry.
+        hedge = (cfg.hedge_enabled and len(walk) > 1
+                 and (retrying or budget.remaining(clock)
+                      <= cfg.hedge_fraction * budget.timeout))
+        if hedge:
+            outcome.hedged = True
+            if registry.enabled:
+                registry.counter("resilience.hedges").inc()
+            first, second = walk[0], walk[1]
+            outcome.attempts += 2
+            r1, l1 = self._probe_retrieve(data_id, first, entry,
+                                          outcome.attempts - 1,
+                                          max_hops, clock)
+            r2, l2 = self._probe_retrieve(data_id, second, entry,
+                                          outcome.attempts, max_hops,
+                                          clock)
+            hits = [(l, r) for l, r in ((l1, r1), (l2, r2))
+                    if r is not None and r.found]
+            if hits:
+                lat, best = min(hits, key=lambda pair: pair[0])
+                if best is r2:
+                    outcome.hedge_won = True
+                    if registry.enabled:
+                        registry.counter("resilience.hedge_wins").inc()
+                return clock + lat, best
+            # Both forks failed; the client waited for the slower one.
+            clock += max(l1, l2)
+            for r in (r1, r2):
+                if r is not None:
+                    miss_result = r
+            walk = walk[2:]
+        for copy_index in walk:
+            if budget.expired(clock):
+                break
+            outcome.attempts += 1
+            result, latency = self._probe_retrieve(
+                data_id, copy_index, entry, outcome.attempts, max_hops,
+                clock)
+            clock += latency
+            if result is not None and result.found:
+                return clock, result
+            if result is not None:
+                miss_result = result
+        return clock, miss_result
+
+    def _probe_retrieve(self, data_id: str, copy_index: int,
+                        entry: int, attempt_no: int,
+                        max_hops: Optional[int], now: float):
+        """Probe one replica; returns ``(result_or_None, latency)``
+        and feeds the breakers."""
+        cfg = self.config
+        copy_id = replica_id(data_id, copy_index)
+        dest = self.net.destination_switch(copy_id)
+        switch_key: BreakerKey = ("switch", dest)
+        server_key = ("server", self._server_key(copy_id, dest))
+        result = self.net.probe_replica(data_id, copy_index, entry,
+                                        max_hops=max_hops,
+                                        attempts=attempt_no)
+        if result is None:
+            # The route itself failed: the destination's neighborhood
+            # is sick.
+            self.breakers.failure(switch_key, now)
+            return None, cfg.failure_penalty
+        if result.found:
+            latency = (cfg.per_hop_latency * result.round_trip_hops
+                       + cfg.service_time)
+            self.breakers.success(switch_key, now + latency)
+            self.breakers.success(server_key, now + latency)
+            return result, latency
+        # Routed but the copy is gone (crashed/lost server data).
+        latency = (cfg.per_hop_latency * 2 * result.request_hops
+                   + cfg.service_time)
+        self.breakers.failure(server_key, now + latency)
+        return result, latency
+
+    def _replica_allowed(self, data_id: str, copy_index: int,
+                         now: float) -> bool:
+        copy_id = replica_id(data_id, copy_index)
+        dest = self.net.destination_switch(copy_id)
+        if not self.breakers.allow(("switch", dest), now):
+            return False
+        return self.breakers.allow(
+            ("server", self._server_key(copy_id, dest)), now)
+
+    def _server_key(self, copy_id: str, dest: int) -> Tuple[int, int]:
+        servers = self.net.server_map.get(dest, ())
+        count = len(servers)
+        if count == 0:
+            return (dest, 0)
+        return (dest, server_index(copy_id, count))
+
+    def _retrieval_service_time(self, result) -> float:
+        cfg = self.config
+        if result.found:
+            return (cfg.per_hop_latency * result.round_trip_hops
+                    + cfg.service_time)
+        return (cfg.per_hop_latency * 2 * result.request_hops
+                + cfg.service_time)
+
+    def _feed_breakers_retrieval(self, data_id: str, result,
+                                 copies: int, now: float) -> None:
+        copy_id = replica_id(data_id, result.copy_used)
+        dest = (result.destination_switch
+                if result.destination_switch is not None
+                else self.net.destination_switch(copy_id))
+        switch_key: BreakerKey = ("switch", dest)
+        if result.found:
+            self.breakers.success(switch_key, now)
+            if result.server_id is not None:
+                self.breakers.success(("server", result.server_id),
+                                      now)
+        else:
+            self.breakers.failure(
+                ("server", self._server_key(copy_id, dest)), now)
+
+    # ------------------------------------------------------------------
+    # internals — placement
+    # ------------------------------------------------------------------
+    def _place_admitted(self, data_id: str, payload: Any, entry: int,
+                        copies: int, arrival: float, queue_wait: float,
+                        deadline: Optional[float]) -> ResilientOutcome:
+        cfg = self.config
+        budget = DeadlineBudget(arrival,
+                                deadline or cfg.default_deadline)
+        registry = default_registry()
+        clock = arrival + queue_wait
+        outcome = ResilientOutcome(kind="place", data_id=data_id,
+                                   queue_wait=queue_wait)
+        placed: Dict[int, Any] = {}
+        tries = 0
+        while True:
+            tries += 1
+            for copy_index in range(copies):
+                if copy_index in placed:
+                    continue
+                if budget.expired(clock):
+                    break
+                copy_id = replica_id(data_id, copy_index)
+                dest = self.net.destination_switch(copy_id)
+                switch_key: BreakerKey = ("switch", dest)
+                server_key = ("server",
+                              self._server_key(copy_id, dest))
+                if not (self.breakers.allow(switch_key, clock)
+                        and self.breakers.allow(server_key, clock)):
+                    # Fail fast on an open breaker: no data-plane
+                    # traffic, no latency burned; the retry loop comes
+                    # back after backoff (by when the breaker may
+                    # admit a probe).
+                    if registry.enabled:
+                        registry.counter(
+                            "resilience.breaker_fast_fails").inc()
+                    continue
+                outcome.attempts += 1
+                try:
+                    record = self.net._place_one(copy_id, payload,
+                                                 entry)
+                except (GredError, ForwardingError):
+                    clock += cfg.failure_penalty
+                    self.breakers.failure(server_key, clock)
+                    continue
+                latency = (cfg.per_hop_latency * 2
+                           * record.physical_hops + cfg.service_time)
+                clock += latency
+                self.breakers.success(switch_key, clock)
+                self.breakers.success(("server", record.server_id),
+                                      clock)
+                placed[copy_index] = record
+            if len(placed) == copies:
+                outcome.ok = True
+                break
+            delay = self.retry_policy.next_delay(
+                tries, budget.remaining(clock), self._rng)
+            if delay is None or budget.expired(clock):
+                break
+            clock += delay
+            outcome.retries += 1
+            if registry.enabled:
+                registry.counter("resilience.retries").inc()
+        outcome.records = [placed[i] for i in sorted(placed)]
+        if outcome.ok:
+            from ..core.results import PlacementResult
+
+            outcome.result = PlacementResult(
+                data_id=data_id,
+                records=[placed[i] for i in range(copies)])
+        outcome.latency = clock - arrival
+        outcome.deadline_missed = outcome.latency > budget.timeout
+        return outcome
+
+    # ------------------------------------------------------------------
+    # internals — completion accounting
+    # ------------------------------------------------------------------
+    def _finish(self, outcome: ResilientOutcome,
+                arrival: float) -> None:
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("resilience.requests",
+                             kind=outcome.kind).inc()
+            if not outcome.ok:
+                registry.counter("resilience.failures",
+                                 kind=outcome.kind).inc()
+            if outcome.deadline_missed:
+                registry.counter("resilience.deadline_misses").inc()
+            registry.histogram("resilience.latency_seconds",
+                               buckets=TIME_BUCKETS).observe(
+                outcome.latency)
+        self._clock = max(self._clock, arrival + outcome.latency)

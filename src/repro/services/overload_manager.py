@@ -15,6 +15,7 @@ from typing import List, Set, Tuple
 
 from ..controlplane import ControlPlaneError
 from ..core import GredError, GredNetwork
+from ..obs import default_registry
 
 
 @dataclass
@@ -47,6 +48,9 @@ class OverloadManager:
     high_watermark: float = 0.85
     low_watermark: float = 0.4
     _extended: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Actions taken by the most recent :meth:`sweep` (exposed via
+    #: ``gred stats --json``).
+    last_events: List[OverloadEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
@@ -56,7 +60,15 @@ class OverloadManager:
             )
 
     def sweep(self) -> List[OverloadEvent]:
-        """One monitoring pass; returns the actions taken."""
+        """One monitoring pass; returns the actions taken.
+
+        Every action (and every refused action) lands in telemetry:
+        ``services.overload_extends`` / ``services.overload_retracts``
+        count the successes, ``services.overload_extend_failures`` /
+        ``services.overload_retract_failures`` the refusals, and each
+        action appends a structured ``overload_action`` event.
+        """
+        registry = default_registry()
         events: List[OverloadEvent] = []
         for switch in self.net.switch_ids():
             for server in self.net.server_map.get(switch, []):
@@ -69,7 +81,12 @@ class OverloadManager:
                     try:
                         self.net.extend_range(switch, server.serial)
                     except (GredError, ControlPlaneError):
-                        continue  # no capacity anywhere nearby
+                        # No capacity anywhere nearby.
+                        if registry.enabled:
+                            registry.counter(
+                                "services.overload_extend_failures"
+                            ).inc()
+                        continue
                     self._extended.add(key)
                     events.append(OverloadEvent(
                         "extend", switch, server.serial, utilization))
@@ -78,10 +95,28 @@ class OverloadManager:
                     try:
                         self.net.retract_range(switch, server.serial)
                     except GredError:
-                        continue  # redirected data does not fit yet
+                        # Redirected data does not fit back yet.
+                        if registry.enabled:
+                            registry.counter(
+                                "services.overload_retract_failures"
+                            ).inc()
+                        continue
                     self._extended.discard(key)
                     events.append(OverloadEvent(
                         "retract", switch, server.serial, utilization))
+        if registry.enabled:
+            registry.counter("services.overload_sweeps").inc()
+            for event in events:
+                name = ("services.overload_extends"
+                        if event.action == "extend"
+                        else "services.overload_retracts")
+                registry.counter(name).inc()
+                registry.event("overload_action", action=event.action,
+                               switch=event.switch, serial=event.serial,
+                               utilization=event.utilization)
+            registry.gauge("services.overload_active_extensions").set(
+                len(self._extended))
+        self.last_events = events
         return events
 
     def active_extensions(self) -> List[Tuple[int, int]]:

@@ -1,0 +1,353 @@
+"""SLO load-test harness: overload behavior as a measured property.
+
+Backs the ``gred loadtest`` CLI command.  One run builds a deployment,
+places a catalog of items, wraps the network in the resilience pipeline
+(:class:`~repro.resilience.ResilientNetwork`) and drives an **open-loop
+Poisson arrival process** of retrievals against it at one or more load
+factors — fractions of the deployment's nominal admission capacity
+(``rate_per_switch × entry_switches``).  Optionally a PR 2
+:class:`~repro.faults.FaultPlan` strikes mid-run, so overload and
+failure handling are exercised together.
+
+Per load point the report records goodput (in-deadline successes over
+offered load), shed rate by reason, availability over admitted
+requests, p50/p99 latency and SLO attainment, plus the full
+``resilience.*`` counter set — a stable JSON schema
+(``format: gred-loadtest-v1``) suitable for committing as
+``SLO_report.json`` and gating in CI via ``--min-goodput`` /
+``--min-attainment``.
+
+Time is entirely virtual: arrivals advance a simulated clock and the
+pipeline's latency model charges per-hop/service/backoff time on that
+clock, so a report is **bit-identical** across runs with the same seed
+(no wall-clock field anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .resilience import ResilienceConfig
+
+#: Default load factors: below capacity and well above it.
+DEFAULT_LOAD_FACTORS: Tuple[float, ...] = (0.8, 1.5)
+
+
+@dataclass
+class SloConfig:
+    """Deployment + workload shape for :func:`run_loadtest`.
+
+    ``entry_switches`` models the access layer: requests enter through
+    a fixed subset of gateway switches (chosen deterministically from
+    the seed), each policed by its own token bucket — nominal capacity
+    is ``rate_per_switch × entry_switches`` requests/second.
+    """
+
+    switches: int = 200
+    entry_switches: int = 20
+    servers_per_switch: int = 4
+    min_degree: int = 3
+    cvt_iterations: int = 20
+    items: int = 1000
+    copies: int = 2
+    requests: int = 8000
+    seed: int = 0
+    load_factors: Tuple[float, ...] = DEFAULT_LOAD_FACTORS
+    deadline: float = 0.25
+    rate_per_switch: float = 200.0
+    burst: float = 40.0
+    queue_limit: int = 32
+    #: Fraction of requests at priority 0 (best effort), 1 (normal),
+    #: 2 (critical); must sum to 1.
+    priority_mix: Tuple[float, float, float] = (0.2, 0.6, 0.2)
+    plan: Any = None  # Optional[repro.faults.FaultPlan]
+    max_attempts: int = 3
+    hedge_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.entry_switches < 1 or self.entry_switches > self.switches:
+            raise ValueError(
+                f"entry_switches must be in [1, switches], got "
+                f"{self.entry_switches}")
+        if abs(sum(self.priority_mix) - 1.0) > 1e-9:
+            raise ValueError(
+                f"priority_mix must sum to 1, got {self.priority_mix}")
+        if not self.load_factors:
+            raise ValueError("at least one load factor is required")
+        if any(f <= 0 for f in self.load_factors):
+            raise ValueError(
+                f"load factors must be positive, got {self.load_factors}")
+
+    @classmethod
+    def quick(cls) -> "SloConfig":
+        """CI smoke preset: tiny topology and workload (~seconds)."""
+        return cls(switches=16, entry_switches=6, servers_per_switch=2,
+                   cvt_iterations=5, items=60, requests=400,
+                   rate_per_switch=50.0, burst=20, queue_limit=16)
+
+    def resilience_config(self) -> ResilienceConfig:
+        return ResilienceConfig(
+            enabled=True,
+            rate_per_switch=self.rate_per_switch,
+            burst=self.burst,
+            queue_limit=self.queue_limit,
+            default_deadline=self.deadline,
+            max_attempts=self.max_attempts,
+            hedge_enabled=self.hedge_enabled,
+            seed=self.seed,
+        )
+
+    @property
+    def capacity_rps(self) -> float:
+        """Nominal admission capacity of the access layer."""
+        return self.rate_per_switch * self.entry_switches
+
+
+def _build_network(config: SloConfig):
+    from .core.network import GredNetwork
+    from .edge import attach_uniform
+    from .topology import brite_waxman_graph
+
+    topology, _ = brite_waxman_graph(
+        config.switches, min_degree=config.min_degree,
+        rng=np.random.default_rng(config.seed))
+    servers = attach_uniform(
+        topology.nodes(), servers_per_switch=config.servers_per_switch)
+    net = GredNetwork(topology, servers,
+                      cvt_iterations=config.cvt_iterations,
+                      seed=config.seed)
+    return net
+
+
+def _place_catalog(net, config: SloConfig) -> List[str]:
+    item_ids = [f"slo-{i}" for i in range(config.items)]
+    net.place_many(item_ids, copies=config.copies,
+                   rng=np.random.default_rng(config.seed + 1))
+    return item_ids
+
+
+def _entry_subset(net, config: SloConfig) -> List[int]:
+    """The access-gateway switches (deterministic seeded choice)."""
+    ids = sorted(net.switch_ids())
+    rng = np.random.default_rng(config.seed + 2)
+    chosen = rng.choice(len(ids), size=config.entry_switches,
+                        replace=False)
+    return sorted(ids[i] for i in chosen)
+
+
+def _percentile_ms(samples: Sequence[float], q: float) -> Optional[float]:
+    if not samples:
+        return None
+    return float(np.percentile(np.asarray(samples), q) * 1e3)
+
+
+@dataclass
+class _PointTally:
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    ok: int = 0
+    in_deadline_ok: int = 0
+    deadline_misses: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    latencies: List[float] = field(default_factory=list)
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+
+
+def _run_point(config: SloConfig, load_factor: float) -> Dict[str, Any]:
+    """One load point: fresh deployment, catalog, pipeline and
+    registry (so counters are exactly this point's)."""
+    from . import obs
+    from .faults import FaultInjector
+
+    previous = obs.set_default_registry(obs.MetricsRegistry())
+    try:
+        net = _build_network(config)
+        item_ids = _place_catalog(net, config)
+        entries = _entry_subset(net, config)
+        pipeline = net.resilient(config.resilience_config())
+
+        offered_rps = load_factor * config.capacity_rps
+        rng = np.random.default_rng(
+            config.seed + 1000 + int(round(load_factor * 1000)))
+        injector = None
+        pending_events: List[Any] = []
+        if config.plan is not None and len(config.plan):
+            injector = FaultInjector(net, seed=config.seed)
+            pending_events = list(config.plan)
+
+        tally = _PointTally()
+        priorities = np.arange(3)
+        now = 0.0
+        for _ in range(config.requests):
+            now += float(rng.exponential(1.0 / offered_rps))
+            while pending_events and pending_events[0].time <= now:
+                injector.apply(pending_events.pop(0))
+                pipeline.absorb_faults(now=now)
+            entry = entries[int(rng.integers(0, len(entries)))]
+            priority = int(rng.choice(priorities,
+                                      p=config.priority_mix))
+            data_id = item_ids[int(rng.integers(0, len(item_ids)))]
+            outcome = pipeline.retrieve(
+                data_id, entry_switch=entry, copies=config.copies,
+                priority=priority, now=now)
+            tally.offered += 1
+            if not outcome.admitted:
+                tally.shed += 1
+                reason = outcome.shed_reason or "unknown"
+                tally.shed_reasons[reason] = \
+                    tally.shed_reasons.get(reason, 0) + 1
+                continue
+            tally.admitted += 1
+            tally.latencies.append(outcome.latency)
+            tally.retries += outcome.retries
+            tally.hedges += int(outcome.hedged)
+            tally.hedge_wins += int(outcome.hedge_won)
+            if outcome.deadline_missed:
+                tally.deadline_misses += 1
+            if outcome.ok:
+                tally.ok += 1
+                if not outcome.deadline_missed:
+                    tally.in_deadline_ok += 1
+        registry = obs.default_registry()
+        return {
+            "load_factor": load_factor,
+            "offered_rps": offered_rps,
+            "offered": tally.offered,
+            "admitted": tally.admitted,
+            "shed": tally.shed,
+            "shed_rate": tally.shed / tally.offered,
+            "shed_reasons": dict(sorted(tally.shed_reasons.items())),
+            "ok": tally.ok,
+            "availability": (tally.ok / tally.admitted
+                             if tally.admitted else None),
+            "goodput": tally.in_deadline_ok / tally.offered,
+            "slo_attainment": (tally.in_deadline_ok / tally.admitted
+                               if tally.admitted else None),
+            "deadline_misses": tally.deadline_misses,
+            "retries": tally.retries,
+            "hedges": tally.hedges,
+            "hedge_wins": tally.hedge_wins,
+            "latency_ms": {
+                "p50": _percentile_ms(tally.latencies, 50.0),
+                "p99": _percentile_ms(tally.latencies, 99.0),
+                "mean": (float(np.mean(tally.latencies)) * 1e3
+                         if tally.latencies else None),
+                "max": (float(np.max(tally.latencies)) * 1e3
+                        if tally.latencies else None),
+            },
+            "breakers": pipeline.breakers.states(),
+            "resilience_metrics": registry.counter_values("resilience."),
+        }
+    finally:
+        obs.set_default_registry(previous)
+
+
+def run_loadtest(config: Optional[SloConfig] = None) -> Dict[str, Any]:
+    """Run the full load test; returns the report dict
+    (``format: gred-loadtest-v1``).  Deterministic: bit-identical
+    across runs with the same config."""
+    config = config or SloConfig()
+    points = [_run_point(config, factor)
+              for factor in config.load_factors]
+    return {
+        "format": "gred-loadtest-v1",
+        "config": {
+            "switches": config.switches,
+            "entry_switches": config.entry_switches,
+            "servers_per_switch": config.servers_per_switch,
+            "min_degree": config.min_degree,
+            "cvt_iterations": config.cvt_iterations,
+            "items": config.items,
+            "copies": config.copies,
+            "requests": config.requests,
+            "seed": config.seed,
+            "load_factors": list(config.load_factors),
+            "deadline": config.deadline,
+            "rate_per_switch": config.rate_per_switch,
+            "burst": config.burst,
+            "queue_limit": config.queue_limit,
+            "priority_mix": list(config.priority_mix),
+            "max_attempts": config.max_attempts,
+            "hedge_enabled": config.hedge_enabled,
+            "fault_events": (len(config.plan)
+                             if config.plan is not None else 0),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "capacity_rps": config.capacity_rps,
+        "points": points,
+    }
+
+
+def evaluate_gates(report: Dict[str, Any],
+                   min_goodput: Optional[float] = None,
+                   min_attainment: Optional[float] = None
+                   ) -> List[str]:
+    """CI gate checks; returns failure messages (empty = all pass).
+
+    ``min_goodput`` applies to load points at or below capacity
+    (``load_factor <= 1``) — above capacity, goodput is *supposed* to
+    drop as admission sheds the excess.  ``min_attainment`` applies to
+    every point: whatever is admitted must meet its deadline.
+    """
+    failures: List[str] = []
+    for point in report["points"]:
+        factor = point["load_factor"]
+        if (min_goodput is not None and factor <= 1.0
+                and point["goodput"] < min_goodput):
+            failures.append(
+                f"goodput {point['goodput']:.4f} at {factor}x capacity "
+                f"is below the --min-goodput gate {min_goodput}")
+        attainment = point["slo_attainment"]
+        if (min_attainment is not None and attainment is not None
+                and attainment < min_attainment):
+            failures.append(
+                f"SLO attainment {attainment:.4f} at {factor}x "
+                f"capacity is below the --min-attainment gate "
+                f"{min_attainment}")
+    return failures
+
+
+def render_summary(report: Dict[str, Any]) -> str:
+    """Human-readable digest of a ``gred-loadtest-v1`` report."""
+    cfg = report["config"]
+    lines = [
+        f"SLO loadtest: {cfg['switches']} switches, "
+        f"{cfg['entry_switches']} entry gateways, "
+        f"{cfg['requests']} requests/point, deadline "
+        f"{cfg['deadline'] * 1e3:.0f}ms, capacity "
+        f"{report['capacity_rps']:,.0f} rps"
+        + (f", {cfg['fault_events']} fault event(s)"
+           if cfg.get("fault_events") else ""),
+    ]
+    for point in report["points"]:
+        lat = point["latency_ms"]
+        p50 = f"{lat['p50']:.1f}" if lat["p50"] is not None else "-"
+        p99 = f"{lat['p99']:.1f}" if lat["p99"] is not None else "-"
+        attainment = point["slo_attainment"]
+        att = f"{attainment:.3f}" if attainment is not None else "-"
+        lines.append(
+            f"  {point['load_factor']:>4.2f}x: goodput "
+            f"{point['goodput']:.3f}, shed {point['shed_rate']:.3f}, "
+            f"p50 {p50}ms, p99 {p99}ms, attainment {att}, "
+            f"retries {point['retries']}, hedges {point['hedges']} "
+            f"(won {point['hedge_wins']})"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -250,3 +250,66 @@ class TestBench:
         stdout = capsys.readouterr().out
         payload = json.loads(stdout[:stdout.rindex("}") + 1])
         assert payload["format"] == "gred-bench-v1"
+
+
+class TestLoadtest:
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "slo.json")
+        code = main(["loadtest", "--quick", "-o", out])
+        assert code == 0
+        assert "SLO loadtest" in capsys.readouterr().out
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["format"] == "gred-loadtest-v1"
+        assert len(report["points"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        out = str(tmp_path / "slo.json")
+        code = main(["loadtest", "--quick", "--json", "-o", out])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        # Same convention as `gred bench`: JSON, then a "wrote" line.
+        body, wrote = stdout.rsplit("\n", 2)[0], stdout.strip().split(
+            "\n")[-1]
+        payload = json.loads(body)
+        assert payload["format"] == "gred-loadtest-v1"
+        assert wrote.startswith("wrote ")
+
+    def test_gates_pass_and_fail(self, tmp_path, capsys):
+        out = str(tmp_path / "slo.json")
+        code = main(["loadtest", "--quick", "-o", out,
+                     "--min-goodput", "0.99",
+                     "--min-attainment", "0.95"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["loadtest", "--quick", "-o", out,
+                     "--min-goodput", "1.01"])
+        assert code == 1
+        assert "min-goodput" in capsys.readouterr().err
+
+
+class TestChaosGate:
+    def test_min_availability_gate(self, capsys):
+        args = ["chaos", "--switches", "12", "--servers", "2",
+                "--items", "10", "--requests", "20",
+                "--cvt-iterations", "5", "--seed", "0"]
+        code = main(args + ["--min-availability", "0.5"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(args + ["--min-availability", "1.01"])
+        assert code == 1
+        assert "min-availability" in capsys.readouterr().err
+
+
+class TestStatsExtensions:
+    def test_fastpath_blockers_reported(self, net_file, capsys):
+        code = main(["stats", "-n", net_file, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fastpath_blockers"] == []
+
+    def test_sweep_reports_overload_events(self, net_file, capsys):
+        code = main(["stats", "-n", net_file, "--json", "--sweep"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["overload_events"] == []

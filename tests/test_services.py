@@ -288,3 +288,68 @@ class TestTtlStore:
         events = manager.sweep()
         assert any(e.action == "retract" for e in events)
         assert manager.active_extensions() == []
+
+
+class TestOverloadTelemetry:
+    """Sweeps must not act silently: every extend/retract lands in
+    counters and structured events, and the last sweep's actions are
+    exposed on the manager."""
+
+    def _bounded_net(self, capacity=10):
+        topology = grid_graph(3, 3)
+        servers = {
+            node: [EdgeServer(node, 0, capacity=capacity)]
+            for node in topology.nodes()
+        }
+        return GredNetwork(topology, servers, cvt_iterations=10, seed=0)
+
+    def test_sweep_emits_counters_and_events(self):
+        from repro import obs
+
+        previous = obs.set_default_registry(obs.MetricsRegistry())
+        try:
+            net = self._bounded_net()
+            manager = OverloadManager(net, high_watermark=0.5,
+                                      low_watermark=0.1)
+            victim = net.server(4, 0)
+            for i in range(6):
+                victim.store(f"fill-{i}")
+            events = manager.sweep()
+            assert events
+            registry = obs.default_registry()
+            values = registry.counter_values("services.")
+            assert values["services.overload_sweeps"] == 1
+            assert values["services.overload_extends"] == len(events)
+            structured = registry.event_log.events("overload_action")
+            assert len(structured) == len(events)
+            assert structured[0].fields["action"] == "extend"
+            assert structured[0].fields["switch"] == 4
+        finally:
+            obs.set_default_registry(previous)
+
+    def test_last_events_exposed(self):
+        net = self._bounded_net()
+        manager = OverloadManager(net, high_watermark=0.5,
+                                  low_watermark=0.1)
+        assert manager.last_events == []
+        victim = net.server(4, 0)
+        for i in range(6):
+            victim.store(f"fill-{i}")
+        events = manager.sweep()
+        assert manager.last_events == events
+        # A quiet follow-up sweep clears the list.
+        manager.sweep()
+        assert manager.last_events == []
+
+    def test_quiet_sweep_still_counted(self):
+        from repro import obs
+
+        previous = obs.set_default_registry(obs.MetricsRegistry())
+        try:
+            net = self._bounded_net()
+            OverloadManager(net).sweep()
+            values = obs.default_registry().counter_values("services.")
+            assert values["services.overload_sweeps"] == 1
+            assert "services.overload_extends" not in values
+        finally:
+            obs.set_default_registry(previous)

@@ -109,3 +109,71 @@ class TestErrors:
 
         with pytest.raises(ControlPlaneError, match="missing"):
             from_snapshot(snapshot)
+
+
+class TestDegradedRoundTrip:
+    """A degraded deployment must snapshot faithfully: crashed nodes
+    stay dead across save/load, and unsaveable runtime state (tripped
+    circuit breakers) is refused instead of silently dropped."""
+
+    def test_fault_state_round_trips(self, net):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(net, seed=0)
+        injector.crash_switch(4)
+        injector.crash_server(0, 1)
+        injector.link_down(0, 1)
+        restored = from_snapshot(to_snapshot(net))
+        assert restored.fault_state is not None
+        assert restored.fault_state.crashed_switches == {4}
+        assert restored.fault_state.crashed_servers == {(0, 1)}
+        assert not restored.fault_state.switch_alive(4)
+        assert not restored.fault_state.can_forward(0, 1)
+
+    def test_degraded_routing_matches_after_restore(self, net):
+        from repro.faults import FaultInjector
+
+        FaultInjector(net, seed=0).crash_switch(4)
+        restored = from_snapshot(to_snapshot(net))
+        original = net.retrieve("snap-3", entry_switch=0)
+        again = restored.retrieve("snap-3", entry_switch=0)
+        assert again.found == original.found
+        assert again.trace == original.trace
+
+    def test_healthy_network_has_no_faults_section(self, net):
+        snapshot = to_snapshot(net)
+        assert "faults" not in snapshot
+        assert from_snapshot(snapshot).fault_state is None
+
+    def test_repaired_faults_not_persisted(self, net):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(net, seed=0)
+        injector.crash_switch(4)
+        net.fault_state.crashed_switches.discard(4)
+        snapshot = to_snapshot(net)
+        assert "faults" not in snapshot
+
+    def test_tripped_breakers_refuse_snapshot(self, net):
+        from repro.resilience import ResilienceConfig
+
+        pipeline = net.resilient(ResilienceConfig(enabled=True))
+        pipeline.breakers.force_open(("switch", 4), now=0.0)
+        with pytest.raises(SnapshotError, match="tripped circuit"):
+            to_snapshot(net)
+
+    def test_closed_breakers_snapshot_fine(self, net):
+        from repro.resilience import ResilienceConfig
+
+        net.resilient(ResilienceConfig(enabled=True))
+        snapshot = to_snapshot(net)
+        assert snapshot["format"] == "gred-snapshot-v1"
+
+    def test_malformed_faults_section_rejected(self, net):
+        from repro.faults import FaultInjector
+
+        FaultInjector(net, seed=0).crash_switch(4)
+        snapshot = to_snapshot(net)
+        snapshot["faults"]["crashed_servers"] = [["bad"]]
+        with pytest.raises(SnapshotError, match="faults"):
+            from_snapshot(snapshot)
