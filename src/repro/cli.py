@@ -12,6 +12,7 @@ File-backed workflows over a saved deployment snapshot::
     gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
     gred loadtest [--quick] [--min-goodput 0.99] [-o SLO_report.json]
     gred bench [--quick] [-o BENCH_micro.json]
+    gred churn [--sizes 50 100 200 400] [--max-touched 25]
 
 (Installed as the ``gred`` console script; also runnable via
 ``python -m repro.cli``.)
@@ -248,6 +249,32 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="print the full report instead of the "
                             "summary")
+
+    churn = sub.add_parser(
+        "churn",
+        help="measure per-join control traffic (delta vs full "
+             "reinstall) across network sizes and write "
+             "CHURN_report.json")
+    churn.add_argument("--sizes", type=int, nargs="+",
+                       default=[50, 100, 200, 400],
+                       help="network sizes (switch counts) to sweep")
+    churn.add_argument("--joins", type=int, default=5,
+                       help="node joins per size")
+    churn.add_argument("--servers", type=int, default=2,
+                       help="servers per switch")
+    churn.add_argument("--cvt-iterations", type=int, default=30)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("-o", "--output", default="CHURN_report.json",
+                       metavar="FILE",
+                       help="report path (default: CHURN_report.json)")
+    churn.add_argument("--json", action="store_true",
+                       help="print the full report instead of the "
+                            "summary table")
+    churn.add_argument("--max-touched", type=float, default=None,
+                       metavar="N",
+                       help="exit nonzero when the average switches "
+                            "touched per join exceeds N at any size "
+                            "(CI gate for delta locality)")
     return parser
 
 
@@ -695,6 +722,47 @@ def _cmd_bench(args) -> int:
     return 0 if all(report["equivalence"].values()) else 1
 
 
+def _cmd_churn(args) -> int:
+    from .experiments.control_churn import run_churn_scaling
+
+    report = run_churn_scaling(
+        sizes=tuple(args.sizes),
+        servers_per_switch=args.servers,
+        num_joins=args.joins,
+        cvt_iterations=args.cvt_iterations,
+        seed=args.seed,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        from .experiments.common import print_table
+
+        print_table(report["rows"],
+                    ["switches", "avg_delta_messages",
+                     "avg_switches_touched",
+                     "avg_full_reinstall_messages",
+                     "route_cache_survival"],
+                    "churn: delta vs full-reinstall control traffic")
+    print(f"wrote {args.output}")
+    failures = []
+    for row in report["rows"]:
+        if args.max_touched is not None and \
+                row["avg_switches_touched"] > args.max_touched:
+            failures.append(
+                f"avg switches touched per join at n={row['switches']} "
+                f"is {row['avg_switches_touched']:.1f} > "
+                f"--max-touched {args.max_touched:g}")
+        if not row["untouched_generations_preserved"]:
+            failures.append(
+                f"untouched switch generations were bumped at "
+                f"n={row['switches']} (scoped invalidation leak)")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "place": _cmd_place,
@@ -711,6 +779,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
+    "churn": _cmd_churn,
 }
 
 

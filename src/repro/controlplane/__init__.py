@@ -1,5 +1,6 @@
 """Control plane: the SDN controller (discovery, embedding, DT, rule
-installation, range extension, dynamics) and the rule compiler."""
+installation, range extension, dynamics), the rule compiler, and the
+incremental plan/diff/apply pipeline."""
 
 from .controller import ControlPlaneError, Controller, ControllerConfig
 from .routing_index import RoutingIndex
@@ -19,6 +20,9 @@ from .rules import (
     path_toward,
     table_entry_counts,
 )
+from .plan import RulePlan, SwitchPlan, compile_plan, snapshot_plan
+from .diff import RuleDelta, diff_plans
+from .apply import apply_delta, install_plan
 
 __all__ = [
     "Controller",
@@ -38,4 +42,12 @@ __all__ = [
     "compile_messages",
     "apply_message",
     "install_via_messages",
+    "RulePlan",
+    "SwitchPlan",
+    "compile_plan",
+    "snapshot_plan",
+    "RuleDelta",
+    "diff_plans",
+    "apply_delta",
+    "install_plan",
 ]

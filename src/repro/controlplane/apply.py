@@ -1,0 +1,60 @@
+"""The applier of the plan/diff/apply pipeline.
+
+``apply_delta`` pushes a :class:`~repro.controlplane.diff.RuleDelta`
+through the southbound interface message by message, optionally
+recording every message on a channel (the control-traffic accounting
+used by the churn experiment), and publishes delta telemetry:
+
+* ``controlplane.delta.events`` — reconfigurations applied;
+* ``controlplane.delta.messages`` — southbound messages shipped;
+* ``controlplane.delta.switches_touched`` — switches that received at
+  least one message;
+* ``controlplane.delta.switches_removed`` — switches dropped from the
+  plan (left the network).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..dataplane import GredSwitch
+from ..obs import default_registry
+from .diff import RuleDelta
+from .plan import RulePlan, snapshot_plan
+from .southbound import RecordingChannel, apply_message
+
+
+def apply_delta(switches: Dict[int, GredSwitch], delta: RuleDelta,
+                channel: Optional[RecordingChannel] = None) -> int:
+    """Apply ``delta`` to the data plane; returns the message count.
+
+    Messages are applied in the differ's order (per switch: removals,
+    then installs).  ``channel`` observes every message before it is
+    applied.
+    """
+    for message in delta.messages:
+        if channel is not None:
+            channel.send(message)
+        apply_message(switches, message)
+    registry = default_registry()
+    if registry.enabled:
+        registry.counter("controlplane.delta.events").inc()
+        registry.counter("controlplane.delta.messages").inc(
+            len(delta.messages))
+        registry.counter("controlplane.delta.switches_touched").inc(
+            len(delta.touched))
+        if delta.removed:
+            registry.counter("controlplane.delta.switches_removed").inc(
+                len(delta.removed))
+    return len(delta.messages)
+
+
+def install_plan(switches: Dict[int, GredSwitch], plan: RulePlan,
+                 channel: Optional[RecordingChannel] = None) -> RuleDelta:
+    """Converge live switches to ``plan`` (diff against their actual
+    installed state, then apply); returns the delta that was applied."""
+    from .diff import diff_plans
+
+    delta = diff_plans(snapshot_plan(switches), plan)
+    apply_delta(switches, delta, channel=channel)
+    return delta

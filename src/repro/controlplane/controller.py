@@ -41,8 +41,15 @@ from ..graph import (
     is_connected,
 )
 from ..obs import EventLevel, default_registry
-from . import rules
+from .apply import apply_delta
+from .diff import RuleDelta, diff_plans
+from .plan import RulePlan, compile_plan, snapshot_plan
 from .routing_index import RoutingIndex
+
+#: Retained per-event touched-switch history; ``changes_since`` answers
+#: queries within this window, older baselines fall back to a full
+#: rebuild.
+_CHANGELOG_CAP = 256
 
 
 class ControlPlaneError(Exception):
@@ -107,7 +114,35 @@ class Controller:
         self._dt_vertex_to_switch: Dict[int, int] = {}
         self._dt_switch_to_vertex: Dict[int, int] = {}
         self._rng = np.random.default_rng(self.config.seed)
+        self._init_incremental_state()
         self.recompute()
+
+    def _init_incremental_state(self) -> None:
+        """Initialize the plan/diff/apply bookkeeping.
+
+        Split out of ``__init__`` because snapshot restore builds
+        controllers via ``__new__`` and must set up the same state
+        before calling :meth:`recompute`.
+        """
+        #: Last applied plan (what the controller believes installed).
+        self._plan: Optional[RulePlan] = None
+        #: Bumps on every applied change, global or scoped.
+        self._version = 0
+        #: Bumps only on :meth:`recompute` — the one event that moves
+        #: every position and invalidates everything.
+        self._global_epoch = 0
+        #: switch id -> version of the last change that touched it.
+        self._generations: Dict[int, int] = {}
+        #: Ascending ``(version, touched_or_None)`` history; ``None``
+        #: marks a global event.
+        self._changelog: List[tuple] = []
+        #: Optional southbound RecordingChannel observing every
+        #: rule-install message (control-traffic accounting).
+        self.southbound_channel = None
+        self._routing_index: Optional[RoutingIndex] = None
+        #: Full index (re)builds — the churn experiment asserts joins
+        #: leave this flat.
+        self._index_builds = 0
 
     # ------------------------------------------------------------------
     # main pipeline
@@ -150,8 +185,7 @@ class Controller:
         self.positions = positions
         with registry.timer("controlplane.phase.dt_build"):
             self._build_dt(participants)
-        self._build_switches()
-        self._install_rules()
+        self._install_rules(global_event=True)
 
     def _compute_positions(
         self, participants: List[int]
@@ -218,42 +252,102 @@ class Controller:
         return adjacency
 
     def _build_switches(self) -> None:
+        """Sync the switch-object population to the topology.
+
+        Existing switches are reused untouched — their state (including
+        ``num_servers``, driven by ``SetServerCount`` messages) is
+        converged by the plan/diff/apply pipeline, not reset here.
+        """
         existing = self.switches
         self.switches = {}
         for node in self.topology.nodes():
-            num_servers = len(self.server_map.get(node, []))
-            if node in existing:
-                switch = existing[node]
-                switch.num_servers = num_servers
-            else:
+            switch = existing.get(node)
+            if switch is None:
                 switch = GredSwitch(
                     switch_id=node,
                     position=self.positions[node],
-                    num_servers=num_servers,
+                    num_servers=len(self.server_map.get(node, [])),
                 )
             self.switches[node] = switch
 
-    def _install_rules(self) -> None:
-        # Any rule (re)install means the routing geometry may have
-        # changed: advance the epoch so every epoch-scoped cache
-        # (routing index, compiled fast path, route/hop caches)
-        # invalidates itself.  getattr: snapshots restore controllers
-        # via ``__new__`` and predate the field.
-        self._epoch = getattr(self, "_epoch", 0) + 1
-        self._routing_index = None
+    def _install_rules(self, *, global_event: bool) -> RuleDelta:
+        """Converge the data plane to the desired plan.
+
+        The plan/diff/apply pipeline: compile the desired per-switch
+        state (pure), diff it against what is actually installed, and
+        ship only the difference southbound.  ``global_event`` marks a
+        full :meth:`recompute` — every position may have moved, so the
+        global epoch advances and every scoped cache (routing index,
+        compiled fast path, route caches) rebuilds.  Scoped events
+        (joins, leaves, link changes, failure absorption) bump only
+        the version and the generations of the touched switches; the
+        routing index is updated in place.
+        """
         registry = default_registry()
+        if global_event:
+            self._global_epoch += 1
+            self._routing_index = None
+        self._build_switches()
+        desired = compile_plan(
+            self.topology, self.positions, self.dt_adjacency(),
+            server_counts={node: len(self.server_map.get(node, []))
+                           for node in self.topology.nodes()},
+        )
+        removed = (frozenset(self._plan.plans) - frozenset(desired.plans)
+                   if self._plan is not None else frozenset())
+        delta = diff_plans(snapshot_plan(self.switches), desired)
         with registry.timer("controlplane.phase.rule_install"):
-            rules.install_all_rules(
-                self.topology, self.switches, self.positions,
-                self.dt_adjacency(),
-            )
+            apply_delta(self.switches, delta,
+                        channel=self.southbound_channel)
+        self._plan = desired
+        self._version += 1
+        if global_event:
+            self._generations = {
+                sid: self._version for sid in self.switches}
+            self._log_change(None)
+        else:
+            for sid in delta.touched:
+                self._generations[sid] = self._version
+            for sid in removed:
+                self._generations.pop(sid, None)
+            self._log_change(frozenset(delta.touched | removed))
+            self._sync_routing_index()
         if registry.enabled:
             total = sum(s.table.num_entries()
                         for s in self.switches.values())
-            registry.counter("controlplane.rules_installed").inc(total)
+            if global_event:
+                registry.counter("controlplane.rules_installed").inc(
+                    total)
+            else:
+                registry.counter("controlplane.rules_installed").inc(
+                    len(delta.messages))
             registry.gauge("controlplane.table_entries").set(total)
             registry.gauge("controlplane.switches").set(
                 len(self.switches))
+        return delta
+
+    def _log_change(self, touched: Optional[frozenset]) -> None:
+        self._changelog.append((self._version, touched))
+        if len(self._changelog) > _CHANGELOG_CAP:
+            del self._changelog[:len(self._changelog) - _CHANGELOG_CAP]
+
+    def _sync_routing_index(self) -> None:
+        """Bring the (lazily built) routing index's membership in line
+        with the current DT participants, in place.
+
+        Scoped events never move surviving positions, so insert/remove
+        of the changed participants is sufficient; a missing index
+        stays missing until queried.
+        """
+        index = self._routing_index
+        if index is None:
+            return
+        current = set(index.nodes())
+        desired = set(self.dt_participants())
+        for node in sorted(current - desired):
+            index.remove(node)
+        for node in sorted(desired - current):
+            index.insert(node, self.positions[node])
 
     # ------------------------------------------------------------------
     # range extension (paper Section V-B)
@@ -371,8 +465,7 @@ class Controller:
             vertex = self._dt.insert_point(position)
             self._dt_vertex_to_switch[vertex] = switch_id
             self._dt_switch_to_vertex[switch_id] = vertex
-        self._build_switches()
-        self._install_rules()
+        self._install_rules(global_event=False)
         registry = default_registry()
         registry.counter("controlplane.switch_joins").inc()
         registry.event("switch_join", switch=switch_id,
@@ -456,7 +549,7 @@ class Controller:
         if self.topology.has_edge(u, v):
             raise ControlPlaneError(f"link ({u}, {v}) already exists")
         self.topology.add_edge(u, v)
-        self._install_rules()
+        self._install_rules(global_event=False)
         registry = default_registry()
         registry.counter("controlplane.links_added").inc()
         registry.event("link_up", u=u, v=v)
@@ -478,7 +571,7 @@ class Controller:
                 f"removing link ({u}, {v}) would partition the network"
             )
         self.topology = candidate
-        self._install_rules()
+        self._install_rules(global_event=False)
         registry = default_registry()
         registry.counter("controlplane.links_removed").inc()
         registry.event("link_down", level=EventLevel.WARNING, u=u, v=v)
@@ -515,8 +608,7 @@ class Controller:
                 "cannot remove the last server-hosting switch"
             )
         self._build_dt(participants)
-        self._build_switches()
-        self._install_rules()
+        self._install_rules(global_event=False)
         registry = default_registry()
         registry.counter("controlplane.switch_leaves").inc()
         registry.event("switch_leave", level=EventLevel.WARNING,
@@ -580,8 +672,7 @@ class Controller:
         self._drop_dead_extensions()
         participants = self.dt_participants()
         self._build_dt(participants)
-        self._build_switches()
-        self._install_rules()
+        self._install_rules(global_event=False)
         registry = default_registry()
         if registry.enabled:
             registry.counter("controlplane.failures_absorbed").inc()
@@ -613,20 +704,68 @@ class Controller:
 
     @property
     def epoch(self) -> int:
-        """Monotone counter advanced on every rule (re)install —
-        ``recompute``, switch/link joins and leaves, failure
-        absorption.  Epoch-scoped caches (routing index, compiled
-        fast path, route caches) compare against it to invalidate."""
-        return getattr(self, "_epoch", 0)
+        """Monotone counter advanced only by :meth:`recompute` — the
+        one event that moves every position.  Globally-scoped caches
+        rebuild when it advances; scoped events (joins, leaves, link
+        changes, failure absorption) advance :attr:`version` instead."""
+        return self._global_epoch
+
+    @property
+    def version(self) -> int:
+        """Monotone counter advanced on *every* applied change, global
+        or scoped.  ``changes_since`` maps a version interval back to
+        the set of touched switches for scoped cache invalidation."""
+        return self._version
+
+    def generation(self, switch_id: int) -> int:
+        """The version of the last change that touched ``switch_id``
+        (its rules, its membership, or its server count)."""
+        if switch_id not in self._generations:
+            raise ControlPlaneError(f"unknown switch {switch_id}")
+        return self._generations[switch_id]
+
+    @property
+    def generations(self) -> Dict[int, int]:
+        """Per-switch generation counters (copy)."""
+        return dict(self._generations)
+
+    def changes_since(self, version: int) -> Optional[Set[int]]:
+        """Switches touched by every change after ``version``.
+
+        Returns ``None`` when the interval cannot be answered scoped —
+        it contains a global event (recompute) or predates the retained
+        changelog — meaning the caller must invalidate everything.
+        Removed switches are included in the returned set.
+        """
+        if version >= self._version:
+            return set()
+        if not self._changelog or self._changelog[0][0] > version + 1:
+            return None
+        touched: Set[int] = set()
+        for entry_version, entry_touched in self._changelog:
+            if entry_version <= version:
+                continue
+            if entry_touched is None:
+                return None
+            touched |= entry_touched
+        return touched
 
     def routing_index(self) -> RoutingIndex:
         """The grid index over current participant positions (built
-        lazily, cached until the epoch advances)."""
-        index = getattr(self, "_routing_index", None)
+        lazily, updated in place on scoped events, rebuilt on
+        ``recompute``)."""
+        index = self._routing_index
         if index is None:
             index = RoutingIndex(self.dt_participants(), self.positions)
             self._routing_index = index
+            self._index_builds += 1
         return index
+
+    @property
+    def index_builds(self) -> int:
+        """Full routing-index builds so far (scoped events update the
+        existing index in place and do not count)."""
+        return self._index_builds
 
     def closest_switch(self, point: Point) -> int:
         """The DT participant whose position is nearest to ``point``

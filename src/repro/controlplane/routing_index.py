@@ -16,8 +16,14 @@ search only stops once the next ring's geometric lower bound (minus a
 safety margin for float rounding in the bound itself) strictly exceeds
 the best distance, so boundary ties are never cut off.
 
-Instances are immutable snapshots: the controller rebuilds the index
-whenever its topology/recompute epoch advances.
+The grid geometry (origin, cell size, dimensions) is fixed at
+construction, but membership is not: :meth:`insert` and :meth:`remove`
+update the index in place so switch joins and leaves never force a
+rebuild — only a full ``recompute`` (which moves every position) does.
+Points inserted outside the original bounding box are clamped into a
+border cell; the ring search stays exact because such a point is
+geometrically even farther from the query than its cell's boundary, so
+the ring lower bound still under-estimates its distance.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ _BOUND_MARGIN = 1e-9
 
 
 class RoutingIndex:
-    """Immutable nearest-participant index for one control-plane epoch.
+    """Nearest-participant index with in-place membership updates.
 
     Parameters
     ----------
@@ -55,6 +61,14 @@ class RoutingIndex:
             x, y = positions[node]
             self._xs.append(float(x))
             self._ys.append(float(y))
+        #: node id -> slot in the parallel arrays (live nodes only;
+        #: removed slots become unreferenced tombstones).
+        self._slot: Dict[int, int] = {
+            node: i for i, node in enumerate(self._nodes)
+        }
+        #: In-place update counters (observability + locality tests).
+        self.inserts = 0
+        self.removes = 0
         n = len(self._nodes)
         if n == 0:
             self._grid: Dict[Tuple[int, int], List[int]] = {}
@@ -79,7 +93,44 @@ class RoutingIndex:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._slot)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._slot
+
+    def nodes(self) -> List[int]:
+        """Live participant ids (unordered membership view)."""
+        return list(self._slot)
+
+    def insert(self, node: int, position: Point) -> None:
+        """Add one participant in place (O(1)).
+
+        The grid geometry is kept; a position outside the original
+        bounding box lands in the nearest border cell, which preserves
+        the ring search's exactness (see module docstring).
+        """
+        if node in self._slot:
+            raise ValueError(f"participant {node} already indexed")
+        x, y = float(position[0]), float(position[1])
+        slot = len(self._nodes)
+        self._nodes.append(node)
+        self._xs.append(x)
+        self._ys.append(y)
+        self._slot[node] = slot
+        self._grid.setdefault(self._cell_of(x, y), []).append(slot)
+        self.inserts += 1
+
+    def remove(self, node: int) -> None:
+        """Drop one participant in place (O(cell occupancy))."""
+        slot = self._slot.pop(node, None)
+        if slot is None:
+            raise ValueError(f"participant {node} not indexed")
+        key = self._cell_of(self._xs[slot], self._ys[slot])
+        cell = self._grid.get(key, [])
+        cell.remove(slot)
+        if not cell:
+            self._grid.pop(key, None)
+        self.removes += 1
 
     def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
         ix = int((x - self._x0) / self._cell)
@@ -103,7 +154,7 @@ class RoutingIndex:
         ValueError
             If the index is empty (no DT participants).
         """
-        if not self._nodes:
+        if not self._slot:
             raise ValueError("routing index has no participants")
         px = float(point[0])
         py = float(point[1])

@@ -17,6 +17,17 @@ Message types mirror the switch state surface:
 * ``InstallExtension`` / ``RemoveExtension`` — range extension
   rewrites;
 * ``ClearDtState`` — drop DT-derived state before a reconfiguration.
+
+The delta pipeline (:mod:`repro.controlplane.diff`) additionally needs
+targeted *removals* so a reconfiguration can retract exactly the
+entries that became stale instead of clearing whole switches:
+
+* ``RemovePhysical`` — drop one port mapping (and its greedy
+  candidate, if any);
+* ``RemoveDtNeighbor`` — drop one DT greedy candidate;
+* ``RemoveVirtual`` — drop the relay tuple toward one destination;
+* ``SetServerCount`` — the switch's attached-server count (drives
+  ``H(d) mod s`` delivery).
 """
 
 from __future__ import annotations
@@ -64,6 +75,26 @@ class InstallVirtual(SouthboundMessage):
     pred: Optional[int] = None
     succ: Optional[int] = None
     dest: int = -1
+
+
+@dataclass(frozen=True)
+class RemovePhysical(SouthboundMessage):
+    neighbor: int = -1
+
+
+@dataclass(frozen=True)
+class RemoveDtNeighbor(SouthboundMessage):
+    neighbor: int = -1
+
+
+@dataclass(frozen=True)
+class RemoveVirtual(SouthboundMessage):
+    dest: int = -1
+
+
+@dataclass(frozen=True)
+class SetServerCount(SouthboundMessage):
+    count: int = 0
 
 
 @dataclass(frozen=True)
@@ -132,6 +163,14 @@ def apply_message(switches: Dict[int, GredSwitch],
         switch.table.install_virtual(VirtualLinkEntry(
             sour=message.sour, pred=message.pred, succ=message.succ,
             dest=message.dest))
+    elif isinstance(message, RemovePhysical):
+        switch.remove_physical_neighbor(message.neighbor)
+    elif isinstance(message, RemoveDtNeighbor):
+        switch.remove_dt_neighbor(message.neighbor)
+    elif isinstance(message, RemoveVirtual):
+        switch.table.remove_virtual(message.dest)
+    elif isinstance(message, SetServerCount):
+        switch.num_servers = message.count
     elif isinstance(message, InstallExtension):
         switch.table.install_extension(ExtensionEntry(
             local_serial=message.local_serial,

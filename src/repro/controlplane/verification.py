@@ -21,7 +21,11 @@ Checked invariants:
 5. extension entries point at existing servers on physical neighbors;
 6. (with ``fault_state``) no installed rule references a crashed
    switch — dead greedy candidates, relay successors or extension
-   targets mean a repair sweep has not yet run.
+   targets mean a repair sweep has not yet run;
+7. every switch's installed port map equals the deterministic
+   compiler's output for the current topology, exactly — a stale
+   entry for a removed link or a missing entry for a new one means a
+   delta update retracted too little or installed too few rules.
 """
 
 from __future__ import annotations
@@ -110,6 +114,22 @@ def verify_installed_state(
                     "bad-extension", switch_id,
                     f"extension target serial {ext.target_serial} "
                     f"does not exist on switch {ext.target_switch}"))
+
+    # 7. installed ports match the deterministic port map exactly.
+    from .rules import compile_port_map
+
+    expected_ports = compile_port_map(topology)
+    for switch_id, switch in controller.switches.items():
+        table = switch.table
+        installed_ports = {
+            neighbor: table.physical_port(neighbor)
+            for neighbor in table.physical_neighbors()
+        }
+        if installed_ports != expected_ports.get(switch_id, {}):
+            violations.append(Violation(
+                "port-map", switch_id,
+                f"installed ports {sorted(installed_ports.items())} != "
+                f"compiled {sorted(expected_ports.get(switch_id, {}).items())}"))
 
     # 3. relay chains terminate.
     violations.extend(_verify_relay_chains(controller))

@@ -57,12 +57,19 @@ _ROUTE_CACHE_CAP = 65536
 
 class _FastPathState:
     """Epoch-scoped request fast path: the compiled router plus the
-    route and hop-distance caches that share its lifetime."""
+    route and hop-distance caches that share its lifetime.
 
-    __slots__ = ("epoch", "router", "routes", "hops")
+    ``epoch`` tracks the controller's global epoch (a mismatch means
+    every position moved — rebuild everything); ``version`` tracks its
+    change counter so scoped events (joins, leaves, link changes) can
+    patch the router and evict only the affected cache entries."""
 
-    def __init__(self, epoch: int, router: CompiledRouter) -> None:
+    __slots__ = ("epoch", "version", "router", "routes", "hops")
+
+    def __init__(self, epoch: int, version: int,
+                 router: CompiledRouter) -> None:
         self.epoch = epoch
+        self.version = version
         self.router = router
         #: LRU of (entry, copy_id) -> (trace, overlay, dest, serial).
         #: Traces are shared lists — consumers copy, never mutate.
@@ -490,15 +497,48 @@ class GredNetwork:
     # batch fast path
     # ------------------------------------------------------------------
     def _fast_state(self) -> _FastPathState:
-        """The epoch-scoped fast-path state, rebuilt whenever the
-        control plane advances its epoch (recompute, joins/leaves,
-        failure absorption) so stale routes can never be served."""
-        epoch = self.controller.epoch
+        """The fast-path state, kept in sync with the control plane.
+
+        A global-epoch advance (``recompute``: every position moved)
+        rebuilds the compiled router and both caches from scratch.
+        A version advance from scoped events (joins, leaves, link
+        changes, failure absorption) instead asks the controller which
+        switches were touched, patches only their compiled rows, and
+        evicts only the cached routes whose traces traverse a touched
+        switch — a route's every per-hop decision depends solely on
+        the visited switches' installed state, so untouched traces
+        stay byte-identical.  Hop distances are cheap to recompute and
+        topology edits shift them non-locally, so that cache clears
+        wholesale on any change."""
+        controller = self.controller
         state = getattr(self, "_fastpath", None)
-        if state is None or state.epoch != epoch:
+        if (state is not None and state.epoch == controller.epoch
+                and state.version == controller.version):
+            return state
+        touched = None
+        if state is not None and state.epoch == controller.epoch:
+            touched = controller.changes_since(state.version)
+        if touched is None:
             state = _FastPathState(
-                epoch, CompiledRouter(self.controller.switches))
+                controller.epoch, controller.version,
+                CompiledRouter(controller.switches))
             self._fastpath = state
+            return state
+        if touched:
+            switches = controller.switches
+            present = frozenset(s for s in touched if s in switches)
+            removed = frozenset(touched) - present
+            state.router.patch(switches, present, removed)
+            hop_bound = state.router._default_max_hops
+            stale = [
+                key for key, outcome in state.routes.items()
+                if touched.intersection(outcome[0])
+                or len(outcome[0]) - 1 > hop_bound
+            ]
+            for key in stale:
+                del state.routes[key]
+            state.hops.clear()
+        state.version = controller.version
         return state
 
     def _fastpath_usable(self) -> bool:

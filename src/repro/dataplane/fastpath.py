@@ -177,6 +177,91 @@ class CompiledRouter:
         self._chains: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         # Dense plane for route_batch, built on first use.
         self._flat: Optional[_FlatPlane] = None
+        #: Per-switch compilations so far (observability: a scoped
+        #: patch after a join should grow this by a neighborhood, not
+        #: by the network).
+        self.switch_compiles = len(switches)
+        #: Scoped :meth:`patch` applications.
+        self.patch_events = 0
+
+    def patch(self, switches: Dict[int, GredSwitch],
+              touched, removed=()) -> None:
+        """Recompile only the ``touched`` switches' state in place.
+
+        ``removed`` switches are dropped.  Everything derived from the
+        affected switches is invalidated selectively: relay chains
+        whose source, destination or relays intersect them, the dense
+        wave plane's rows (or the whole plane when membership changed
+        — its row numbering is positional), and the default hop bound.
+        Untouched switches keep their compiled rows, which is what
+        makes a join's fast-path cost neighborhood-sized.
+        """
+        states = self._states
+        membership_changed = False
+        for sid in removed:
+            if states.pop(sid, None) is not None:
+                membership_changed = True
+        for sid in sorted(touched):
+            switch = switches.get(sid)
+            if switch is None:
+                if states.pop(sid, None) is not None:
+                    membership_changed = True
+                continue
+            if sid not in states:
+                membership_changed = True
+            states[sid] = _CompiledSwitch(switch)
+            self.switch_compiles += 1
+        self._default_max_hops = 4 * len(states) + 16
+        affected = set(touched) | set(removed)
+        if self._chains:
+            self._chains = {
+                key: chain for key, chain in self._chains.items()
+                if key[0] not in affected and key[1] not in affected
+                and not affected.intersection(chain)
+            }
+        if membership_changed:
+            for state in states.values():
+                state.neighbors_known = all(
+                    nid in states for nid in state.cand_nid.tolist())
+            self._flat = None
+        else:
+            for sid in touched:
+                state = states[sid]
+                state.neighbors_known = all(
+                    nid in states for nid in state.cand_nid.tolist())
+            if self._flat is not None:
+                self._flat = self._patched_flat(touched)
+        self.patch_events += 1
+
+    def _patched_flat(self, touched) -> Optional[_FlatPlane]:
+        """Update the dense plane's rows for ``touched`` in place, or
+        return ``None`` (rebuild on next use) when a new candidate list
+        no longer fits the padded width."""
+        flat = self._flat
+        width = flat.cx.shape[1]
+        rows = {sid: r for r, sid in
+                enumerate(flat.sid_sorted.tolist())}
+        for sid in touched:
+            r = rows[sid]
+            state = self._states[sid]
+            if len(state.cands) > width:
+                return None
+            flat.ox[r] = state.x
+            flat.oy[r] = state.y
+            flat.in_dt[r] = state.in_dt
+            flat.ns[r] = max(state.num_servers, 0)
+            flat.cx[r, :] = np.inf
+            flat.cy[r, :] = np.inf
+            flat.kind[r, :] = 2
+            flat.nid[r, :] = -1
+            flat.nrow[r, :] = -1
+            for c, (x, y, kind, nid) in enumerate(state.cands):
+                flat.cx[r, c] = x
+                flat.cy[r, c] = y
+                flat.kind[r, c] = kind
+                flat.nid[r, c] = nid
+                flat.nrow[r, c] = rows.get(nid, -1)
+        return flat
 
     # ------------------------------------------------------------------
     def _chain(self, source: int, dest: int) -> Tuple[int, ...]:

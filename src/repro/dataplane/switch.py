@@ -224,8 +224,17 @@ class GredSwitch:
         if position is not None:
             self.physical_neighbor_positions[neighbor] = position
 
+    def remove_physical_neighbor(self, neighbor: int) -> None:
+        """Retract a physical adjacency: the port mapping and, if the
+        neighbor was a greedy candidate, its candidate position."""
+        self.table.remove_physical(neighbor)
+        self.physical_neighbor_positions.pop(neighbor, None)
+
     def install_dt_neighbor(self, neighbor: int, position: Point) -> None:
         self.dt_neighbor_positions[neighbor] = position
+
+    def remove_dt_neighbor(self, neighbor: int) -> None:
+        self.dt_neighbor_positions.pop(neighbor, None)
 
     def clear_dt_state(self) -> None:
         """Drop DT neighbor positions and virtual-link entries (used on

@@ -14,17 +14,30 @@ across the network?
 
 Both counts are *semantic* diffs of installed state, independent of how
 each implementation schedules its updates.
+
+Since the control plane moved to the plan/diff/apply pipeline, the
+experiment also counts what the controller *actually ships*: every
+southbound message is recorded on a channel, so the reported delta is
+the real control traffic, not just the semantic diff.
+:func:`run_churn_scaling` runs the same join workload across network
+sizes and reports, per size, the delta message count against the
+pre-refactor full-reinstall message count — the locality claim of the
+refactor (delta flat in n, full reinstall O(n)) as a committed JSON
+report (``gred churn``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
 from ..chord import ChordRing
 from ..edge import EdgeServer, attach_uniform
 from .common import build_topology, print_table
+
+#: Format marker of the ``gred churn`` JSON report.
+CHURN_FORMAT = "gred-churn-v1"
 
 
 def _gred_switch_state(switch) -> FrozenSet:
@@ -83,6 +96,8 @@ def run_control_churn(
     """Average installed-state changes per join, GRED vs Chord."""
     from ..controlplane import Controller, ControllerConfig
 
+    from ..controlplane import RecordingChannel
+
     rows = []
     # ---------------- GRED ------------------------------------------
     topology = build_topology(num_switches, 3, seed)
@@ -90,9 +105,15 @@ def run_control_churn(
         topology, attach_uniform(topology.nodes(), servers_per_switch),
         config=ControllerConfig(cvt_iterations=30, seed=seed),
     )
+    # Record the actual southbound traffic of every join, so the row
+    # reports what the controller ships, not just the semantic diff.
+    channel = RecordingChannel()
+    controller.southbound_channel = channel
     rng = np.random.default_rng(seed + 1)
     touched_total = 0
     entries_total = 0
+    messages_total = 0
+    switches_messaged_total = 0
     for j in range(num_joins):
         before = {
             sid: _gred_switch_state(sw)
@@ -101,11 +122,14 @@ def run_control_churn(
         new_id = 1000 + j
         peers = [int(p) for p in rng.choice(num_switches, size=2,
                                             replace=False)]
+        channel.clear()
         controller.add_switch(
             new_id, links=peers,
             servers=[EdgeServer(new_id, s)
                      for s in range(servers_per_switch)],
         )
+        messages_total += channel.count()
+        switches_messaged_total += len(channel.per_switch())
         after = {
             sid: _gred_switch_state(sw)
             for sid, sw in controller.switches.items()
@@ -117,6 +141,8 @@ def run_control_churn(
         "protocol": "GRED",
         "avg_nodes_touched": touched_total / num_joins,
         "avg_entries_changed": entries_total / num_joins,
+        "avg_messages_sent": messages_total / num_joins,
+        "avg_switches_messaged": switches_messaged_total / num_joins,
         "population": num_switches,
     })
     # ---------------- Chord -----------------------------------------
@@ -155,11 +181,158 @@ def run_control_churn(
     return rows
 
 
+def run_churn_scaling(
+    sizes: Sequence[int] = (50, 100, 200, 400),
+    servers_per_switch: int = 2,
+    num_joins: int = 5,
+    cvt_iterations: int = 30,
+    seed: int = 0,
+) -> Dict:
+    """Churn locality across network sizes: delta vs full reinstall.
+
+    For each size, a network is built, the request fast path is warmed,
+    and ``num_joins`` switches join one by one while a recording
+    channel counts the actual southbound messages.  Each row reports:
+
+    * ``avg_delta_messages`` / ``avg_switches_touched`` — what the
+      plan/diff/apply pipeline actually shipped (neighborhood-sized,
+      flat in n);
+    * ``avg_full_reinstall_messages`` — what the pre-refactor
+      clear-and-reinstall path would have shipped (O(n));
+    * ``avg_semantic_*`` — the installed-state diff of surviving
+      switches (the paper's §VI locality claim);
+    * ``index_builds_during_joins`` — full routing-index rebuilds
+      triggered by the joins (0 = updated in place);
+    * ``router_reused`` / ``avg_router_recompiles`` — whether the
+      compiled fast-path router object survived all joins and how many
+      per-switch recompilations each join cost;
+    * ``route_cache_survival`` — fraction of cached routes that
+      survived the joins' scoped eviction;
+    * ``untouched_generations_preserved`` — no un-messaged switch had
+      its generation counter bumped.
+    """
+    from ..controlplane import RecordingChannel, compile_messages
+    from ..core import GredNetwork
+
+    rows: List[Dict] = []
+    for num_switches in sizes:
+        topology = build_topology(num_switches, 3, seed)
+        net = GredNetwork(
+            topology, servers_per_switch=servers_per_switch,
+            cvt_iterations=cvt_iterations, seed=seed,
+        )
+        controller = net.controller
+        channel = RecordingChannel()
+        controller.southbound_channel = channel
+        # Warm the scoped caches so the joins have something to
+        # preserve: the routing index, the compiled router, and a
+        # populated route cache.
+        controller.closest_switch((0.5, 0.5))
+        ids = [f"churn/{num_switches}/{i}" for i in range(256)]
+        net.place_many(ids, rng=np.random.default_rng(seed + 2))
+        fast = getattr(net, "_fastpath", None)
+        router_before = fast.router if fast is not None else None
+        compiles_before = (router_before.switch_compiles
+                           if router_before is not None else 0)
+        cached_before = (set(fast.routes) if fast is not None
+                         else set())
+        index_builds_before = controller.index_builds
+        rng = np.random.default_rng(seed + 1)
+        delta_messages: List[int] = []
+        touched_counts: List[int] = []
+        full_messages: List[int] = []
+        semantic_touched: List[int] = []
+        semantic_entries: List[int] = []
+        generations_preserved = True
+        for j in range(num_joins):
+            before = {
+                sid: _gred_switch_state(sw)
+                for sid, sw in controller.switches.items()
+            }
+            generations_before = controller.generations
+            new_id = 100_000 + j
+            peers = [int(p) for p in rng.choice(num_switches, size=2,
+                                                replace=False)]
+            channel.clear()
+            controller.add_switch(
+                new_id, links=peers,
+                servers=[EdgeServer(new_id, s)
+                         for s in range(servers_per_switch)],
+            )
+            delta_messages.append(channel.count())
+            touched = set(channel.per_switch())
+            touched_counts.append(len(touched))
+            # The pre-refactor path cleared and reinstalled every
+            # switch: its cost is the full compiled message sequence
+            # over the post-join network.
+            full_messages.append(len(compile_messages(
+                controller.topology, controller.positions,
+                controller.dt_adjacency())))
+            after = {
+                sid: _gred_switch_state(sw)
+                for sid, sw in controller.switches.items()
+            }
+            touched_sem, entries_sem = _diff_states(before, after)
+            semantic_touched.append(touched_sem)
+            semantic_entries.append(entries_sem)
+            generations_after = controller.generations
+            for sid, generation in generations_before.items():
+                if sid not in touched and \
+                        generations_after.get(sid) != generation:
+                    generations_preserved = False
+            controller.closest_switch((0.25, 0.75))
+        # Force the scoped fast-path update and measure what survived.
+        state = net._fast_state()
+        router_reused = (router_before is not None
+                         and state.router is router_before)
+        recompiles = (state.router.switch_compiles - compiles_before
+                      if router_reused else None)
+        surviving = len(cached_before & set(state.routes))
+        survival = (surviving / len(cached_before)
+                    if cached_before else None)
+        rows.append({
+            "switches": num_switches,
+            "avg_delta_messages": _mean(delta_messages),
+            "avg_switches_touched": _mean(touched_counts),
+            "avg_full_reinstall_messages": _mean(full_messages),
+            "avg_semantic_switches_touched": _mean(semantic_touched),
+            "avg_semantic_entries_changed": _mean(semantic_entries),
+            "index_builds_during_joins": (controller.index_builds
+                                          - index_builds_before),
+            "router_reused": router_reused,
+            "avg_router_recompiles": (
+                recompiles / num_joins if recompiles is not None
+                else None),
+            "route_cache_survival": survival,
+            "untouched_generations_preserved": generations_preserved,
+        })
+    return {
+        "format": CHURN_FORMAT,
+        "sizes": list(sizes),
+        "servers_per_switch": servers_per_switch,
+        "num_joins": num_joins,
+        "cvt_iterations": cvt_iterations,
+        "seed": seed,
+        "rows": rows,
+    }
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
 def main() -> None:
     print_table(run_control_churn(),
                 ["protocol", "avg_nodes_touched",
-                 "avg_entries_changed", "population"],
+                 "avg_entries_changed", "avg_messages_sent",
+                 "avg_switches_messaged", "population"],
                 "X6: installed-state churn per node join")
+    print_table(run_churn_scaling()["rows"],
+                ["switches", "avg_delta_messages",
+                 "avg_switches_touched",
+                 "avg_full_reinstall_messages",
+                 "route_cache_survival"],
+                "X6b: delta vs full-reinstall control traffic")
 
 
 if __name__ == "__main__":

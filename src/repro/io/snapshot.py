@@ -98,6 +98,19 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
             "seed": config.seed,
         },
         "extensions": extensions,
+        # Incremental control-plane state: restoring these makes the
+        # restored controller's epoch/version/generation counters (and
+        # therefore cache-invalidation behavior) continue where the
+        # snapshot left off instead of silently resetting.
+        "controlplane": {
+            "epoch": controller.epoch,
+            "version": controller.version,
+            "generations": {
+                str(switch): generation
+                for switch, generation
+                in sorted(controller.generations.items())
+            },
+        },
     }
     fault = net.fault_state
     if fault is not None and fault.any_active():
@@ -202,11 +215,27 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
     import numpy as np
 
     controller._rng = np.random.default_rng(controller.config.seed)
+    controller._init_incremental_state()
     positions = {
         int(node): (float(pos[0]), float(pos[1]))
         for node, pos in snapshot["positions"].items()
     }
     controller.recompute(positions=positions)
+    # Resume the persisted counters (the recompute above consumed
+    # epoch 1 / version 1; older snapshots without the section keep
+    # those defaults).  The changelog is NOT restorable — leave it
+    # truncated so ``changes_since`` answers ``None`` (full rebuild)
+    # for any pre-restore baseline rather than guessing.
+    controlplane = snapshot.get("controlplane")
+    if controlplane is not None:
+        controller._global_epoch = int(controlplane["epoch"])
+        controller._version = int(controlplane["version"])
+        controller._generations = {
+            int(switch): int(generation)
+            for switch, generation
+            in controlplane.get("generations", {}).items()
+        }
+        controller._changelog = []
     for ext in snapshot.get("extensions", []):
         from ..dataplane import ExtensionEntry
 

@@ -313,3 +313,39 @@ class TestStatsExtensions:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["overload_events"] == []
+
+
+class TestChurn:
+    def test_churn_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "churn.json")
+        code = main(["churn", "--sizes", "12", "--joins", "1",
+                     "--cvt-iterations", "3", "--seed", "0",
+                     "--max-touched", "12", "-o", out])
+        assert code == 0
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["format"] == "gred-churn-v1"
+        assert len(report["rows"]) == 1
+        row = report["rows"][0]
+        assert row["avg_delta_messages"] < \
+            row["avg_full_reinstall_messages"]
+        assert row["untouched_generations_preserved"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_churn_locality_gate_fails(self, tmp_path, capsys):
+        out = str(tmp_path / "churn.json")
+        code = main(["churn", "--sizes", "12", "--joins", "1",
+                     "--cvt-iterations", "3", "--seed", "0",
+                     "--max-touched", "0", "-o", out])
+        assert code == 1
+        assert "max-touched" in capsys.readouterr().err
+
+    def test_churn_json_output(self, tmp_path, capsys):
+        out = str(tmp_path / "churn.json")
+        code = main(["churn", "--sizes", "12", "--joins", "1",
+                     "--cvt-iterations", "3", "--seed", "0",
+                     "--json", "-o", out])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[:stdout.rindex("}") + 1])
+        assert payload["format"] == "gred-churn-v1"

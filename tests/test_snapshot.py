@@ -177,3 +177,47 @@ class TestDegradedRoundTrip:
         snapshot["faults"]["crashed_servers"] = [["bad"]]
         with pytest.raises(SnapshotError, match="faults"):
             from_snapshot(snapshot)
+
+
+class TestControlPlaneCounters:
+    """Epoch/version/generation state survives a snapshot round trip."""
+
+    def test_counters_roundtrip_after_dynamics(self, net):
+        net.add_switch(100, links=[0, 4], servers_per_switch=2)
+        net.add_switch(101, links=[100, 8], servers_per_switch=2)
+        restored = from_snapshot(to_snapshot(net))
+        assert restored.controller.epoch == net.controller.epoch
+        assert restored.controller.version == net.controller.version
+        assert restored.controller.generations == \
+            net.controller.generations
+
+    def test_no_legacy_epoch_attribute(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        assert not hasattr(restored.controller, "_epoch")
+        assert not hasattr(net.controller, "_epoch")
+
+    def test_changes_since_conservative_after_restore(self, net):
+        net.add_switch(100, links=[0, 4], servers_per_switch=2)
+        restored = from_snapshot(to_snapshot(net))
+        version = restored.controller.version
+        # The changelog is not persisted: any pre-restore baseline must
+        # answer "rebuild everything", never guess a partial set.
+        assert restored.controller.changes_since(version - 1) is None
+        assert restored.controller.changes_since(version) == set()
+
+    def test_old_snapshot_without_section_still_loads(self, net):
+        snapshot = to_snapshot(net)
+        del snapshot["controlplane"]
+        restored = from_snapshot(snapshot)
+        assert restored.controller.epoch == 1
+        assert restored.controller.version == 1
+        for i in range(20):
+            assert restored.retrieve(f"snap-{i}", entry_switch=0).found
+
+    def test_dynamics_continue_after_restore(self, net):
+        restored = from_snapshot(to_snapshot(net))
+        version = restored.controller.version
+        restored.add_switch(100, links=[0, 4], servers_per_switch=2)
+        assert restored.controller.version == version + 1
+        assert restored.controller.generation(100) == \
+            restored.controller.version
