@@ -7,8 +7,10 @@ per-request loop on one and the batch fast path
 (:meth:`~repro.core.network.GredNetwork.place_many` /
 :meth:`~repro.core.network.GredNetwork.retrieve_many`) on the other,
 asserts the per-request outcomes are identical, and reports
-requests/sec, p50/p99 per-operation latency and control-plane
-recompute time in a stable JSON schema (``format: gred-bench-v1``)
+requests/sec, p50/p99 per-operation latency, control-plane recompute
+time and the telemetry-plane overhead (batch path with the metrics
+registry enabled vs disabled) in a stable JSON schema
+(``format: gred-bench-v1``)
 suitable for committing as ``BENCH_micro.json`` and diffing across
 runs.
 
@@ -204,6 +206,8 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
         if gc_was_enabled:
             gc.enable()
 
+    telemetry = _bench_telemetry(batch_net, config)
+
     def section(rounds: Dict[str, List[_Round]]) -> Dict[str, Any]:
         scalar_best = min(rounds["scalar"], key=lambda r: r.seconds)
         batch_best = min(rounds["batch"], key=lambda r: r.seconds)
@@ -240,7 +244,76 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
         },
         "placement": section(place_rounds),
         "retrieval": section(get_rounds),
+        "telemetry": telemetry,
         "equivalence": equivalence,
+    }
+
+
+def _bench_telemetry(net, config: BenchConfig) -> Dict[str, Any]:
+    """Cost of the vectorized telemetry plane on the batch fast path.
+
+    Times the same batch place+retrieve workload with the metrics
+    registry disabled and enabled (best of ``repeats`` each, fresh
+    identifier namespaces so the route cache never crosses modes) and
+    reports the overhead fractions.  ``batch_waves > 0`` proves the
+    telemetry-on run still took the wave router — telemetry alone must
+    not force the scalar fallback.
+    """
+    from . import obs
+
+    perf = time.perf_counter
+    best = {"off": {"place": None, "get": None},
+            "on": {"place": None, "get": None}}
+    batch_waves = 0.0
+    gc_was_enabled = gc.isenabled()
+    try:
+        for repeat in range(config.repeats):
+            for mode in ("off", "on"):
+                ids = [f"tel/{mode}/{repeat}/{i}"
+                       for i in range(config.requests)]
+                rng = np.random.default_rng(config.seed + 7)
+                registry = obs.MetricsRegistry(enabled=(mode == "on"))
+                previous = obs.set_default_registry(registry)
+                gc.collect()
+                gc.disable()
+                try:
+                    start = perf()
+                    net.place_many(ids, copies=config.copies, rng=rng)
+                    mid = perf()
+                    net.retrieve_many(ids, copies=config.copies,
+                                      rng=rng)
+                    end = perf()
+                finally:
+                    gc.enable()
+                    obs.set_default_registry(previous)
+                slot = best[mode]
+                place, get = mid - start, end - mid
+                if slot["place"] is None or place < slot["place"]:
+                    slot["place"] = place
+                if slot["get"] is None or get < slot["get"]:
+                    slot["get"] = get
+                if mode == "on":
+                    batch_waves = max(
+                        batch_waves,
+                        registry.counter_values("dataplane.batch.")
+                        .get("dataplane.batch.waves", 0.0))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    def overhead(op: str) -> Dict[str, Any]:
+        off, on = best["off"][op], best["on"][op]
+        return {
+            "off_seconds": off,
+            "on_seconds": on,
+            "overhead_fraction": (on - off) / off,
+        }
+
+    return {
+        "placement": overhead("place"),
+        "retrieval": overhead("get"),
+        "batch_waves": batch_waves,
+        "vectorized": batch_waves > 0,
     }
 
 
@@ -274,6 +347,15 @@ def render_summary(report: Dict[str, Any]) -> str:
             f" | batch {batch['requests_per_sec']:,.0f} rps "
             f"(p50 {batch['p50_us']:.1f}us p99 {batch['p99_us']:.1f}us)"
             f" | speedup {sec['batch_speedup']:.2f}x"
+        )
+    tel = report.get("telemetry")
+    if tel is not None:
+        lines.append(
+            f"telemetry       : place "
+            f"{tel['placement']['overhead_fraction']:+.1%}, retrieve "
+            f"{tel['retrieval']['overhead_fraction']:+.1%} overhead "
+            f"({tel['batch_waves']:.0f} waves, "
+            f"{'vectorized' if tel['vectorized'] else 'SCALAR FALLBACK'})"
         )
     eq = report["equivalence"]
     ok = all(eq.values())

@@ -11,7 +11,11 @@ File-backed workflows over a saved deployment snapshot::
     gred metrics -n net.json            # or: --from m.json [--json]
     gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
     gred loadtest [--quick] [--min-goodput 0.99] [-o SLO_report.json]
+                  [--trace-out traces.jsonl [--trace-sample 0.05]]
+    gred trace -n net.json [data_id] [--summary]
+               [--spans-out t.jsonl] [--chrome-out t.json]
     gred bench [--quick] [-o BENCH_micro.json]
+               [--max-telemetry-overhead 0.15]
     gred churn [--sizes 50 100 200 400] [--max-touched 25]
 
 (Installed as the ``gred`` console script; also runnable via
@@ -124,10 +128,32 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="entry switch for --route")
 
     trace = sub.add_parser(
-        "trace", help="explain a request's forwarding decisions")
+        "trace",
+        help="explain a request's forwarding decisions, or record "
+             "request spans and join them with telemetry")
     trace.add_argument("-n", "--network", required=True)
-    trace.add_argument("data_id")
-    trace.add_argument("--entry", type=int, required=True)
+    trace.add_argument("data_id", nargs="?", default=None,
+                       help="item to trace (optional with --summary / "
+                            "--spans-out / --chrome-out: a sampled "
+                            "workload over stored items is traced "
+                            "instead)")
+    trace.add_argument("--entry", type=int, default=None,
+                       help="entry switch (default: first switch)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print hop-histogram quantiles joined "
+                            "with the recorded exemplar traces")
+    trace.add_argument("--spans-out", default=None, metavar="FILE",
+                       help="write recorded spans as JSONL")
+    trace.add_argument("--chrome-out", default=None, metavar="FILE",
+                       help="write recorded spans as a Chrome "
+                            "trace-event file (chrome://tracing, "
+                            "Perfetto)")
+    trace.add_argument("--sample-rate", type=float, default=1.0,
+                       help="head-based trace sampling rate")
+    trace.add_argument("--requests", type=int, default=32,
+                       help="stored items to retrieve when no data_id "
+                            "is given")
+    trace.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser(
         "experiment", help="run a paper-figure experiment")
@@ -222,6 +248,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="exit nonzero when SLO attainment at "
                                "any point falls below this threshold "
                                "(CI gate)")
+    loadtest.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="record sampled request traces and "
+                               "write them as JSONL spans")
+    loadtest.add_argument("--trace-sample", type=float, default=None,
+                          metavar="RATE",
+                          help="head-based trace sampling rate "
+                               "(default 0.05 when --trace-out is "
+                               "given)")
 
     bench = sub.add_parser(
         "bench",
@@ -249,6 +283,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="print the full report instead of the "
                             "summary")
+    bench.add_argument("--max-telemetry-overhead", type=float,
+                       default=None, metavar="FRACTION",
+                       help="exit nonzero when enabling telemetry "
+                            "slows the batch path by more than this "
+                            "fraction, or forces the scalar fallback "
+                            "(CI gate)")
 
     churn = sub.add_parser(
         "churn",
@@ -494,12 +534,93 @@ def _cmd_render(args) -> int:
 
 def _cmd_trace(args) -> int:
     net = _load(args.network)
-    route, tracer = net.trace_route(args.data_id, args.entry)
-    print(tracer.render())
-    print(f"-> destination switch {route.destination_switch}, "
-          f"{route.physical_hops} physical hops, "
-          f"{route.overlay_hops} overlay hops")
+    entry = args.entry if args.entry is not None \
+        else net.switch_ids()[0]
+    recording = bool(args.summary or args.spans_out or args.chrome_out)
+    if args.data_id is None and not recording:
+        print("error: trace needs a data_id (or --summary / "
+              "--spans-out / --chrome-out)", file=sys.stderr)
+        return 2
+    if not recording:
+        route, tracer = net.trace_route(args.data_id, entry)
+        print(tracer.render())
+        print(f"-> destination switch {route.destination_switch}, "
+              f"{route.physical_hops} physical hops, "
+              f"{route.overlay_hops} overlay hops")
+        return 0
+
+    from . import obs
+    from .obs import spans as ospans
+
+    recorder = ospans.SpanRecorder(sample_rate=args.sample_rate)
+    previous_recorder = ospans.set_default_recorder(recorder)
+    previous_registry = obs.set_default_registry(obs.MetricsRegistry())
+    try:
+        rng = np.random.default_rng(args.seed)
+        if args.data_id is not None:
+            targets = [args.data_id]
+        else:
+            stored = sorted({data_id for server in net.servers()
+                             for data_id in server.stored_ids()})
+            if not stored:
+                print("error: snapshot stores no items to trace",
+                      file=sys.stderr)
+                return 1
+            count = min(args.requests, len(stored))
+            picks = rng.choice(len(stored), size=count, replace=False)
+            targets = [stored[i] for i in sorted(picks.tolist())]
+        found = 0
+        for data_id in targets:
+            result = net.retrieve(data_id, entry_switch=entry,
+                                  rng=np.random.default_rng(args.seed))
+            found += int(result.found)
+        dump = obs.default_registry().to_dict(include_events=False)
+    finally:
+        obs.set_default_registry(previous_registry)
+        ospans.set_default_recorder(previous_recorder)
+    spans = recorder.spans()
+    print(f"traced {len(targets)} request(s) from switch {entry}: "
+          f"{found} found, {len(targets) - found} missed, "
+          f"{len(spans)} spans recorded")
+    if args.spans_out:
+        ospans.write_jsonl(spans, args.spans_out)
+        print(f"wrote {args.spans_out}")
+    if args.chrome_out:
+        ospans.write_chrome(spans, args.chrome_out)
+        print(f"wrote {args.chrome_out}")
+    if args.summary:
+        print(_render_trace_summary(dump, spans))
     return 0
+
+
+def _render_trace_summary(dump, spans) -> str:
+    """Join hop-histogram quantiles with the recorded traces."""
+    from . import obs
+    from .obs import spans as ospans
+
+    lines = []
+    for name in ("dataplane.hops_per_request", "core.retrieve_hops"):
+        quantiles = obs.dump_quantiles(dump, name)
+        if quantiles:
+            rendered = ", ".join(
+                f"{key}={value:.1f}" if value is not None
+                else f"{key}=-"
+                for key, value in sorted(quantiles.items()))
+            lines.append(f"{name:<28}: {rendered}")
+    by_trace = ospans.traces(spans)
+    lines.append(f"recorded traces             : {len(by_trace)}")
+    for trace_id, members in sorted(by_trace.items()):
+        root = next((s for s in members if s.parent_id is None),
+                    members[0])
+        closed = [s for s in members if s.end is not None]
+        duration = (max(s.end for s in closed) - root.start
+                    if closed else 0.0)
+        key = root.attrs.get("key", root.attrs.get("data_id", "-"))
+        lines.append(
+            f"  {trace_id}: {root.name} key={key} "
+            f"spans={len(members)} duration={duration * 1e3:.3f}ms "
+            f"status={root.status}")
+    return "\n".join(lines)
 
 
 def _cmd_experiment(args) -> int:
@@ -680,13 +801,30 @@ def _cmd_loadtest(args) -> int:
             queue_limit=args.queue_limit,
             plan=plan,
         )
-    report = run_loadtest(config)
+    recorder = None
+    if args.trace_out is not None or args.trace_sample is not None:
+        from .obs import spans as ospans
+
+        config.trace_sample_rate = (args.trace_sample
+                                    if args.trace_sample is not None
+                                    else 0.05)
+        recorder = ospans.SpanRecorder(
+            sample_rate=config.trace_sample_rate)
+    report = run_loadtest(config, recorder=recorder)
     write_report(report, args.output)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_summary(report))
     print(f"wrote {args.output}")
+    if recorder is not None and args.trace_out is not None:
+        from .obs import spans as ospans
+
+        ospans.write_jsonl(recorder.spans(), args.trace_out)
+        summary = report["trace_summary"]
+        print(f"wrote {summary['traces']} trace(s) "
+              f"({summary['spans']} spans, sample rate "
+              f"{summary['sample_rate']:g}) to {args.trace_out}")
     failures = evaluate_gates(report, min_goodput=args.min_goodput,
                               min_attainment=args.min_attainment)
     for failure in failures:
@@ -719,7 +857,24 @@ def _cmd_bench(args) -> int:
     else:
         print(render_summary(report))
     print(f"wrote {args.output}")
-    return 0 if all(report["equivalence"].values()) else 1
+    failed = not all(report["equivalence"].values())
+    if args.max_telemetry_overhead is not None:
+        telemetry = report["telemetry"]
+        if not telemetry["vectorized"]:
+            print("error: telemetry forced the batch path into the "
+                  "scalar fallback (no wave-router waves recorded)",
+                  file=sys.stderr)
+            failed = True
+        for op in ("placement", "retrieval"):
+            overhead = telemetry[op]["overhead_fraction"]
+            if overhead > args.max_telemetry_overhead:
+                print(f"error: telemetry overhead on {op} "
+                      f"({overhead:+.1%}) exceeds "
+                      f"--max-telemetry-overhead "
+                      f"{args.max_telemetry_overhead:g}",
+                      file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
 
 
 def _cmd_churn(args) -> int:

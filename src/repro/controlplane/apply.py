@@ -30,12 +30,25 @@ def apply_delta(switches: Dict[int, GredSwitch], delta: RuleDelta,
 
     Messages are applied in the differ's order (per switch: removals,
     then installs).  ``channel`` observes every message before it is
-    applied.
+    applied.  With request tracing on, the reconfiguration is recorded
+    as a ``controlplane.apply_delta`` span (its own trace when no
+    request is open).
     """
-    for message in delta.messages:
-        if channel is not None:
-            channel.send(message)
-        apply_message(switches, message)
+    from contextlib import nullcontext
+
+    from ..obs.spans import default_recorder
+
+    recorder = default_recorder()
+    span = (recorder.span("controlplane.apply_delta",
+                          messages=len(delta.messages),
+                          touched=len(delta.touched),
+                          removed=len(delta.removed))
+            if recorder is not None else nullcontext())
+    with span:
+        for message in delta.messages:
+            if channel is not None:
+                channel.send(message)
+            apply_message(switches, message)
     registry = default_registry()
     if registry.enabled:
         registry.counter("controlplane.delta.events").inc()

@@ -48,7 +48,9 @@ from ..hashing import (
     serials_from_digests,
     sha256_digests,
 )
-from ..obs import BYTE_BUCKETS, HOP_BUCKETS, default_registry
+from ..obs import BYTE_BUCKETS, HOP_BUCKETS, default_registry, demand_region
+from ..obs.bridge import spans_from_tracer
+from ..obs.spans import default_recorder as default_span_recorder
 from .results import PlacementRecord, PlacementResult, RetrievalResult
 
 #: Bound on the per-epoch ``(entry, copy_id)`` route cache.
@@ -64,7 +66,8 @@ class _FastPathState:
     change counter so scoped events (joins, leaves, link changes) can
     patch the router and evict only the affected cache entries."""
 
-    __slots__ = ("epoch", "version", "router", "routes", "hops")
+    __slots__ = ("epoch", "version", "router", "routes", "stats",
+                 "hops")
 
     def __init__(self, epoch: int, version: int,
                  router: CompiledRouter) -> None:
@@ -76,6 +79,10 @@ class _FastPathState:
         #: Extensions are intentionally NOT cached — they are
         #: resolved live so extend/retract need no epoch bump.
         self.routes: OrderedDict = OrderedDict()
+        #: Per-route (greedy, vl_starts, vl_relays) decision mix,
+        #: cached alongside ``routes`` so telemetry replayed from a
+        #: cache hit matches what the engine would have counted.
+        self.stats: Dict[Any, Tuple[int, int, int]] = {}
         #: BFS hop distances keyed by source switch.
         self.hops: Dict[int, Dict[int, int]] = {}
 
@@ -236,6 +243,22 @@ class GredNetwork:
 
     def _place_one(self, copy_id: str, payload: Any,
                    entry: int) -> PlacementRecord:
+        recorder = default_span_recorder()
+        if recorder is None:
+            return self._place_one_traced(copy_id, payload, entry,
+                                          None, None)
+        with recorder.trace("request.place", key=copy_id,
+                            entry=entry) as handle:
+            return self._place_one_traced(copy_id, payload, entry,
+                                          recorder, handle)
+
+    def _place_one_traced(self, copy_id: str, payload: Any, entry: int,
+                          recorder, handle) -> PlacementRecord:
+        tracer = None
+        if handle is not None and handle.recording:
+            from ..dataplane import Tracer
+
+            tracer = Tracer()
         packet = Packet(
             kind=PacketKind.PLACEMENT,
             data_id=copy_id,
@@ -243,6 +266,7 @@ class GredNetwork:
             payload=payload,
         )
         route = route_packet(self.controller.switches, entry, packet,
+                             tracer=tracer,
                              fault_state=self.fault_state)
         delivery = route.delivery
         extended = delivery.extension is not None
@@ -278,6 +302,20 @@ class GredNetwork:
                                    buckets=BYTE_BUCKETS).observe(size)
             registry.gauge("edge.server_load", switch=target.switch,
                            serial=target.serial).set(target.load)
+            for sid in route.trace:
+                registry.counter("dataplane.switch_transits",
+                                 switch=sid).inc()
+            registry.demand.record(copy_id)
+            registry.counter(
+                "demand.region_accesses",
+                region=demand_region(*packet.position),
+            ).inc()
+        if tracer is not None:
+            spans_from_tracer(recorder, tracer, parent=handle.span)
+            handle.set(destination=delivery.switch,
+                       server=target.server_id,
+                       physical_hops=physical_hops,
+                       extended=extended)
         return PlacementRecord(
             data_id=copy_id,
             entry_switch=entry,
@@ -316,6 +354,27 @@ class GredNetwork:
         if copies < 1:
             raise GredError(f"copies must be >= 1, got {copies}")
         entry = self._resolve_entry(entry_switch, rng)
+        recorder = default_span_recorder()
+        if recorder is None:
+            return self._retrieve_ordered(data_id, entry, copies,
+                                          max_hops)
+        with recorder.trace("request.retrieve", key=data_id,
+                            entry=entry) as handle:
+            result = self._retrieve_ordered(data_id, entry, copies,
+                                            max_hops)
+            if handle.recording:
+                handle.set(found=result.found,
+                           attempts=result.attempts,
+                           copy_used=result.copy_used,
+                           request_hops=result.request_hops,
+                           response_hops=result.response_hops)
+                if not result.found:
+                    handle.fail("miss")
+            return result
+
+    def _retrieve_ordered(self, data_id: str, entry: int, copies: int,
+                          max_hops: Optional[int]) -> RetrievalResult:
+        """The nearest-first failover walk of :meth:`retrieve`."""
         registry = default_registry()
         order = self._replica_order(data_id, copies, entry)
         attempts = 0
@@ -355,6 +414,33 @@ class GredNetwork:
                        attempts: int, max_hops: Optional[int]
                        ) -> Optional[RetrievalResult]:
         """Probe one replica; ``None`` means the route itself failed."""
+        recorder = default_span_recorder()
+        if recorder is None or not recorder.active:
+            return self._retrieve_copy_traced(
+                data_id, copy_index, entry, attempts, max_hops,
+                None, None)
+        with recorder.span("retrieve.probe", copy=copy_index,
+                           attempt=attempts) as handle:
+            result = self._retrieve_copy_traced(
+                data_id, copy_index, entry, attempts, max_hops,
+                recorder, handle)
+            if handle.recording:
+                if result is None:
+                    handle.fail("route_error")
+                else:
+                    handle.set(found=result.found,
+                               destination=result.destination_switch)
+            return result
+
+    def _retrieve_copy_traced(self, data_id: str, copy_index: int,
+                              entry: int, attempts: int,
+                              max_hops: Optional[int], recorder, handle
+                              ) -> Optional[RetrievalResult]:
+        tracer = None
+        if handle is not None and handle.recording:
+            from ..dataplane import Tracer
+
+            tracer = Tracer()
         copy_id = replica_id(data_id, copy_index)
         packet = Packet(
             kind=PacketKind.RETRIEVAL,
@@ -364,12 +450,23 @@ class GredNetwork:
         registry = default_registry()
         try:
             route = route_packet(self.controller.switches, entry, packet,
-                                 max_hops=max_hops,
+                                 max_hops=max_hops, tracer=tracer,
                                  fault_state=self.fault_state)
         except ForwardingError:
             if registry.enabled:
                 registry.counter("faults.route_failures").inc()
             return None
+        if tracer is not None:
+            spans_from_tracer(recorder, tracer, parent=handle.span)
+        if registry.enabled:
+            for sid in route.trace:
+                registry.counter("dataplane.switch_transits",
+                                 switch=sid).inc()
+            registry.demand.record(copy_id)
+            registry.counter(
+                "demand.region_accesses",
+                region=demand_region(*packet.position),
+            ).inc()
         delivery = route.delivery
         candidates = [
             (self.server(delivery.switch, delivery.primary_serial), 0)
@@ -537,6 +634,7 @@ class GredNetwork:
             ]
             for key in stale:
                 del state.routes[key]
+                state.stats.pop(key, None)
             state.hops.clear()
         state.version = controller.version
         return state
@@ -544,24 +642,42 @@ class GredNetwork:
     def _fastpath_usable(self) -> bool:
         """Whether batch requests may skip the reference pipeline.
 
-        The compiled router emits no telemetry and assumes fault-free
-        forwarding, and the vectorized hashing assumes the paper's
-        SHA-256 position mapping — with telemetry on, faults injected,
-        a custom ``position_fn``, or a tripped circuit breaker on an
-        attached resilience pipeline, batches fall back to the scalar
-        path item by item (identical results, just not vectorized).
+        The compiled router assumes fault-free forwarding, and the
+        vectorized hashing assumes the paper's SHA-256 position
+        mapping — with faults injected, a custom ``position_fn``, or a
+        tripped circuit breaker on an attached resilience pipeline,
+        batches fall back to the scalar path item by item (identical
+        results, just not vectorized).  Telemetry does *not* force the
+        fallback: the batch paths emit the same aggregates with numpy
+        reductions (see ``_emit_place_telemetry`` /
+        ``_emit_retrieve_telemetry``), byte-equal to a scalar run.
         """
         return (self.fault_state is None
-                and not default_registry().enabled
                 and getattr(self, "_position_fn", None) is data_position
                 and not self._resilience_blocks_fastpath())
+
+    def _count_standdown(self) -> None:
+        """Structured why-not-fast-path telemetry: one counter per
+        stand-down reason whenever a batch falls back to scalar."""
+        registry = default_registry()
+        if not registry.enabled:
+            return
+        from ..dataplane.fastpath import batch_fastpath_blockers
+
+        for reason in batch_fastpath_blockers(self):
+            registry.counter(
+                "dataplane.fastpath_standdowns",
+                help="Batch requests degraded to the scalar path",
+                reason=reason.replace(" ", "_"),
+            ).inc()
 
     def _fast_routes(self, state: _FastPathState,
                      flat_entries: Sequence[int],
                      flat_ids: Sequence[str],
                      positions: np.ndarray, serial_u64s: np.ndarray,
                      flats: Sequence[int],
-                     max_hops: Optional[int] = None) -> List[Any]:
+                     max_hops: Optional[int] = None,
+                     stats_out: Optional[List[Any]] = None) -> List[Any]:
         """Routes for the flat request indices ``flats``, combining the
         per-epoch LRU cache with one wave-routed batch for the misses.
 
@@ -571,15 +687,24 @@ class GredNetwork:
         raise or skip it).  Cached traces are shared — callers must
         copy, never mutate.  A custom hop budget changes failure
         behavior, so it bypasses the cache rather than keying on it.
+
+        When ``stats_out`` is given it receives one per-route
+        ``(greedy, vl_starts, vl_relays)`` decision-mix tuple aligned
+        with the returned routes (cache hits replay the mix recorded
+        when the route was first walked), so callers can emit the
+        engine's forwarding counters without re-walking.
         """
         cache = state.routes
+        stat_cache = state.stats
         if max_hops is not None:
             routes: List[Any] = [None] * len(flats)
+            stats: List[Any] = [None] * len(flats)
             misses = list(flats)
             slots = range(len(flats))
             miss_keys: Optional[List[Any]] = None
         else:
             routes = []
+            stats = []
             misses = []
             slots = []
             miss_keys = []
@@ -592,9 +717,11 @@ class GredNetwork:
                     misses.append(f)
                     miss_keys.append(key)
                     append(None)
+                    stats.append(None)
                 else:
                     cache.move_to_end(key)
                     append(cached)
+                    stats.append(stat_cache.get(key, (0, 0, 0)))
         if misses:
             idx = np.asarray(misses, dtype=np.intp)
             outcomes = state.router.route_batch(
@@ -603,16 +730,34 @@ class GredNetwork:
                 positions[idx, 0], positions[idx, 1],
                 serial_u64s[idx], max_hops=max_hops,
             )
+            registry = default_registry()
+            if registry.enabled:
+                # Batch-only extras (the scalar loop has no waves):
+                # proof the vectorized router ran, and its amortization
+                # denominator.  Prefixed ``dataplane.batch.`` so parity
+                # checks can separate them from the shared aggregates.
+                registry.counter("dataplane.batch.requests").inc(
+                    len(misses))
+                registry.counter("dataplane.batch.waves").inc(
+                    state.router.last_batch_waves)
+            batch_stats = state.router.last_batch_stats
             if miss_keys is None:
-                for slot, out in zip(slots, outcomes):
+                for slot, out, st in zip(slots, outcomes, batch_stats):
                     routes[slot] = out
+                    stats[slot] = st
             else:
-                for slot, key, out in zip(slots, miss_keys, outcomes):
+                for slot, key, out, st in zip(
+                        slots, miss_keys, outcomes, batch_stats):
                     routes[slot] = out
+                    stats[slot] = st
                     if type(out) is tuple:
                         cache[key] = out
+                        stat_cache[key] = st
                 while len(cache) > _ROUTE_CACHE_CAP:
-                    cache.popitem(last=False)
+                    evicted, _ = cache.popitem(last=False)
+                    stat_cache.pop(evicted, None)
+        if stats_out is not None:
+            stats_out.extend(stats)
         return routes
 
     def _fast_hop(self, state: _FastPathState, source: int,
@@ -624,6 +769,131 @@ class GredNetwork:
             dists = bfs_distances(self.topology, source)
             state.hops[source] = dists
         return dists[target]
+
+    # ------------------------------------------------------------------
+    # batch telemetry (numpy reductions, byte-equal to the scalar path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _region_counts(positions: np.ndarray, flats) -> np.ndarray:
+        """Per-region access counts for the probed flat indices —
+        the vectorized form of ``demand_region`` per probe."""
+        from ..obs import DEMAND_GRID
+
+        g = DEMAND_GRID
+        idx = np.asarray(flats, dtype=np.intp)
+        cols = np.clip((positions[idx, 0] * g).astype(np.int64),
+                       0, g - 1)
+        rows = np.clip((positions[idx, 1] * g).astype(np.int64),
+                       0, g - 1)
+        return np.bincount(rows * g + cols, minlength=g * g)
+
+    def _emit_demand(self, registry, flat_ids, flats,
+                     positions: np.ndarray) -> None:
+        """Per-item and per-region access counters for the probed flat
+        indices (the demand-adaptive embedding signal)."""
+        if not flats:
+            return
+        registry.demand.record_many(flat_ids[f] for f in flats)
+        counts = self._region_counts(positions, flats)
+        for region in np.flatnonzero(counts).tolist():
+            registry.counter("demand.region_accesses",
+                             region=region).inc(int(counts[region]))
+
+    @staticmethod
+    def _emit_transits(registry, transit_switches) -> None:
+        """Per-switch transit counters from the concatenated traces of
+        a batch, reduced with one ``bincount``."""
+        if not transit_switches:
+            return
+        counts = np.bincount(np.asarray(transit_switches,
+                                        dtype=np.int64))
+        for sid in np.flatnonzero(counts).tolist():
+            registry.counter("dataplane.switch_transits",
+                             switch=sid).inc(int(counts[sid]))
+
+    @staticmethod
+    def _emit_route_telemetry(registry, kind: str, stats,
+                              route_hops, overlay_hops,
+                              rewrites: int) -> None:
+        """Forwarding-engine aggregates for routes the compiled router
+        walked instead of :func:`route_packet`.
+
+        ``stats`` holds one ``(greedy, vl_starts, vl_relays)`` tuple
+        per probe the engine would have routed (``None`` marks probes
+        it would have rejected before fetching any counter, e.g. an
+        unknown entry switch); ``route_hops``/``overlay_hops`` list the
+        per-delivery hop observations in the scalar loop's observation
+        order so the histogram reservoirs match byte for byte.
+        """
+        routed = [s for s in stats if s is not None]
+        if routed:
+            # The engine fetches these once per routed packet, so they
+            # exist (possibly at zero) as soon as one probe enters it.
+            registry.counter("dataplane.greedy_forwards").inc(
+                sum(s[0] for s in routed))
+            registry.counter("dataplane.vl_starts").inc(
+                sum(s[1] for s in routed))
+            registry.counter("dataplane.vl_relays").inc(
+                sum(s[2] for s in routed))
+        if route_hops:
+            registry.counter("dataplane.requests_routed",
+                             kind=kind).inc(len(route_hops))
+            registry.counter("dataplane.deliveries").inc(
+                len(route_hops))
+            if rewrites:
+                registry.counter(
+                    "dataplane.extension_rewrites").inc(rewrites)
+            registry.histogram(
+                "dataplane.hops_per_request", buckets=HOP_BUCKETS,
+            ).observe_many(np.asarray(route_hops, dtype=np.float64))
+            registry.histogram(
+                "dataplane.overlay_hops_per_request",
+                buckets=HOP_BUCKETS,
+            ).observe_many(np.asarray(overlay_hops, dtype=np.float64))
+
+    def _emit_place_telemetry(self, registry, hops, sizes, extended_n,
+                              transit_switches, servers, flats,
+                              flat_ids, positions: np.ndarray) -> None:
+        """Aggregate telemetry for the records a ``place_many`` batch
+        completed, matching the scalar loop instrument for instrument
+        (instruments the scalar loop would not create are not created
+        here either)."""
+        if hops:
+            registry.counter("core.places").inc(len(hops))
+            registry.histogram(
+                "core.place_hops", buckets=HOP_BUCKETS,
+            ).observe_many(np.asarray(hops, dtype=np.float64))
+        if extended_n:
+            registry.counter("core.places_extended").inc(extended_n)
+        if sizes:
+            registry.histogram(
+                "core.payload_bytes", buckets=BYTE_BUCKETS,
+            ).observe_many(np.asarray(sizes, dtype=np.float64))
+        for key in sorted(servers):
+            server = servers[key]
+            registry.gauge("edge.server_load", switch=server.switch,
+                           serial=server.serial).set(server.load)
+        self._emit_transits(registry, transit_switches)
+        self._emit_demand(registry, flat_ids, flats, positions)
+
+    @staticmethod
+    def _record_exemplar(recorder, name: str, key: str,
+                         trace_switches, status: Optional[str] = None,
+                         **attrs) -> None:
+        """Promote one batch row to a full trace: a root span plus one
+        ``hop.transit`` child per visited switch.  Simulated batch
+        hops have no individual wall time, so hops are laid out at
+        1 µs apiece — the order/topology is the signal."""
+        with recorder.trace(name, key=key, **attrs) as handle:
+            if handle.recording:
+                if status is not None:
+                    handle.fail(status)
+                base = handle.span.start
+                for k, sid in enumerate(trace_switches):
+                    recorder.add_span(
+                        "hop.transit", start=base + k * 1e-6,
+                        end=base + (k + 1) * 1e-6, parent=handle.span,
+                        switch=sid)
 
     def _resolve_entries(self, count: int,
                          entry_switches: Optional[Sequence[int]],
@@ -693,6 +963,7 @@ class GredNetwork:
                 f"{len(data_ids)} data ids"
             )
         if not self._fastpath_usable():
+            self._count_standdown()
             return [
                 self.place(
                     data_id,
@@ -716,11 +987,24 @@ class GredNetwork:
         positions = positions_from_digests(digests)
         serial_u64s = serials_from_digests(digests)
         state = self._fast_state()
+        route_stats: List[Any] = []
         routes = self._fast_routes(state, flat_entries, flat_ids,
                                    positions, serial_u64s,
-                                   range(len(flat_ids)))
+                                   range(len(flat_ids)),
+                                   stats_out=route_stats)
         switches = self.controller.switches
         server_map = self.server_map
+        registry = default_registry()
+        telemetry = registry.enabled
+        recorder = default_span_recorder()
+        t_hops: List[int] = []
+        t_sizes: List[int] = []
+        t_extended = 0
+        t_transits: List[int] = []
+        t_flats: List[int] = []
+        t_servers: Dict[Any, Any] = {}
+        t_route_hops: List[int] = []
+        t_overlay: List[int] = []
         results: List[PlacementResult] = []
         flat = 0
         for i, data_id in enumerate(data_ids):
@@ -733,7 +1017,19 @@ class GredNetwork:
                 flat += 1
                 if isinstance(outcome, ForwardingError):
                     # The scalar loop raises mid-batch: items before
-                    # this one stay stored, the rest are not placed.
+                    # this one stay stored (and, like the scalar loop,
+                    # already counted), the rest are not placed.  The
+                    # failing probe's partial decision mix counts too,
+                    # exactly as the engine counts before it raises.
+                    if telemetry:
+                        self._emit_route_telemetry(
+                            registry, PacketKind.PLACEMENT.value,
+                            route_stats[:flat], t_route_hops,
+                            t_overlay, t_extended)
+                        self._emit_place_telemetry(
+                            registry, t_hops, t_sizes, t_extended,
+                            t_transits, t_servers, t_flats, flat_ids,
+                            positions)
                     raise outcome
                 trace, overlay, dest, serial = outcome
                 extension = switches[dest].table.extension_for(serial)
@@ -748,6 +1044,25 @@ class GredNetwork:
                     target = server_map[dest][serial]
                     physical = len(trace) - 1
                 target.store(copy_id, payload)
+                if telemetry:
+                    t_hops.append(physical)
+                    if extension is not None:
+                        t_extended += 1
+                    size = _payload_size(payload)
+                    if size is not None:
+                        t_sizes.append(size)
+                    t_transits.extend(trace)
+                    t_flats.append(flat - 1)
+                    t_servers[(target.switch, target.serial)] = target
+                    t_route_hops.append(len(trace) - 1)
+                    t_overlay.append(overlay)
+                if recorder is not None:
+                    self._record_exemplar(
+                        recorder, "request.place", copy_id, trace,
+                        entry=entry, destination=dest,
+                        server=target.server_id,
+                        physical_hops=physical,
+                        extended=extension is not None)
                 records.append(PlacementRecord(
                     data_id=copy_id,
                     entry_switch=entry,
@@ -760,6 +1075,13 @@ class GredNetwork:
                 ))
             results.append(PlacementResult(data_id=data_id,
                                            records=records))
+        if telemetry:
+            self._emit_route_telemetry(
+                registry, PacketKind.PLACEMENT.value, route_stats,
+                t_route_hops, t_overlay, t_extended)
+            self._emit_place_telemetry(
+                registry, t_hops, t_sizes, t_extended, t_transits,
+                t_servers, t_flats, flat_ids, positions)
         return results
 
     def retrieve_many(
@@ -782,6 +1104,7 @@ class GredNetwork:
         if copies < 1:
             raise GredError(f"copies must be >= 1, got {copies}")
         if not self._fastpath_usable():
+            self._count_standdown()
             return [
                 self.retrieve(
                     data_id,
@@ -820,6 +1143,19 @@ class GredNetwork:
                 ]
                 keyed.sort()
                 orders.append([c for _, c in keyed])
+        registry = default_registry()
+        telemetry = registry.enabled
+        t_transits: List[int] = []
+        t_probe_flats: List[int] = []
+        t_route_failures = 0
+        t_stats: List[Any] = []
+        t_rewrites = 0
+        # Per-item delivery hop observations: the scalar loop probes
+        # item-major (all of one item's replicas before the next), the
+        # batch round-major — collecting per item and flattening at the
+        # end replays the scalar observation order.
+        t_phys_by_item: List[List[int]] = [[] for _ in range(count)]
+        t_over_by_item: List[List[int]] = [[] for _ in range(count)]
         results: List[Optional[RetrievalResult]] = [None] * count
         last_miss: List[Optional[RetrievalResult]] = [None] * count
         attempts = [0] * count
@@ -836,24 +1172,35 @@ class GredNetwork:
             ]
             routes = self._fast_routes(state, flat_entries, flat_ids,
                                        positions, serial_u64s, probes,
-                                       max_hops=max_hops)
+                                       max_hops=max_hops,
+                                       stats_out=t_stats)
             server_map = self.server_map
             still: List[int] = []
             for i, flat, outcome in zip(pending, probes, routes):
                 attempts[i] += 1
                 if isinstance(outcome, ForwardingError):
+                    t_route_failures += 1
                     still.append(i)
                     continue
                 c = rnd if orders is None else orders[i][rnd]
                 copy_id = flat_ids[flat]
                 entry = entries[i]
                 trace, overlay, dest, serial = outcome
+                if telemetry:
+                    t_transits.extend(trace)
+                    t_probe_flats.append(flat)
+                    t_phys_by_item[i].append(len(trace) - 1)
+                    t_over_by_item[i].append(overlay)
                 request_hops = len(trace) - 1
                 # Delivery guarantees the switch has servers and the
                 # serial is in range (H(d) mod s).
                 candidates = [(server_map[dest][serial], 0)]
                 forked = False
                 extension = switches[dest].table.extension_for(serial)
+                if telemetry and extension is not None:
+                    # The engine counts the rewrite at delivery,
+                    # whether or not the extension is then usable.
+                    t_rewrites += 1
                 if extension is not None and self._extension_usable(
                         dest, extension):
                     forked = True
@@ -920,6 +1267,45 @@ class GredNetwork:
                     forked=False,
                     attempts=attempts[i],
                 ))
+        if telemetry:
+            found_hops = [r.request_hops + r.response_hops
+                          for r in final if r.found]
+            failovers = sum(1 for r in final
+                            if r.found and r.attempts > 1)
+            misses = count - len(found_hops)
+            if found_hops:
+                registry.counter("core.retrieves").inc(len(found_hops))
+                # Replayed in item order — the order the scalar loop
+                # observes in — so the histogram reservoir matches.
+                registry.histogram(
+                    "core.retrieve_hops", buckets=HOP_BUCKETS,
+                ).observe_many(np.asarray(found_hops,
+                                          dtype=np.float64))
+            if failovers:
+                registry.counter("faults.failovers").inc(failovers)
+            if misses:
+                registry.counter("core.retrieve_misses").inc(misses)
+            if t_route_failures:
+                registry.counter("faults.route_failures").inc(
+                    t_route_failures)
+            self._emit_route_telemetry(
+                registry, PacketKind.RETRIEVAL.value, t_stats,
+                [h for per in t_phys_by_item for h in per],
+                [o for per in t_over_by_item for o in per],
+                t_rewrites)
+            self._emit_transits(registry, t_transits)
+            self._emit_demand(registry, flat_ids, t_probe_flats,
+                              positions)
+        recorder = default_span_recorder()
+        if recorder is not None:
+            for r in final:
+                self._record_exemplar(
+                    recorder, "request.retrieve", r.data_id, r.trace,
+                    status=None if r.found else "miss",
+                    entry=r.entry_switch, found=r.found,
+                    attempts=r.attempts, copy_used=r.copy_used,
+                    request_hops=r.request_hops,
+                    response_hops=r.response_hops)
         return final
 
     def destinations_for(self, data_ids: Sequence[str]) -> List[int]:

@@ -49,13 +49,10 @@ def batch_fastpath_blockers(net) -> List[str]:
     path (``gred stats --json`` surfaces this list).
     """
     from ..hashing import data_position
-    from ..obs import default_registry
 
     blockers: List[str] = []
     if getattr(net, "fault_state", None) is not None:
         blockers.append("fault state attached")
-    if default_registry().enabled:
-        blockers.append("telemetry enabled")
     if getattr(net, "_position_fn", None) is not data_position:
         blockers.append("custom position_fn")
     pipeline = getattr(net, "_resilience", None)
@@ -183,6 +180,20 @@ class CompiledRouter:
         self.switch_compiles = len(switches)
         #: Scoped :meth:`patch` applications.
         self.patch_events = 0
+        #: Waves dispatched by the most recent :meth:`route_batch`
+        #: (telemetry: proof the vectorized path ran, and the divisor
+        #: for per-wave cost estimates).
+        self.last_batch_waves = 0
+        #: ``(greedy_forwards, vl_starts, vl_relays)`` of the most
+        #: recent :meth:`route` call — the per-request decision mix the
+        #: forwarding engine counts one event at a time, recovered here
+        #: so batch telemetry can report the identical counters.
+        #: Updated even when the route fails (partial counts up to the
+        #: failure, exactly like the engine's event-time increments).
+        self.last_route_stats: Tuple[int, int, int] = (0, 0, 0)
+        #: Per-request ``(greedy, vl_starts, vl_relays)`` of the most
+        #: recent :meth:`route_batch`, aligned with its results.
+        self.last_batch_stats: List[Optional[Tuple[int, int, int]]] = []
 
     def patch(self, switches: Dict[int, GredSwitch],
               touched, removed=()) -> None:
@@ -322,80 +333,95 @@ class CompiledRouter:
         current = entry
         overlay = 0
         hops = 0
-        while True:
-            state = states[current]
-            if not state.in_dt:
-                raise ForwardingError(
-                    f"greedy stage reached relay-only switch {current}"
-                )
-            ox = state.x
-            oy = state.y
-            dx = ox - px
-            dy = oy - py
-            # Best strictly-improving candidate under the scalar sort
-            # key ((d^2, x, y), kind, nid).  Seeding "best" with the
-            # switch's own key and a sentinel kind is exact because
-            # participant positions are deduplicated — no candidate
-            # can tie the full (d^2, x, y) key of a distinct switch.
-            bd2 = dx * dx + dy * dy
-            bx = ox
-            by = oy
-            bkind = 2
-            bnid = -1
-            for (cx, cy, kind, nid) in state.cands:
-                dx = cx - px
-                dy = cy - py
-                d2 = dx * dx + dy * dy
-                if d2 > bd2:
-                    continue
-                if d2 == bd2:
-                    if cx > bx:
+        # Decision-mix counts, kept event-time-faithful to the
+        # reference engine (a greedy/vl-start counts at decision time,
+        # a relay before its step's hop-bound check) so partial counts
+        # on a failed route match the engine's too.
+        stats = [0, 0, 0]  # greedy, vl_starts, vl_relays
+        try:
+            while True:
+                state = states[current]
+                if not state.in_dt:
+                    raise ForwardingError(
+                        f"greedy stage reached relay-only switch "
+                        f"{current}"
+                    )
+                ox = state.x
+                oy = state.y
+                dx = ox - px
+                dy = oy - py
+                # Best strictly-improving candidate under the scalar
+                # sort key ((d^2, x, y), kind, nid).  Seeding "best"
+                # with the switch's own key and a sentinel kind is
+                # exact because participant positions are deduplicated
+                # — no candidate can tie the full (d^2, x, y) key of a
+                # distinct switch.
+                bd2 = dx * dx + dy * dy
+                bx = ox
+                by = oy
+                bkind = 2
+                bnid = -1
+                for (cx, cy, kind, nid) in state.cands:
+                    dx = cx - px
+                    dy = cy - py
+                    d2 = dx * dx + dy * dy
+                    if d2 > bd2:
                         continue
-                    if cx == bx:
-                        if cy > by:
+                    if d2 == bd2:
+                        if cx > bx:
                             continue
-                        if cy == by and (kind > bkind or (
-                                kind == bkind and nid >= bnid)):
-                            continue
-                bd2 = d2
-                bx = cx
-                by = cy
-                bkind = kind
-                bnid = nid
-            if bkind == 2:
-                # No neighbor improves: deliver locally.
-                if state.num_servers <= 0:
-                    raise ForwardingError(
-                        f"switch {current} must deliver {data_id!r} "
-                        f"but has no attached servers"
-                    )
-                return (trace, overlay,
-                        current, int(serial_u64 % state.num_servers))
-            overlay += 1
-            if bkind == 0:
-                if bnid not in states:
-                    raise ForwardingError(
-                        f"switch {current} forwarded to unknown "
-                        f"switch {bnid}"
-                    )
-                trace.append(bnid)
-                current = bnid
-                hops += 1
-                if hops > max_hops:
-                    raise ForwardingError(
-                        f"hop bound {max_hops} exceeded routing "
-                        f"{data_id!r} (trace {trace})"
-                    )
-            else:
-                for relay in self._chain(current, bnid):
-                    trace.append(relay)
+                        if cx == bx:
+                            if cy > by:
+                                continue
+                            if cy == by and (kind > bkind or (
+                                    kind == bkind and nid >= bnid)):
+                                continue
+                    bd2 = d2
+                    bx = cx
+                    by = cy
+                    bkind = kind
+                    bnid = nid
+                if bkind == 2:
+                    # No neighbor improves: deliver locally.
+                    if state.num_servers <= 0:
+                        raise ForwardingError(
+                            f"switch {current} must deliver "
+                            f"{data_id!r} but has no attached servers"
+                        )
+                    return (trace, overlay, current,
+                            int(serial_u64 % state.num_servers))
+                overlay += 1
+                if bkind == 0:
+                    stats[0] += 1
+                    if bnid not in states:
+                        raise ForwardingError(
+                            f"switch {current} forwarded to unknown "
+                            f"switch {bnid}"
+                        )
+                    trace.append(bnid)
+                    current = bnid
                     hops += 1
                     if hops > max_hops:
                         raise ForwardingError(
                             f"hop bound {max_hops} exceeded routing "
                             f"{data_id!r} (trace {trace})"
                         )
-                current = bnid
+                else:
+                    stats[1] += 1
+                    for step, relay in enumerate(
+                            self._chain(current, bnid)):
+                        if step:
+                            stats[2] += 1
+                        trace.append(relay)
+                        hops += 1
+                        if hops > max_hops:
+                            raise ForwardingError(
+                                f"hop bound {max_hops} exceeded "
+                                f"routing {data_id!r} (trace {trace})"
+                            )
+                    current = bnid
+        finally:
+            self.last_route_stats = (stats[0], stats[1], stats[2])
 
     # ------------------------------------------------------------------
     def route_batch(self, entries: Sequence[int],
@@ -421,6 +447,7 @@ class CompiledRouter:
         k = len(entries)
         if max_hops is None:
             max_hops = self._default_max_hops
+        self.last_batch_waves = 0
         results: List[Optional[RouteOutcome]] = [None] * k
         flat = self._flat
         if flat is None:
@@ -428,6 +455,12 @@ class CompiledRouter:
         traces: List[Optional[List[int]]] = [None] * k
         overlay = np.zeros(k, dtype=np.int64)
         hops = np.zeros(k, dtype=np.int64)
+        # Per-request decision mix (greedy, vl_starts, vl_relays),
+        # incremented with the same event timing as the scalar engine
+        # so telemetry derived from it is byte-identical.
+        g_arr = np.zeros(k, dtype=np.int64)
+        v_arr = np.zeros(k, dtype=np.int64)
+        r_arr = np.zeros(k, dtype=np.int64)
         entries_arr = np.asarray(entries, dtype=np.int64)
         if flat.sid_sorted.size:
             lookup = np.minimum(
@@ -450,6 +483,7 @@ class CompiledRouter:
             for j in active.tolist():
                 traces[j] = [entries[j]]
         while active.size:
+            self.last_batch_waves += 1
             if active.size < _WAVE_MIN_ACTIVE:
                 # Stragglers: whole-plane numpy dispatch would no
                 # longer amortize — rerun them through the scalar
@@ -462,6 +496,8 @@ class CompiledRouter:
                             max_hops=max_hops)
                     except ForwardingError as exc:
                         results[j] = exc
+                    g_arr[j], v_arr[j], r_arr[j] = \
+                        self.last_route_stats
                 break
             rows = current[active]
             tx = pxs[active]
@@ -552,6 +588,10 @@ class CompiledRouter:
                 pj = moved[phys]
                 prow = nrows[phys]
                 vl = ~phys
+            if pj is not None and pj.size:
+                # Engine counts a greedy forward at decision time,
+                # before the unknown-neighbor/hop-bound checks.
+                g_arr[pj] += 1
             phys_ok: Optional[np.ndarray] = None
             if pj is not None and pj.size:
                 walked = hops[pj] + 1
@@ -604,6 +644,7 @@ class CompiledRouter:
                     for j, src, dest, nrow, stepped in zip(
                             vj.tolist(), src_sids, dest_sids,
                             vrows.tolist(), hv):
+                        v_arr[j] += 1
                         try:
                             chain = self._chain(src, dest)
                         except ForwardingError as exc:
@@ -619,13 +660,16 @@ class CompiledRouter:
                             traces[j].extend(chain)
                             hops[j] = budget
                             current[j] = nrow
+                            r_arr[j] += len(chain) - 1
                             vl_ok.append(j)
                         else:
                             # Replay relay by relay so the error
                             # trace truncates exactly where the
                             # scalar walker raised.
                             trace = traces[j]
-                            for relay in chain:
+                            for ci, relay in enumerate(chain):
+                                if ci:
+                                    r_arr[j] += 1
                                 trace.append(relay)
                                 stepped += 1
                                 if stepped > max_hops:
@@ -643,4 +687,13 @@ class CompiledRouter:
                     [phys_ok, np.asarray(vl_ok, dtype=np.int64)])
             else:
                 active = phys_ok
+        batch_stats: List[Optional[Tuple[int, int, int]]] = list(
+            zip(g_arr.tolist(), v_arr.tolist(), r_arr.tolist()))
+        if not known.all():
+            # Unknown-entry requests never enter the engine (the
+            # reference walker raises before fetching its counters),
+            # so they carry no decision mix at all rather than zeros.
+            for j in np.flatnonzero(~known).tolist():
+                batch_stats[j] = None
+        self.last_batch_stats = batch_stats
         return results

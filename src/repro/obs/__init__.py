@@ -28,8 +28,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .clock import monotonic, now
 from .eventlog import Event, EventLevel, EventLog
 from .export import (
+    burn_rate,
+    dump_quantiles,
+    histogram_quantile,
     load_json,
     render_prometheus,
     to_json,
@@ -38,6 +42,8 @@ from .export import (
 from .instruments import (
     BYTE_BUCKETS,
     Counter,
+    DEMAND_GRID,
+    DemandTracker,
     Gauge,
     HOP_BUCKETS,
     Histogram,
@@ -45,6 +51,16 @@ from .instruments import (
     NULL_INSTRUMENT,
     NullInstrument,
     TIME_BUCKETS,
+    demand_region,
+)
+from .spans import (
+    NULL_SPAN,
+    Span,
+    SpanRecorder,
+    default_recorder,
+    disable_tracing,
+    enable_tracing,
+    set_default_recorder,
 )
 from .timing import PhaseTimer, timed
 
@@ -101,6 +117,8 @@ __all__ = [
     "BYTE_BUCKETS",
     "Counter",
     "CountingTracer",
+    "DEMAND_GRID",
+    "DemandTracker",
     "Event",
     "EventLevel",
     "EventLog",
@@ -109,15 +127,29 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
+    "NULL_SPAN",
     "NullInstrument",
     "PhaseTimer",
+    "Span",
+    "SpanRecorder",
     "TIME_BUCKETS",
+    "burn_rate",
+    "default_recorder",
     "default_registry",
+    "demand_region",
     "disable",
+    "disable_tracing",
+    "dump_quantiles",
     "enable",
+    "enable_tracing",
+    "histogram_quantile",
     "load_json",
+    "monotonic",
+    "now",
     "render_prometheus",
+    "set_default_recorder",
     "set_default_registry",
+    "spans",
     "timed",
     "to_json",
     "write_json",

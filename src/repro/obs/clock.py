@@ -1,0 +1,24 @@
+"""The single monotonic clock shared by phase timers and spans.
+
+Phase timings (:class:`repro.obs.PhaseTimer`) and span durations
+(:mod:`repro.obs.spans`) must be comparable — an operator reading a
+trace next to a phase histogram should be able to subtract one from the
+other.  Both therefore read the same monotonic source, defined exactly
+once here.  Components that model *virtual* time (the resilience
+pipeline, the SLO loadtest) bypass the clock by passing explicit
+timestamps instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The shared monotonic source.  ``time.perf_counter`` is monotonic,
+#: unaffected by wall-clock adjustments, and the highest-resolution
+#: timer Python exposes portably.
+monotonic = time.perf_counter
+
+
+def now() -> float:
+    """Seconds on the shared monotonic clock (arbitrary epoch)."""
+    return monotonic()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Dict, IO, List, Union
+from typing import Any, Dict, IO, List, Optional, Sequence, Union
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -117,6 +117,77 @@ def write_json(registry_or_dict,
     else:
         with open(destination, "w", encoding="utf-8") as handle:
             handle.write(text)
+
+
+def histogram_quantile(buckets: Sequence[float],
+                       bucket_counts: Sequence[int],
+                       q: float) -> Optional[float]:
+    """Prometheus-style ``histogram_quantile``: the ``q``-quantile
+    estimated from bucket bounds and per-bucket counts by linear
+    interpolation inside the bucket the quantile falls in.
+
+    ``bucket_counts`` are the *non-cumulative* counts as stored by
+    :meth:`~repro.obs.Histogram.bucket_counts` (``+Inf`` last, so one
+    longer than ``buckets``).  Like Prometheus: a quantile in the
+    ``+Inf`` bucket reports the highest finite bound; interpolation in
+    the first bucket assumes a lower edge of 0.  Returns ``None`` for
+    an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    counts = [int(c) for c in bucket_counts]
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts[:len(buckets)]):
+        cumulative += count
+        if cumulative >= rank:
+            upper = float(buckets[i])
+            lower = float(buckets[i - 1]) if i > 0 else 0.0
+            if count == 0:
+                return upper
+            frac = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * frac
+    # Quantile lands in the +Inf bucket: clamp to the highest finite
+    # bound (Prometheus behaviour).
+    return float(buckets[-1]) if buckets else None
+
+
+def dump_quantiles(registry_or_dict, name: str,
+                   quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+                   ) -> Dict[str, Optional[float]]:
+    """Bucket-interpolated quantiles for every histogram series named
+    ``name`` in a registry (or saved dump), keyed ``q<percent>`` (with
+    a label suffix when the series is labeled)."""
+    dump = _as_dict(registry_or_dict)
+    out: Dict[str, Optional[float]] = {}
+    for hist in dump.get("histograms", []):
+        if hist["name"] != name:
+            continue
+        suffix = _label_suffix(hist.get("labels", {}))
+        for q in quantiles:
+            key = f"q{q * 100:g}{suffix}"
+            out[key] = histogram_quantile(
+                hist["buckets"], hist["bucket_counts"], q)
+    return out
+
+
+def burn_rate(bad: float, total: float, objective: float) -> float:
+    """SLO burn rate: observed failure fraction over the error budget.
+
+    ``objective`` is the success target (e.g. ``0.99``); the budget is
+    ``1 - objective``.  A burn rate of 1.0 consumes the budget exactly
+    as fast as allowed, >1 is burning too fast, 0 means no failures.
+    Returns 0.0 when nothing was observed.
+    """
+    if not 0.0 <= objective < 1.0:
+        raise ValueError(
+            f"objective must be in [0, 1), got {objective}")
+    if total <= 0:
+        return 0.0
+    return (bad / total) / (1.0 - objective)
 
 
 def load_json(source: Union[str, IO[str]]) -> Dict[str, Any]:

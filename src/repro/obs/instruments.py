@@ -164,6 +164,38 @@ class Histogram(_Instrument):
             self._max = value
         self._reservoir.append(value)
 
+    def observe_many(self, values) -> None:
+        """Observe a batch of values with numpy reductions.
+
+        For integer-valued observations (hop counts, byte sizes — the
+        batch fast path's cases) the resulting state is *identical* to
+        observing each value sequentially: integers are exact in
+        float64 under any summation order, bucket indexing matches the
+        scalar ``value <= bound`` scan, and the reservoir sees the
+        values in the same order ``values`` carries them.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        # First bound with value <= bound == count of bounds < value.
+        idx = np.searchsorted(np.asarray(self.buckets), arr,
+                              side="left")
+        counts = np.bincount(idx, minlength=len(self.buckets) + 1)
+        for i, c in enumerate(counts):
+            if c:
+                self._bucket_counts[i] += int(c)
+        self._count += int(arr.size)
+        self._sum += float(np.sum(arr))
+        lo = float(np.min(arr))
+        hi = float(np.max(arr))
+        if self._min is None or lo < self._min:
+            self._min = lo
+        if self._max is None or hi > self._max:
+            self._max = hi
+        self._reservoir.extend(arr.tolist())
+
     @property
     def count(self) -> int:
         return self._count
@@ -233,9 +265,81 @@ class NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
+    def observe_many(self, values) -> None:
+        pass
+
 
 #: The singleton null instrument.
 NULL_INSTRUMENT = NullInstrument()
+
+
+#: Grid resolution of :func:`demand_region` (regions 0..63).
+DEMAND_GRID = 8
+
+
+def demand_region(x: float, y: float, grid: int = DEMAND_GRID,
+                  extent: float = 1.0) -> int:
+    """Map a virtual-space position to a coarse region id.
+
+    The unit square is cut into a ``grid x grid`` lattice (row-major,
+    ``0 .. grid*grid - 1``); out-of-range coordinates clamp to the edge
+    cells.  The demand-adaptive embedding work (ROADMAP) consumes
+    these region ids as its spatial access signal.
+    """
+    col = min(grid - 1, max(0, int(x / extent * grid)))
+    row = min(grid - 1, max(0, int(y / extent * grid)))
+    return row * grid + col
+
+
+class DemandTracker:
+    """Per-item access counts for the demand-adaptive embedding signal.
+
+    A plain dict of ``item id -> access count``, fed by both the scalar
+    path and the batch fast path (the latter via
+    :meth:`record_many`).  Deliberately not a labeled counter family:
+    item cardinality is unbounded, and the embedding layer wants the
+    raw map, not an exposition series per item.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def record(self, item_id: str, count: int = 1) -> None:
+        self._counts[item_id] = self._counts.get(item_id, 0) + count
+
+    def record_many(self, item_ids: Iterable[str]) -> None:
+        counts = self._counts
+        for item_id in item_ids:
+            counts[item_id] = counts.get(item_id, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def unique_items(self) -> int:
+        return len(self._counts)
+
+    def counts(self) -> Dict[str, int]:
+        """The full ``item id -> access count`` map (a copy)."""
+        return dict(self._counts)
+
+    def top(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` hottest items, most-accessed first (ties broken
+        by item id for determinism)."""
+        return sorted(self._counts.items(),
+                      key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def to_dict(self, top_n: int = 10) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "unique_items": self.unique_items,
+            "top": [{"item": item, "count": count}
+                    for item, count in self.top(top_n)],
+        }
 
 
 class MetricsRegistry:
@@ -260,6 +364,7 @@ class MetricsRegistry:
         self.enabled = enabled
         self.reservoir_size = reservoir_size
         self.event_log = EventLog(capacity=event_capacity)
+        self.demand = DemandTracker()
         self._info_level = EventLevel.INFO
         self._instruments: Dict[Tuple[str, str, LabelPairs],
                                 _Instrument] = {}
@@ -321,11 +426,23 @@ class MetricsRegistry:
     # events
     # ------------------------------------------------------------------
     def event(self, name: str, level=None, **fields: Any) -> None:
-        """Append a structured event (no-op when disabled)."""
+        """Append a structured event (no-op when disabled).
+
+        When the bounded ring wraps, the overwritten event is counted
+        in the ``obs.eventlog.dropped`` counter so the loss is visible
+        in exports instead of silent.
+        """
         if not self.enabled:
             return
+        before = self.event_log.dropped
         self.event_log.log(level if level is not None
                            else self._info_level, name, **fields)
+        lost = self.event_log.dropped - before
+        if lost:
+            self.counter(
+                "obs.eventlog.dropped",
+                help="Events lost to ring-buffer wrap",
+            ).inc(lost)
 
     # ------------------------------------------------------------------
     # introspection / export
@@ -370,10 +487,12 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        """Drop every instrument and all logged events."""
+        """Drop every instrument, all logged events, and the demand
+        map."""
         with self._lock:
             self._instruments.clear()
         self.event_log.clear()
+        self.demand.clear()
 
     def to_dict(self, include_events: bool = True) -> Dict[str, Any]:
         """JSON-serializable dump of the whole registry."""
@@ -392,6 +511,8 @@ class MetricsRegistry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "events_dropped": self.event_log.dropped,
+            "demand": self.demand.to_dict(),
         }
         if include_events:
             out["events"] = [e.to_dict() for e in self.event_log.events()]

@@ -1,0 +1,633 @@
+"""Request-scoped tracing: spans, head-based sampling, exporters.
+
+A :class:`Span` is one timed operation (trace id, span id, parent id,
+name, attrs, monotonic start/end on the shared :mod:`repro.obs.clock`);
+a :class:`SpanRecorder` collects spans for sampled requests and keeps a
+context stack so nested operations attach to their parent
+automatically.  Sampling is **head-based**: the decision is made once
+when a trace starts (a deterministic hash of the request key against
+``sample_rate``) and every descendant span inherits it, so a sampled
+request is always recorded end to end and an unsampled one costs a
+single integer comparison per span site.
+
+Components that model *virtual* time (the resilience pipeline, the SLO
+loadtest) pass explicit ``start``/``end`` timestamps so their traces
+are deterministic and bit-identical across runs; everything else reads
+the shared monotonic clock.
+
+Exports: JSON Lines (one span per line — the streamable form) and the
+Chrome trace-event format (open in ``chrome://tracing`` or Perfetto).
+Both round-trip: :func:`load_jsonl` / :func:`load_chrome` rebuild the
+spans, and :func:`reconstruct` rebuilds one request's tree.
+
+The module-level **default recorder** starts unset (tracing off);
+:func:`enable_tracing` installs one, and instrumented code guards every
+span site with ``recorder() is not None`` so the off path costs one
+global read.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Sequence, Union
+
+from .clock import now as _now
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanRecorder",
+    "default_recorder",
+    "disable_tracing",
+    "enable_tracing",
+    "lifecycle",
+    "load_chrome",
+    "load_jsonl",
+    "reconstruct",
+    "set_default_recorder",
+    "to_chrome",
+    "to_jsonl",
+    "traces",
+    "write_chrome",
+    "write_jsonl",
+]
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end, or ``None`` while open."""
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=int(data["span_id"]),
+            parent_id=(None if data.get("parent_id") is None
+                       else int(data["parent_id"])),
+            name=data["name"],
+            start=float(data["start"]),
+            end=(None if data.get("end") is None
+                 else float(data["end"])),
+            attrs=dict(data.get("attrs") or {}),
+            status=data.get("status", "ok"),
+        )
+
+
+class _NullSpan:
+    """Shared no-op handle for unsampled traces and disabled tracing.
+
+    Implements the full write surface of :class:`_SpanHandle` so span
+    sites never branch on whether the request is sampled.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def end_at(self, when: float) -> None:
+        pass
+
+    def fail(self, status: str = "error") -> None:
+        pass
+
+    @property
+    def recording(self) -> bool:
+        return False
+
+
+#: The singleton null span handle.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager around one live :class:`Span`.
+
+    Entering pushes the span on the recorder's context stack (children
+    created inside attach to it); exiting pops and stamps ``end`` with
+    the recorder clock unless :meth:`end_at` preset an explicit
+    (virtual) end time.
+    """
+
+    __slots__ = ("_recorder", "span", "_preset_end")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self.span = span
+        self._preset_end: Optional[float] = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self._recorder._push(self.span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self.span.status == "ok":
+            self.span.status = "error"
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._recorder._pop(self.span, self._preset_end)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Merge attributes into the span."""
+        self.span.attrs.update(attrs)
+
+    def end_at(self, when: float) -> None:
+        """Preset an explicit (virtual-time) end timestamp."""
+        self._preset_end = float(when)
+
+    def fail(self, status: str = "error") -> None:
+        self.span.status = status
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+
+class _SuppressedTrace:
+    """Context manager marking an *unsampled* trace: while entered,
+    every nested ``span()`` call returns :data:`NULL_SPAN`, so one
+    head decision silences the whole request."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder: "SpanRecorder") -> None:
+        self._recorder = recorder
+
+    def __enter__(self) -> _NullSpan:
+        self._recorder._suppressed += 1
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._suppressed -= 1
+        return False
+
+
+class SpanRecorder:
+    """Collects spans for sampled traces.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of traces recorded (head-based).  ``1.0`` records
+        everything; ``0.0`` nothing.  The decision hashes the trace
+        *key* (usually the data id), so the same request is sampled
+        consistently across the scalar and batch paths.
+    capacity:
+        Maximum retained spans; beyond it new spans are counted in
+        :attr:`dropped` instead of stored (head sampling keeps whole
+        traces — a trace that started under capacity may still lose
+        its tail, which ``dropped`` makes visible).
+    clock:
+        Timestamp source for spans without explicit times (defaults to
+        the shared monotonic clock, so span durations and
+        :class:`~repro.obs.PhaseTimer` histograms are comparable).
+    """
+
+    def __init__(self, sample_rate: float = 1.0, capacity: int = 65536,
+                 clock=_now) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample_rate = sample_rate
+        self.capacity = capacity
+        self._clock = clock
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._suppressed = 0
+        self._next_span_id = 0
+        self._next_trace = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sampled(self, key: Optional[str]) -> bool:
+        """The head-based sampling decision for a trace keyed ``key``
+        (deterministic: the same key always decides the same way)."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        if key is None:
+            # Keyless traces fall back to a sequence-based decision.
+            key = f"#{self._next_trace}"
+        bucket = zlib.crc32(key.encode("utf-8")) % 1_000_000
+        return bucket < int(self.sample_rate * 1_000_000)
+
+    # ------------------------------------------------------------------
+    # span creation
+    # ------------------------------------------------------------------
+    def trace(self, name: str, key: Optional[str] = None,
+              start: Optional[float] = None, **attrs: Any
+              ) -> Union[_SpanHandle, _SuppressedTrace]:
+        """Start a new trace (root span) — the head sampling point.
+
+        Returns a context manager; when the trace is not sampled it
+        suppresses every nested span of the request.
+        """
+        if self._suppressed or not self.sampled(key):
+            return _SuppressedTrace(self)
+        trace_id = f"t{self._next_trace:06d}"
+        self._next_trace += 1
+        if key is not None:
+            attrs.setdefault("key", key)
+        return self._handle(trace_id, None, name, start, attrs)
+
+    def span(self, name: str, start: Optional[float] = None,
+             **attrs: Any) -> Union[_SpanHandle, _SuppressedTrace]:
+        """A span under the current context (a new root trace when no
+        trace is active — sampled by ``name``)."""
+        if self._suppressed:
+            return _SuppressedTrace(self)
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            return self.trace(name, key=name, start=start, **attrs)
+        return self._handle(parent.trace_id, parent.span_id, name,
+                            start, attrs)
+
+    def record_trace(self, name: str, key: Optional[str] = None,
+                     start: Optional[float] = None,
+                     end: Optional[float] = None, status: str = "ok",
+                     **attrs: Any) -> Optional[Span]:
+        """Start a root span *without* touching the context stack.
+
+        For components that narrate a request themselves with explicit
+        (virtual) timestamps — the resilience pipeline, the SLO
+        loadtest — and attach children via :meth:`add_span` with an
+        explicit ``parent``.  The returned span is live: the caller
+        mutates ``end``/``attrs``/``status`` as the request completes.
+        Returns ``None`` when the trace is not sampled.
+        """
+        if self._suppressed or not self.sampled(key):
+            return None
+        trace_id = f"t{self._next_trace:06d}"
+        self._next_trace += 1
+        if key is not None:
+            attrs.setdefault("key", key)
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._take_id(),
+            parent_id=None,
+            name=name,
+            start=(self._clock() if start is None else float(start)),
+            end=None if end is None else float(end),
+            attrs=attrs,
+            status=status,
+        )
+        self._store(span)
+        return span
+
+    def suppress(self) -> _SuppressedTrace:
+        """Silence every span site entered under the returned context
+        manager.  Used by wrappers that re-narrate the wrapped call's
+        work with their own (virtual-time) spans."""
+        return _SuppressedTrace(self)
+
+    def add_span(self, name: str, start: float, end: float,
+                 parent: Optional[Span] = None, status: str = "ok",
+                 **attrs: Any) -> Optional[Span]:
+        """Record one fully-formed span (explicit virtual times) under
+        ``parent`` (the current context when omitted).  Returns the
+        span, or ``None`` when no trace is active / not sampled."""
+        if self._suppressed:
+            return None
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            return None
+        span = Span(
+            trace_id=parent.trace_id,
+            span_id=self._take_id(),
+            parent_id=parent.span_id,
+            name=name,
+            start=float(start),
+            end=float(end),
+            attrs=attrs,
+            status=status,
+        )
+        self._store(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def active(self) -> bool:
+        """Whether a sampled trace is currently open."""
+        return bool(self._stack)
+
+    # ------------------------------------------------------------------
+    # collected state
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All retained spans in creation order."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop retained spans (open context survives; its spans will
+        record into the cleared list)."""
+        self._spans.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _take_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def _handle(self, trace_id: str, parent_id: Optional[int],
+                name: str, start: Optional[float],
+                attrs: Dict[str, Any]) -> _SpanHandle:
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._take_id(),
+            parent_id=parent_id,
+            name=name,
+            start=self._clock() if start is None else float(start),
+            attrs=attrs,
+        )
+        return _SpanHandle(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+        self._store(span)
+
+    def _pop(self, span: Span, preset_end: Optional[float]) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if span.end is None:
+            span.end = (self._clock() if preset_end is None
+                        else preset_end)
+
+    def _store(self, span: Span) -> None:
+        if len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+
+# ----------------------------------------------------------------------
+# module default recorder
+# ----------------------------------------------------------------------
+_default_recorder: Optional[SpanRecorder] = None
+
+
+def default_recorder() -> Optional[SpanRecorder]:
+    """The recorder instrumented span sites record into, or ``None``
+    while tracing is off (the default)."""
+    return _default_recorder
+
+
+def set_default_recorder(recorder: Optional[SpanRecorder]
+                         ) -> Optional[SpanRecorder]:
+    """Install ``recorder`` as the default (``None`` turns tracing
+    off); returns the previous one so callers can restore it."""
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous
+
+
+def enable_tracing(sample_rate: float = 1.0,
+                   capacity: int = 65536) -> SpanRecorder:
+    """Turn request tracing on with a fresh recorder; returns it."""
+    recorder = SpanRecorder(sample_rate=sample_rate, capacity=capacity)
+    set_default_recorder(recorder)
+    return recorder
+
+
+def disable_tracing() -> Optional[SpanRecorder]:
+    """Turn request tracing off; returns the recorder that was active
+    (its spans remain readable)."""
+    return set_default_recorder(None)
+
+
+# ----------------------------------------------------------------------
+# export / import
+# ----------------------------------------------------------------------
+def _as_spans(source: Union[SpanRecorder, Sequence[Span]]) -> List[Span]:
+    if isinstance(source, SpanRecorder):
+        return source.spans()
+    return list(source)
+
+
+def to_jsonl(source: Union[SpanRecorder, Sequence[Span]]) -> str:
+    """The spans as JSON Lines (one span object per line)."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True, default=str)
+        for span in _as_spans(source))
+
+
+def write_jsonl(source: Union[SpanRecorder, Sequence[Span]],
+                destination: Union[str, IO[str]]) -> int:
+    """Write the spans as JSONL; returns the span count."""
+    spans = _as_spans(source)
+    text = to_jsonl(spans)
+    if text:
+        text += "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(spans)
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> List[Span]:
+    """Parse a JSONL span stream back into spans."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def to_chrome(source: Union[SpanRecorder, Sequence[Span]]
+              ) -> Dict[str, Any]:
+    """The spans in Chrome trace-event format (``chrome://tracing``,
+    Perfetto).  Complete spans become ``X`` (duration) events; open
+    spans become ``i`` (instant) events.  Span identity rides in
+    ``args`` so :func:`load_chrome` can round-trip."""
+    spans = _as_spans(source)
+    origin = min((s.start for s in spans), default=0.0)
+    tids = {}
+    events = []
+    for span in spans:
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        args = dict(span.attrs)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+        event = {
+            "name": span.name,
+            "cat": span.name.split(".")[0],
+            "pid": 1,
+            "tid": tid,
+            "ts": (span.start - origin) * 1e6,
+            "args": args,
+        }
+        if span.end is None:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * 1e6
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "gred-trace-v1", "origin": origin},
+    }
+
+
+def write_chrome(source: Union[SpanRecorder, Sequence[Span]],
+                 destination: Union[str, IO[str]]) -> int:
+    """Write the spans as a Chrome trace JSON file; returns the span
+    count."""
+    spans = _as_spans(source)
+    text = json.dumps(to_chrome(spans), sort_keys=True, default=str)
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(spans)
+
+
+def load_chrome(source: Union[str, IO[str]]) -> List[Span]:
+    """Rebuild spans from a Chrome trace written by
+    :func:`write_chrome`."""
+    if hasattr(source, "read"):
+        dump = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            dump = json.load(handle)
+    origin = float(dump.get("otherData", {}).get("origin", 0.0))
+    spans = []
+    for event in dump.get("traceEvents", []):
+        args = dict(event.get("args", {}))
+        trace_id = args.pop("trace_id", None)
+        if trace_id is None:
+            continue  # not one of ours
+        span_id = int(args.pop("span_id"))
+        parent_id = args.pop("parent_id", None)
+        status = args.pop("status", "ok")
+        start = origin + float(event["ts"]) / 1e6
+        end = None
+        if event.get("ph") == "X":
+            end = start + float(event.get("dur", 0.0)) / 1e6
+        spans.append(Span(
+            trace_id=str(trace_id), span_id=span_id,
+            parent_id=(None if parent_id is None else int(parent_id)),
+            name=event["name"], start=start, end=end, attrs=args,
+            status=status,
+        ))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+def traces(spans: Sequence[Span]) -> Dict[str, List[Span]]:
+    """Spans grouped by trace id (each group in span-id order)."""
+    groups: Dict[str, List[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.trace_id, []).append(span)
+    for group in groups.values():
+        group.sort(key=lambda s: s.span_id)
+    return groups
+
+
+def reconstruct(spans: Sequence[Span],
+                trace_id: str) -> Optional[Dict[str, Any]]:
+    """Rebuild one trace as a nested tree ``{"span": Span,
+    "children": [...]}`` rooted at its parentless span, or ``None``
+    when the trace id is unknown."""
+    group = traces(spans).get(trace_id)
+    if not group:
+        return None
+    nodes = {span.span_id: {"span": span, "children": []}
+             for span in group}
+    root = None
+    for span in group:
+        node = nodes[span.span_id]
+        parent = (nodes.get(span.parent_id)
+                  if span.parent_id is not None else None)
+        if parent is None:
+            if root is None:
+                root = node
+        else:
+            parent["children"].append(node)
+    return root
+
+
+def lifecycle(spans: Sequence[Span], trace_id: str) -> Dict[str, Any]:
+    """Summary of one request's journey: root name/duration, the set
+    of stage names seen, and whether the lifecycle is complete (root
+    span closed)."""
+    tree = reconstruct(spans, trace_id)
+    if tree is None:
+        return {"trace_id": trace_id, "complete": False, "stages": []}
+    root = tree["span"]
+    stages = sorted({s.name for s in traces(spans)[trace_id]})
+    return {
+        "trace_id": trace_id,
+        "root": root.name,
+        "key": root.attrs.get("key"),
+        "complete": root.end is not None,
+        "duration": root.duration,
+        "status": root.status,
+        "spans": len(traces(spans)[trace_id]),
+        "stages": stages,
+    }

@@ -10,15 +10,22 @@ or, for a whole function::
     @timed("embedding.m_position")
     def m_position(...): ...
 
-A timer on a disabled registry never calls ``perf_counter`` — entering
-and leaving costs two attribute checks.
+A timer on a disabled registry never reads the clock — entering and
+leaving costs two attribute checks.
+
+Timers read the shared monotonic clock (:mod:`repro.obs.clock`) — the
+same source spans use — so a phase histogram and a span duration are
+directly comparable.  One timer instance is safe to re-enter (e.g. as a
+decorator on a recursive function): starts are kept on a stack, so an
+inner timing never clobbers the outer one.
 """
 
 from __future__ import annotations
 
 import functools
-import time
-from typing import Any, Optional, Sequence
+from typing import Any, List, Optional, Sequence
+
+from .clock import now as _now
 
 
 class PhaseTimer:
@@ -40,18 +47,21 @@ class PhaseTimer:
         self._help = help
         self._buckets = buckets
         self._labels = labels
-        self._start: Optional[float] = None
+        # A stack, not a single slot: the same instance may be
+        # re-entered (recursive decorated function) and each nesting
+        # level owns its own start.  A sentinel marks entries made
+        # while the registry was disabled so enter/exit stay paired.
+        self._starts: List[Optional[float]] = []
         self.elapsed: Optional[float] = None
 
     def __enter__(self) -> "PhaseTimer":
-        if self._registry.enabled:
-            self._start = time.perf_counter()
+        self._starts.append(_now() if self._registry.enabled else None)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-            self._start = None
+        start = self._starts.pop() if self._starts else None
+        if start is not None:
+            self.elapsed = _now() - start
             self._registry.histogram(
                 self._name, help=self._help, buckets=self._buckets,
                 **self._labels,

@@ -46,6 +46,7 @@ from ..core.network import GredError
 from ..dataplane import ForwardingError
 from ..hashing import replica_id, server_index
 from ..obs import TIME_BUCKETS, default_registry
+from ..obs.spans import Span, default_recorder as span_recorder
 from .admission import AdmissionController, AdmissionVerdict
 from .breaker import BreakerBoard, BreakerKey
 from .config import ResilienceConfig
@@ -163,18 +164,29 @@ class ResilientNetwork:
                                     ok=result.found, result=result,
                                     attempts=result.attempts)
         arrival = self._time(now)
+        recorder, root = self._open_root("retrieve", data_id, arrival)
         entry, verdict = self._admit(data_id, "retrieve", entry_switch,
                                      arrival, priority, rng)
         if verdict is not None and not verdict.admitted:
-            return self._shed_outcome("retrieve", data_id,
-                                      verdict.shed_reason, arrival)
+            outcome = self._shed_outcome("retrieve", data_id,
+                                         verdict.shed_reason, arrival)
+            self._close_root(root, arrival, outcome)
+            return outcome
         if entry is None:  # entry switch down
-            return self._shed_outcome("retrieve", data_id,
-                                      SHED_ENTRY_DOWN, arrival)
+            outcome = self._shed_outcome("retrieve", data_id,
+                                         SHED_ENTRY_DOWN, arrival)
+            self._close_root(root, arrival, outcome)
+            return outcome
+        if root is not None:
+            recorder.add_span(
+                "admission.queue", start=arrival,
+                end=arrival + verdict.queued_delay, parent=root,
+                entry=entry, wait=verdict.queued_delay)
         outcome = self._retrieve_admitted(
             data_id, entry, copies, arrival, verdict.queued_delay,
-            deadline, max_hops)
+            deadline, max_hops, recorder=recorder, root=root)
         self._finish(outcome, arrival)
+        self._close_root(root, arrival, outcome)
         return outcome
 
     def place(self, data_id: str, payload: Any = None,
@@ -191,18 +203,30 @@ class ResilientNetwork:
                                     ok=True, result=result,
                                     attempts=1)
         arrival = self._time(now)
+        recorder, root = self._open_root("place", data_id, arrival)
         entry, verdict = self._admit(data_id, "place", entry_switch,
                                      arrival, priority, rng)
         if verdict is not None and not verdict.admitted:
-            return self._shed_outcome("place", data_id,
-                                      verdict.shed_reason, arrival)
+            outcome = self._shed_outcome("place", data_id,
+                                         verdict.shed_reason, arrival)
+            self._close_root(root, arrival, outcome)
+            return outcome
         if entry is None:
-            return self._shed_outcome("place", data_id,
-                                      SHED_ENTRY_DOWN, arrival)
+            outcome = self._shed_outcome("place", data_id,
+                                         SHED_ENTRY_DOWN, arrival)
+            self._close_root(root, arrival, outcome)
+            return outcome
+        if root is not None:
+            recorder.add_span(
+                "admission.queue", start=arrival,
+                end=arrival + verdict.queued_delay, parent=root,
+                entry=entry, wait=verdict.queued_delay)
         outcome = self._place_admitted(
             data_id, payload, entry, copies, arrival,
-            verdict.queued_delay, deadline)
+            verdict.queued_delay, deadline, recorder=recorder,
+            root=root)
         self._finish(outcome, arrival)
+        self._close_root(root, arrival, outcome)
         return outcome
 
     # ------------------------------------------------------------------
@@ -365,6 +389,51 @@ class ResilientNetwork:
         }
 
     # ------------------------------------------------------------------
+    # internals — tracing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _open_root(kind: str, data_id: str, arrival: float):
+        """Open the request's root span (virtual-time).  The pipeline
+        narrates the whole journey itself, so nested network-level span
+        sites are suppressed around every data-plane call (see
+        :meth:`_quiet`) — otherwise each probe would start its own
+        wall-clock trace and the timelines would not compose."""
+        recorder = span_recorder()
+        if recorder is None:
+            return None, None
+        root = recorder.record_trace(f"request.{kind}", key=data_id,
+                                     start=arrival, kind=kind,
+                                     pipeline="resilient")
+        return recorder, root
+
+    @staticmethod
+    def _close_root(root: Optional[Span], arrival: float,
+                    outcome: ResilientOutcome) -> None:
+        if root is None:
+            return
+        root.end = arrival + outcome.latency
+        root.attrs.update(
+            admitted=outcome.admitted, ok=outcome.ok,
+            attempts=outcome.attempts, retries=outcome.retries,
+            hedged=outcome.hedged, hedge_won=outcome.hedge_won,
+            queue_wait=outcome.queue_wait,
+            deadline_missed=outcome.deadline_missed)
+        if not outcome.admitted:
+            root.status = "shed"
+            root.attrs["shed_reason"] = outcome.shed_reason
+        elif not outcome.ok:
+            root.status = "error"
+
+    def _quiet(self, recorder):
+        """Context manager silencing network-level span sites for one
+        wrapped data-plane call."""
+        if recorder is not None:
+            return recorder.suppress()
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    # ------------------------------------------------------------------
     # internals — admission
     # ------------------------------------------------------------------
     def _time(self, now: Optional[float]) -> float:
@@ -437,7 +506,9 @@ class ResilientNetwork:
     def _retrieve_admitted(self, data_id: str, entry: int, copies: int,
                            arrival: float, queue_wait: float,
                            deadline: Optional[float],
-                           max_hops: Optional[int]
+                           max_hops: Optional[int],
+                           recorder=None,
+                           root: Optional[Span] = None
                            ) -> ResilientOutcome:
         cfg = self.config
         budget = DeadlineBudget(arrival,
@@ -452,7 +523,8 @@ class ResilientNetwork:
             tries += 1
             clock, result = self._attempt_retrieve(
                 data_id, entry, copies, clock, budget, max_hops,
-                retrying=tries > 1, outcome=outcome)
+                retrying=tries > 1, outcome=outcome,
+                recorder=recorder, root=root)
             if result is not None:
                 last_result = result
             if result is not None and result.found:
@@ -463,6 +535,10 @@ class ResilientNetwork:
                 tries, budget.remaining(clock), self._rng)
             if delay is None or budget.expired(clock):
                 break
+            if root is not None:
+                recorder.add_span("retry.backoff", start=clock,
+                                  end=clock + delay, parent=root,
+                                  attempt=tries, delay=delay)
             clock += delay
             outcome.retries += 1
             if registry.enabled:
@@ -476,7 +552,8 @@ class ResilientNetwork:
     def _attempt_retrieve(self, data_id: str, entry: int, copies: int,
                           clock: float, budget: DeadlineBudget,
                           max_hops: Optional[int], retrying: bool,
-                          outcome: ResilientOutcome):
+                          outcome: ResilientOutcome, recorder=None,
+                          root: Optional[Span] = None):
         """One failover walk over the (breaker-filtered) replica order.
         Returns ``(clock, best_result_or_None)``; ``outcome`` collects
         attempt/hedge accounting."""
@@ -485,6 +562,12 @@ class ResilientNetwork:
         order = self.net.replica_order(data_id, copies, entry)
         open_order = [i for i in order
                       if self._replica_allowed(data_id, i, clock)]
+        if open_order and len(open_order) < len(order) \
+                and root is not None:
+            recorder.add_span(
+                "breaker.route_around", start=clock, end=clock,
+                parent=root,
+                skipped=[i for i in order if i not in open_order])
         if not open_order:
             # Every replica sits behind an open breaker.  Correctness
             # beats fail-fast: probe the original order anyway (the
@@ -493,6 +576,9 @@ class ResilientNetwork:
             open_order = order
             if registry.enabled:
                 registry.counter("resilience.breaker_overrides").inc()
+            if root is not None:
+                recorder.add_span("breaker.override", start=clock,
+                                  end=clock, parent=root)
         walk = list(open_order)
         miss_result = None
         # Hedge: fork the read to the two nearest live replicas when
@@ -508,10 +594,13 @@ class ResilientNetwork:
             outcome.attempts += 2
             r1, l1 = self._probe_retrieve(data_id, first, entry,
                                           outcome.attempts - 1,
-                                          max_hops, clock)
+                                          max_hops, clock,
+                                          recorder=recorder, root=root,
+                                          hedged=True)
             r2, l2 = self._probe_retrieve(data_id, second, entry,
                                           outcome.attempts, max_hops,
-                                          clock)
+                                          clock, recorder=recorder,
+                                          root=root, hedged=True)
             hits = [(l, r) for l, r in ((l1, r1), (l2, r2))
                     if r is not None and r.found]
             if hits:
@@ -520,8 +609,17 @@ class ResilientNetwork:
                     outcome.hedge_won = True
                     if registry.enabled:
                         registry.counter("resilience.hedge_wins").inc()
+                if root is not None:
+                    recorder.add_span(
+                        "retrieve.hedge", start=clock, end=clock + lat,
+                        parent=root, won=best is r2, forks=2)
                 return clock + lat, best
             # Both forks failed; the client waited for the slower one.
+            if root is not None:
+                recorder.add_span(
+                    "retrieve.hedge", start=clock,
+                    end=clock + max(l1, l2), parent=root,
+                    status="error", won=False, forks=2)
             clock += max(l1, l2)
             for r in (r1, r2):
                 if r is not None:
@@ -533,7 +631,7 @@ class ResilientNetwork:
             outcome.attempts += 1
             result, latency = self._probe_retrieve(
                 data_id, copy_index, entry, outcome.attempts, max_hops,
-                clock)
+                clock, recorder=recorder, root=root)
             clock += latency
             if result is not None and result.found:
                 return clock, result
@@ -543,7 +641,9 @@ class ResilientNetwork:
 
     def _probe_retrieve(self, data_id: str, copy_index: int,
                         entry: int, attempt_no: int,
-                        max_hops: Optional[int], now: float):
+                        max_hops: Optional[int], now: float,
+                        recorder=None, root: Optional[Span] = None,
+                        hedged: bool = False):
         """Probe one replica; returns ``(result_or_None, latency)``
         and feeds the breakers."""
         cfg = self.config
@@ -551,25 +651,58 @@ class ResilientNetwork:
         dest = self.net.destination_switch(copy_id)
         switch_key: BreakerKey = ("switch", dest)
         server_key = ("server", self._server_key(copy_id, dest))
-        result = self.net.probe_replica(data_id, copy_index, entry,
-                                        max_hops=max_hops,
-                                        attempts=attempt_no)
+        with self._quiet(recorder):
+            result = self.net.probe_replica(data_id, copy_index, entry,
+                                            max_hops=max_hops,
+                                            attempts=attempt_no)
         if result is None:
             # The route itself failed: the destination's neighborhood
             # is sick.
             self.breakers.failure(switch_key, now)
+            self._probe_span(recorder, root, now, cfg.failure_penalty,
+                             copy_index, attempt_no, dest, hedged,
+                             "route_error", None)
             return None, cfg.failure_penalty
         if result.found:
             latency = (cfg.per_hop_latency * result.round_trip_hops
                        + cfg.service_time)
             self.breakers.success(switch_key, now + latency)
             self.breakers.success(server_key, now + latency)
+            self._probe_span(recorder, root, now, latency, copy_index,
+                             attempt_no, dest, hedged, "ok", result)
             return result, latency
         # Routed but the copy is gone (crashed/lost server data).
         latency = (cfg.per_hop_latency * 2 * result.request_hops
                    + cfg.service_time)
         self.breakers.failure(server_key, now + latency)
+        self._probe_span(recorder, root, now, latency, copy_index,
+                         attempt_no, dest, hedged, "miss", result)
         return result, latency
+
+    @staticmethod
+    def _probe_span(recorder, root: Optional[Span], start: float,
+                    latency: float, copy_index: int, attempt_no: int,
+                    dest: int, hedged: bool, status: str,
+                    result) -> None:
+        """One ``retrieve.probe`` span under the request root, with a
+        ``hop.transit`` child per switch the probe's route visited
+        (laid out proportionally inside the probe's virtual window)."""
+        if root is None:
+            return
+        attrs = {"copy": copy_index, "attempt": attempt_no,
+                 "destination": dest}
+        if hedged:
+            attrs["hedged"] = True
+        probe = recorder.add_span(
+            "retrieve.probe", start=start, end=start + latency,
+            parent=root, status=status, **attrs)
+        if probe is None or result is None or not result.trace:
+            return
+        step = latency / max(1, len(result.trace))
+        for k, sid in enumerate(result.trace):
+            recorder.add_span(
+                "hop.transit", start=start + k * step,
+                end=start + (k + 1) * step, parent=probe, switch=sid)
 
     def _replica_allowed(self, data_id: str, copy_index: int,
                          now: float) -> bool:
@@ -616,7 +749,9 @@ class ResilientNetwork:
     # ------------------------------------------------------------------
     def _place_admitted(self, data_id: str, payload: Any, entry: int,
                         copies: int, arrival: float, queue_wait: float,
-                        deadline: Optional[float]) -> ResilientOutcome:
+                        deadline: Optional[float], recorder=None,
+                        root: Optional[Span] = None
+                        ) -> ResilientOutcome:
         cfg = self.config
         budget = DeadlineBudget(arrival,
                                 deadline or cfg.default_deadline)
@@ -647,17 +782,38 @@ class ResilientNetwork:
                     if registry.enabled:
                         registry.counter(
                             "resilience.breaker_fast_fails").inc()
+                    if root is not None:
+                        recorder.add_span(
+                            "breaker.fast_fail", start=clock,
+                            end=clock, parent=root, copy=copy_index,
+                            destination=dest)
                     continue
                 outcome.attempts += 1
                 try:
-                    record = self.net._place_one(copy_id, payload,
-                                                 entry)
+                    with self._quiet(recorder):
+                        record = self.net._place_one(copy_id, payload,
+                                                     entry)
                 except (GredError, ForwardingError):
+                    if root is not None:
+                        recorder.add_span(
+                            "place.copy", start=clock,
+                            end=clock + cfg.failure_penalty,
+                            parent=root, status="route_error",
+                            copy=copy_index, destination=dest,
+                            attempt=outcome.attempts)
                     clock += cfg.failure_penalty
                     self.breakers.failure(server_key, clock)
                     continue
                 latency = (cfg.per_hop_latency * 2
                            * record.physical_hops + cfg.service_time)
+                if root is not None:
+                    recorder.add_span(
+                        "place.copy", start=clock,
+                        end=clock + latency, parent=root,
+                        copy=copy_index, destination=dest,
+                        server=record.server_id,
+                        physical_hops=record.physical_hops,
+                        attempt=outcome.attempts)
                 clock += latency
                 self.breakers.success(switch_key, clock)
                 self.breakers.success(("server", record.server_id),
@@ -670,6 +826,10 @@ class ResilientNetwork:
                 tries, budget.remaining(clock), self._rng)
             if delay is None or budget.expired(clock):
                 break
+            if root is not None:
+                recorder.add_span("retry.backoff", start=clock,
+                                  end=clock + delay, parent=root,
+                                  attempt=tries, delay=delay)
             clock += delay
             outcome.retries += 1
             if registry.enabled:

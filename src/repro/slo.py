@@ -68,6 +68,11 @@ class SloConfig:
     plan: Any = None  # Optional[repro.faults.FaultPlan]
     max_attempts: int = 3
     hedge_enabled: bool = True
+    #: SLO success target used for burn-rate gauges (budget is
+    #: ``1 - objective``).
+    objective: float = 0.99
+    #: Head-based trace sampling rate for the run (0 = tracing off).
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.entry_switches < 1 or self.entry_switches > self.switches:
@@ -82,6 +87,13 @@ class SloConfig:
         if any(f <= 0 for f in self.load_factors):
             raise ValueError(
                 f"load factors must be positive, got {self.load_factors}")
+        if not 0.0 <= self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in [0, 1), got {self.objective}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}")
 
     @classmethod
     def quick(cls) -> "SloConfig":
@@ -167,10 +179,20 @@ def _run_point(config: SloConfig, load_factor: float) -> Dict[str, Any]:
     from . import obs
     from .faults import FaultInjector
 
+    from contextlib import nullcontext
+
+    from .obs import spans
+
     previous = obs.set_default_registry(obs.MetricsRegistry())
     try:
-        net = _build_network(config)
-        item_ids = _place_catalog(net, config)
+        # Setup (topology build + catalog placement) is not request
+        # traffic: keep it out of the trace so sampled traces are all
+        # virtual-time pipeline requests.
+        recorder = spans.default_recorder()
+        with (recorder.suppress() if recorder is not None
+              else nullcontext()):
+            net = _build_network(config)
+            item_ids = _place_catalog(net, config)
         entries = _entry_subset(net, config)
         pipeline = net.resilient(config.resilience_config())
 
@@ -217,8 +239,29 @@ def _run_point(config: SloConfig, load_factor: float) -> Dict[str, Any]:
                 if not outcome.deadline_missed:
                     tally.in_deadline_ok += 1
         registry = obs.default_registry()
+        # Burn rates: failure fraction over the error budget
+        # (1 - objective).  >1 burns the budget faster than allowed.
+        burn = {
+            "availability": obs.burn_rate(
+                tally.admitted - tally.ok, tally.admitted,
+                config.objective),
+            "attainment": obs.burn_rate(
+                tally.admitted - tally.in_deadline_ok, tally.admitted,
+                config.objective),
+            "goodput": obs.burn_rate(
+                tally.offered - tally.in_deadline_ok, tally.offered,
+                config.objective),
+        }
+        for slo_name, value in burn.items():
+            registry.gauge(
+                "slo.burn_rate",
+                help="SLO burn rate (1.0 = budget consumed exactly "
+                     "as fast as allowed)",
+                slo=slo_name).set(value)
         return {
             "load_factor": load_factor,
+            "objective": config.objective,
+            "burn_rates": burn,
             "offered_rps": offered_rps,
             "offered": tally.offered,
             "admitted": tally.admitted,
@@ -250,13 +293,41 @@ def _run_point(config: SloConfig, load_factor: float) -> Dict[str, Any]:
         obs.set_default_registry(previous)
 
 
-def run_loadtest(config: Optional[SloConfig] = None) -> Dict[str, Any]:
+def run_loadtest(config: Optional[SloConfig] = None,
+                 recorder: Any = None) -> Dict[str, Any]:
     """Run the full load test; returns the report dict
     (``format: gred-loadtest-v1``).  Deterministic: bit-identical
-    across runs with the same config."""
+    across runs with the same config.
+
+    ``recorder`` is an optional :class:`~repro.obs.spans.SpanRecorder`
+    installed as the default recorder for the duration of the run, so
+    sampled requests leave full virtual-time traces (export them with
+    :func:`repro.obs.spans.write_jsonl` / ``write_chrome``).  When it
+    is ``None`` and ``config.trace_sample_rate`` > 0, one is created
+    automatically.  The report gains a deterministic
+    ``trace_summary`` block whenever tracing is on.
+    """
+    from .obs import spans
+
     config = config or SloConfig()
-    points = [_run_point(config, factor)
-              for factor in config.load_factors]
+    if recorder is None and config.trace_sample_rate > 0:
+        recorder = spans.SpanRecorder(
+            sample_rate=config.trace_sample_rate)
+    previous = spans.set_default_recorder(recorder)
+    try:
+        points = [_run_point(config, factor)
+                  for factor in config.load_factors]
+    finally:
+        spans.set_default_recorder(previous)
+    trace_summary = None
+    if recorder is not None:
+        traces = spans.traces(recorder.spans())
+        trace_summary = {
+            "sample_rate": recorder.sample_rate,
+            "traces": len(traces),
+            "spans": len(recorder.spans()),
+            "dropped": recorder.dropped,
+        }
     return {
         "format": "gred-loadtest-v1",
         "config": {
@@ -277,6 +348,8 @@ def run_loadtest(config: Optional[SloConfig] = None) -> Dict[str, Any]:
             "priority_mix": list(config.priority_mix),
             "max_attempts": config.max_attempts,
             "hedge_enabled": config.hedge_enabled,
+            "objective": config.objective,
+            "trace_sample_rate": config.trace_sample_rate,
             "fault_events": (len(config.plan)
                              if config.plan is not None else 0),
         },
@@ -285,6 +358,7 @@ def run_loadtest(config: Optional[SloConfig] = None) -> Dict[str, Any]:
             "numpy": np.__version__,
         },
         "capacity_rps": config.capacity_rps,
+        "trace_summary": trace_summary,
         "points": points,
     }
 

@@ -349,3 +349,99 @@ class TestChurn:
         stdout = capsys.readouterr().out
         payload = json.loads(stdout[:stdout.rindex("}") + 1])
         assert payload["format"] == "gred-churn-v1"
+
+
+class TestTraceRecording:
+    def test_trace_spans_out_round_trips(self, net_file, tmp_path,
+                                         capsys):
+        from repro.obs import spans as ospans
+
+        main(["place", "-n", net_file, "rec-1", "--entry", "0",
+              "--copies", "2"])
+        capsys.readouterr()
+        spans_file = str(tmp_path / "spans.jsonl")
+        chrome_file = str(tmp_path / "trace.json")
+        code = main(["trace", "-n", net_file, "rec-1", "--entry", "3",
+                     "--spans-out", spans_file,
+                     "--chrome-out", chrome_file, "--summary"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traced 1 request(s)" in out
+        assert "recorded traces" in out
+        assert "request.retrieve" in out
+        spans = ospans.load_jsonl(spans_file)
+        assert spans
+        tree = ospans.reconstruct(spans, spans[0].trace_id)
+        assert tree["span"].name == "request.retrieve"
+        chrome = ospans.load_chrome(chrome_file)
+        assert {s.span_id for s in chrome} == \
+            {s.span_id for s in spans}
+
+    def test_trace_workload_without_data_id(self, net_file, capsys):
+        main(["place", "-n", net_file, "w-1", "--entry", "0"])
+        main(["place", "-n", net_file, "w-2", "--entry", "0"])
+        capsys.readouterr()
+        code = main(["trace", "-n", net_file, "--summary",
+                     "--requests", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traced 2 request(s)" in out
+        assert "dataplane.hops_per_request" in out
+
+    def test_trace_without_target_or_flags_fails(self, net_file,
+                                                 capsys):
+        code = main(["trace", "-n", net_file])
+        assert code == 2
+        assert "data_id" in capsys.readouterr().err
+
+    def test_trace_does_not_leak_recorder(self, net_file, capsys):
+        from repro.obs import spans as ospans
+
+        main(["place", "-n", net_file, "leak-1", "--entry", "0"])
+        capsys.readouterr()
+        main(["trace", "-n", net_file, "leak-1", "--summary"])
+        assert ospans.default_recorder() is None
+
+
+class TestLoadtestTraceOut:
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import spans as ospans
+
+        report_file = str(tmp_path / "slo.json")
+        trace_file = str(tmp_path / "traces.jsonl")
+        code = main(["loadtest", "--quick", "-o", report_file,
+                     "--trace-out", trace_file,
+                     "--trace-sample", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+        spans = ospans.load_jsonl(trace_file)
+        assert spans
+        roots = [s for s in spans if s.parent_id is None]
+        assert roots
+        assert all(r.name.startswith("request.") for r in roots)
+        with open(report_file) as handle:
+            report = json.load(handle)
+        assert report["trace_summary"]["spans"] == len(spans)
+        assert report["config"]["trace_sample_rate"] == 0.1
+
+
+class TestBenchTelemetryGate:
+    def test_lenient_gate_passes(self, tmp_path, capsys):
+        out = str(tmp_path / "b.json")
+        code = main(["bench", "--switches", "10", "--requests", "60",
+                     "--cvt-iterations", "2", "--repeats", "1",
+                     "--max-telemetry-overhead", "100", "-o", out])
+        assert code == 0
+        assert "telemetry" in capsys.readouterr().out
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["telemetry"]["vectorized"] is True
+
+    def test_impossible_gate_fails(self, tmp_path, capsys):
+        out = str(tmp_path / "b.json")
+        code = main(["bench", "--switches", "10", "--requests", "60",
+                     "--cvt-iterations", "2", "--repeats", "1",
+                     "--max-telemetry-overhead", "-10", "-o", out])
+        assert code == 1
+        assert "max-telemetry-overhead" in capsys.readouterr().err

@@ -369,3 +369,147 @@ class TestEndToEndInstrumentation:
         delays = registry.lookup(
             "histogram", "simulation.response_delay_seconds")
         assert delays.count == 20
+
+
+class TestObserveMany:
+    def test_matches_sequential_observation_exactly(self, registry):
+        batch = registry.histogram("h.batch", buckets=(1, 2, 4, 8))
+        scalar = registry.histogram("h.scalar", buckets=(1, 2, 4, 8))
+        values = [0, 1, 1, 2, 3, 4, 5, 8, 9, 100]
+        batch.observe_many(values)
+        for value in values:
+            scalar.observe(value)
+        batch_dump = batch.to_dict()
+        scalar_dump = scalar.to_dict()
+        batch_dump.pop("name"), scalar_dump.pop("name")
+        assert batch_dump == scalar_dump
+
+    def test_empty_batch_is_a_noop(self, registry):
+        hist = registry.histogram("h", buckets=(1, 2))
+        hist.observe_many([])
+        assert hist.count == 0
+
+    def test_reservoir_preserves_order(self, registry):
+        hist = registry.histogram("h", buckets=(10,))
+        hist.observe_many([3, 1, 2])
+        hist.observe(4)
+        assert hist.to_dict()["count"] == 4
+
+    def test_null_instrument_accepts_batches(self):
+        NULL_INSTRUMENT.observe_many([1, 2, 3])  # no-op, no error
+
+
+class TestEventLogDropCounter:
+    def test_ring_wrap_increments_dropped_counter(self):
+        registry = MetricsRegistry(event_capacity=2)
+        for i in range(5):
+            registry.event("e", i=i)
+        assert registry.event_log.dropped == 3
+        counter = registry.lookup("counter", "obs.eventlog.dropped")
+        assert counter.value == 3
+        assert registry.to_dict()["events_dropped"] == 3
+
+    def test_no_counter_until_a_drop_happens(self):
+        registry = MetricsRegistry(event_capacity=8)
+        registry.event("e")
+        assert registry.lookup("counter", "obs.eventlog.dropped") \
+            is None
+
+
+class TestQuantileExport:
+    def test_histogram_quantile_interpolates(self):
+        # 10 observations in (0, 1], 10 in (1, 2]
+        value = obs.histogram_quantile([1.0, 2.0], [10, 10, 0], 0.75)
+        assert value == pytest.approx(1.5)
+
+    def test_quantile_in_inf_bucket_clamps(self):
+        assert obs.histogram_quantile([1.0, 2.0], [0, 0, 5], 0.99) \
+            == 2.0
+
+    def test_empty_histogram_is_none(self):
+        assert obs.histogram_quantile([1.0], [0, 0], 0.5) is None
+
+    def test_dump_quantiles_reads_saved_dumps(self, registry):
+        hist = registry.histogram("lat", buckets=(1, 2, 4))
+        hist.observe_many([1, 1, 2, 2, 4, 4, 4, 4])
+        quantiles = obs.dump_quantiles(registry, "lat",
+                                       quantiles=(0.5,))
+        assert quantiles["q50"] == pytest.approx(2.0)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            obs.histogram_quantile([1.0], [1, 0], 1.5)
+
+
+class TestBurnRate:
+    def test_exact_budget_burn_is_one(self):
+        assert obs.burn_rate(1, 100, 0.99) == pytest.approx(1.0)
+
+    def test_over_budget(self):
+        assert obs.burn_rate(5, 100, 0.99) == pytest.approx(5.0)
+
+    def test_zero_total_is_zero(self):
+        assert obs.burn_rate(0, 0, 0.99) == 0.0
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError):
+            obs.burn_rate(1, 10, 1.0)
+
+
+class TestPhaseTimerNesting:
+    def test_reentrant_timer_does_not_double_count(self, registry):
+        timer = PhaseTimer(registry, "phase.recurse")
+        with timer:
+            with timer:
+                pass
+        hist = registry.lookup("histogram", "phase.recurse")
+        assert hist.count == 2
+        # the inner timing must not clobber the outer start: the
+        # second recorded duration (outer) covers the first (inner)
+        assert hist.to_dict()["max"] >= hist.to_dict()["min"]
+
+    def test_recursive_decorated_function(self, registry):
+        @timed("phase.fib")
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        assert fib(5) == 5
+        hist = registry.lookup("histogram", "phase.fib")
+        assert hist.count == 15  # one observation per call
+
+    def test_disabled_registry_stays_paired(self):
+        registry = MetricsRegistry(enabled=False)
+        timer = PhaseTimer(registry, "phase.off")
+        with timer:
+            with timer:
+                pass
+        assert timer.elapsed is None
+        assert registry.lookup("histogram", "phase.off") is None
+
+
+class TestDemandTracker:
+    def test_scalar_and_batch_recording_agree(self):
+        a, b = obs.DemandTracker(), obs.DemandTracker()
+        for item in ("x", "y", "x"):
+            a.record(item)
+        b.record_many(["x", "y", "x"])
+        assert a.counts() == b.counts() == {"x": 2, "y": 1}
+        assert a.total == 3 and a.unique_items == 2
+
+    def test_top_is_deterministic(self):
+        tracker = obs.DemandTracker()
+        tracker.record_many(["b", "a", "c", "a", "b"])
+        assert tracker.top(2) == [("a", 2), ("b", 2)]
+
+    def test_registry_reset_clears_demand(self, registry):
+        registry.demand.record("item")
+        registry.reset()
+        assert registry.demand.total == 0
+
+    def test_demand_region_grid(self):
+        assert obs.demand_region(0.0, 0.0) == 0
+        assert obs.demand_region(0.99, 0.99) == \
+            obs.DEMAND_GRID * obs.DEMAND_GRID - 1
+        # out-of-range clamps to edge cells
+        assert obs.demand_region(-1.0, 2.0) == \
+            (obs.DEMAND_GRID - 1) * obs.DEMAND_GRID

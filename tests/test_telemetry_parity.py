@@ -1,0 +1,177 @@
+"""Differential check: the vectorized batch telemetry plane must
+produce aggregates *identical* to a scalar-oracle run — same
+instruments created, same counter/gauge values, same histogram state
+(including reservoir order), same demand map."""
+
+import numpy as np
+import pytest
+
+from repro import GredNetwork, attach_uniform, brite_waxman_graph
+from repro.obs import MetricsRegistry, set_default_registry
+
+
+def _build(seed=0, switches=24, servers=2):
+    topology, _ = brite_waxman_graph(
+        switches, min_degree=3, rng=np.random.default_rng(seed))
+    servers_map = attach_uniform(topology.nodes(),
+                                 servers_per_switch=servers)
+    return GredNetwork(topology, servers_map, cvt_iterations=8,
+                       seed=seed)
+
+
+def _workload(net, batch: bool):
+    """The shared workload: placements with extensions active, a
+    probe mix with misses, a cache-hit replay pass, and a tight hop
+    budget that forces route failures."""
+    sids = net.switch_ids()
+    net.extend_range(sids[0], 0)
+    net.extend_range(sids[1], 0)
+    registry = MetricsRegistry(enabled=True)
+    previous = set_default_registry(registry)
+    try:
+        ids = [f"eq/{i}" for i in range(120)]
+        probe = [d for pair in zip(ids, (f"miss/{i}"
+                                         for i in range(len(ids))))
+                 for d in pair]
+        if batch:
+            net.place_many(ids, payloads=[{"k": d} for d in ids],
+                           rng=np.random.default_rng(3), copies=2)
+            net.retrieve_many(probe, copies=2,
+                              rng=np.random.default_rng(6))
+            # cache hits must replay identical telemetry
+            net.retrieve_many(ids, copies=2,
+                              rng=np.random.default_rng(7))
+            # tight hop budget: partial decision counts on failures
+            net.retrieve_many(ids, max_hops=2,
+                              rng=np.random.default_rng(8))
+        else:
+            rng = np.random.default_rng(3)
+            for data_id in ids:
+                net.place(data_id, payload={"k": data_id}, copies=2,
+                          rng=rng)
+            rng = np.random.default_rng(6)
+            for data_id in probe:
+                net.retrieve(data_id, copies=2, rng=rng)
+            rng = np.random.default_rng(7)
+            for data_id in ids:
+                net.retrieve(data_id, copies=2, rng=rng)
+            rng = np.random.default_rng(8)
+            for data_id in ids:
+                net.retrieve(data_id, max_hops=2, rng=rng)
+        return registry.to_dict(include_events=False)
+    finally:
+        set_default_registry(previous)
+
+
+def _normalize(dump):
+    """Key instruments by (name, labels); drop the batch-only extras
+    (``dataplane.batch.*`` counts waves/requests the scalar path has
+    no notion of)."""
+    out = {}
+    for kind in ("counters", "gauges", "histograms"):
+        items = {}
+        for entry in dump[kind]:
+            if entry["name"].startswith("dataplane.batch."):
+                continue
+            key = (entry["name"],
+                   tuple(sorted(entry["labels"].items())))
+            items[key] = {k: v for k, v in entry.items()
+                          if k not in ("name", "labels")}
+        out[kind] = items
+    out["demand"] = dump.get("demand")
+    return out
+
+
+class TestBatchScalarTelemetryParity:
+    @pytest.fixture(scope="class")
+    def dumps(self):
+        scalar = _normalize(_workload(_build(), batch=False))
+        batch = _normalize(_workload(_build(), batch=True))
+        return scalar, batch
+
+    def test_same_instruments_created(self, dumps):
+        scalar, batch = dumps
+        for kind in ("counters", "gauges", "histograms"):
+            assert set(scalar[kind]) == set(batch[kind]), kind
+
+    def test_counters_and_gauges_identical(self, dumps):
+        scalar, batch = dumps
+        for kind in ("counters", "gauges"):
+            for key in scalar[kind]:
+                assert scalar[kind][key] == batch[kind][key], key
+
+    def test_histograms_identical_including_reservoirs(self, dumps):
+        scalar, batch = dumps
+        for key in scalar["histograms"]:
+            assert scalar["histograms"][key] == \
+                batch["histograms"][key], key
+
+    def test_demand_map_identical(self, dumps):
+        scalar, batch = dumps
+        assert scalar["demand"] == batch["demand"]
+
+    def test_engine_aggregates_are_present(self, dumps):
+        scalar, _ = dumps
+        names = {key[0] for key in scalar["counters"]}
+        assert {"dataplane.deliveries", "dataplane.greedy_forwards",
+                "dataplane.vl_starts", "dataplane.requests_routed",
+                "dataplane.extension_rewrites"} <= names
+        hist_names = {key[0] for key in scalar["histograms"]}
+        assert "dataplane.hops_per_request" in hist_names
+        assert "dataplane.overlay_hops_per_request" in hist_names
+
+
+class TestFastPathStaysFast:
+    def test_telemetry_does_not_force_scalar_fallback(self):
+        from repro.dataplane import batch_fastpath_blockers
+
+        net = _build()
+        registry = MetricsRegistry(enabled=True)
+        previous = set_default_registry(registry)
+        try:
+            assert batch_fastpath_blockers(net) == []
+            ids = [f"fp/{i}" for i in range(64)]
+            net.place_many(ids, rng=np.random.default_rng(1))
+            net.retrieve_many(ids, rng=np.random.default_rng(2))
+            waves = registry.counter_values("dataplane.batch.")
+            assert waves.get("dataplane.batch.waves", 0) > 0
+            assert waves.get("dataplane.batch.requests", 0) >= len(ids)
+        finally:
+            set_default_registry(previous)
+
+    def test_standdown_reasons_are_counted(self):
+        from repro.faults import FaultState
+
+        net = _build()
+        # an empty-but-present fault state still blocks the fast path
+        net.fault_state = FaultState()
+        registry = MetricsRegistry(enabled=True)
+        previous = set_default_registry(registry)
+        try:
+            ids = [f"sd/{i}" for i in range(8)]
+            net.place_many(ids, rng=np.random.default_rng(1))
+            counts = registry.counter_values(
+                "dataplane.fastpath_standdowns")
+            assert counts  # at least one structured reason counter
+            assert all(value >= 1 for value in counts.values())
+        finally:
+            net.fault_state = None
+            set_default_registry(previous)
+
+
+class TestBenchTelemetrySection:
+    def test_report_measures_overhead_and_proves_vectorized(self):
+        from repro.bench import BenchConfig, run_bench
+
+        config = BenchConfig(switches=12, requests=80,
+                             cvt_iterations=3, repeats=1)
+        report = run_bench(config)
+        telemetry = report["telemetry"]
+        assert telemetry["vectorized"] is True
+        assert telemetry["batch_waves"] > 0
+        for op in ("placement", "retrieval"):
+            section = telemetry[op]
+            assert section["off_seconds"] > 0
+            assert section["on_seconds"] > 0
+            assert isinstance(section["overhead_fraction"], float)
+        assert all(report["equivalence"].values())
