@@ -9,7 +9,11 @@ File-backed workflows over a saved deployment snapshot::
     gred extend -n net.json 4 0
     gred experiment fig9a [--metrics-out m.json]
     gred metrics -n net.json            # or: --from m.json [--json]
-    gred chaos --switches 30 --copies 3 [--plan plan.json] [--json]
+    gred chaos --switches 30 --copies 3 [--plan plan.json]
+               [--control-plan cp.json] [--json]
+    gred reconcile -n net.json [--max-divergence 0]   # anti-entropy
+    gred reconcile [--quick] [-o CONVERGENCE_report.json]
+                   [--max-divergence 0]   # churn-under-loss experiment
     gred loadtest [--quick] [--min-goodput 0.99] [-o SLO_report.json]
                   [--trace-out traces.jsonl [--trace-sample 0.05]]
     gred trace -n net.json [data_id] [--summary]
@@ -184,6 +188,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--plan", default=None, metavar="FILE",
                        help="JSON fault plan; default crashes one "
                             "random switch mid-trace")
+    chaos.add_argument("--control-plan", default=None, metavar="FILE",
+                       help="JSON fault plan of control_* events that "
+                            "degrade the southbound channel for the "
+                            "whole run; the harness finishes with an "
+                            "anti-entropy reconcile")
     chaos.add_argument("--duration", type=float, default=1.0,
                        help="request window in simulated seconds")
     chaos.add_argument("--detection-interval", type=float, default=0.1,
@@ -315,6 +324,54 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit nonzero when the average switches "
                             "touched per join exceeds N at any size "
                             "(CI gate for delta locality)")
+
+    reconcile = sub.add_parser(
+        "reconcile",
+        help="anti-entropy reconcile of a snapshot (-n), or the "
+             "churn-under-loss convergence experiment writing "
+             "CONVERGENCE_report.json")
+    reconcile.add_argument("-n", "--network", default=None,
+                           help="snapshot to reconcile in place "
+                                "(omit to run the convergence "
+                                "experiment instead)")
+    reconcile.add_argument("--switches", type=int, default=200)
+    reconcile.add_argument("--events", type=int, default=30,
+                           help="churn events (joins/leaves/link "
+                                "flaps) to drive under loss")
+    reconcile.add_argument("--drop", type=float, default=0.2,
+                           help="southbound drop probability")
+    reconcile.add_argument("--dup", type=float, default=0.05,
+                           help="southbound duplication probability")
+    reconcile.add_argument("--delay", type=float, default=0.0,
+                           help="southbound delayed-delivery "
+                                "probability")
+    reconcile.add_argument("--reorder-window", type=int, default=4,
+                           help="southbound reorder window (1 = "
+                                "in order)")
+    reconcile.add_argument("--servers", type=int, default=2,
+                           help="servers per switch")
+    reconcile.add_argument("--cvt-iterations", type=int, default=15)
+    reconcile.add_argument("--seed", type=int, default=0)
+    reconcile.add_argument("--max-sweeps", type=int, default=12,
+                           help="anti-entropy sweep budget")
+    reconcile.add_argument("--quick", action="store_true",
+                           help="tiny CI smoke preset (overrides the "
+                                "workload-shape flags)")
+    reconcile.add_argument("-o", "--output",
+                           default="CONVERGENCE_report.json",
+                           metavar="FILE",
+                           help="experiment report path (default: "
+                                "CONVERGENCE_report.json)")
+    reconcile.add_argument("--json", action="store_true",
+                           help="print the full report instead of the "
+                                "summary")
+    reconcile.add_argument("--max-divergence", type=int, default=None,
+                           metavar="N",
+                           help="exit nonzero when more than N "
+                                "switches stay divergent after the "
+                                "reconcile (CI gate; the experiment "
+                                "mode additionally requires the "
+                                "install_all_rules oracle to match)")
     return parser
 
 
@@ -719,6 +776,8 @@ def _cmd_chaos(args) -> int:
     from .faults import ChaosConfig, FaultPlan, run_chaos
 
     plan = FaultPlan.from_json(args.plan) if args.plan else None
+    control_plan = (FaultPlan.from_json(args.control_plan)
+                    if args.control_plan else None)
     config = ChaosConfig(
         switches=args.switches,
         min_degree=args.min_degree,
@@ -729,6 +788,7 @@ def _cmd_chaos(args) -> int:
         requests=args.requests,
         seed=args.seed,
         plan=plan,
+        control_plan=control_plan,
         duration=args.duration,
         detection_interval=args.detection_interval,
     )
@@ -766,6 +826,21 @@ def _cmd_chaos(args) -> int:
           f"({report['recovered']['mean_round_trip_hops']:.2f} hops, "
           f"inflation x{report['hop_inflation']:.2f})")
     print(f"verifier violations    : {report['verifier_violations']}")
+    southbound = report.get("southbound")
+    if southbound is not None:
+        stats = southbound["channel"]
+        reconcile = southbound["reconcile"]
+        print(f"southbound channel     : {stats['sent']} sent, "
+              f"{stats['dropped']} dropped, "
+              f"{stats['duplicated']} duplicated, "
+              f"{stats['reordered']} reordered, "
+              f"{stats['delayed']} delayed")
+        print(f"reconcile              : "
+              f"{reconcile['divergent_initial']} divergent, "
+              f"{reconcile['sweeps']} sweep(s), "
+              f"{reconcile['resynced']} resync(s), "
+              f"{reconcile['drained']} drained, "
+              f"converged={reconcile['converged']}")
     return 1 if gate_failed else 0
 
 
@@ -918,6 +993,102 @@ def _cmd_churn(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_reconcile(args) -> int:
+    if args.network is not None:
+        return _reconcile_snapshot(args)
+    return _reconcile_experiment(args)
+
+
+def _reconcile_snapshot(args) -> int:
+    """Anti-entropy sweep over a saved deployment: repair any drift
+    between the snapshot's installed state and the compiled plan."""
+    net = _load(args.network)
+    report = net.controller.reconcile(max_sweeps=args.max_sweeps)
+    _save(net, args.network)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"divergent switches : {report.divergent_initial}")
+        print(f"sweeps             : {report.sweeps}")
+        print(f"resyncs shipped    : {report.resynced}")
+        print(f"pending drained    : {report.drained}")
+        print(f"still divergent    : "
+              f"{sorted(report.divergent_final) or 'none'}")
+    if args.max_divergence is not None and \
+            len(report.divergent_final) > args.max_divergence:
+        print(f"error: {len(report.divergent_final)} switch(es) stay "
+              f"divergent after reconcile, above the --max-divergence "
+              f"gate {args.max_divergence}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _reconcile_experiment(args) -> int:
+    """Churn-under-loss convergence experiment; writes the committed
+    CONVERGENCE_report.json CI artifact."""
+    from .experiments.convergence import run_convergence
+
+    if args.quick:
+        report = run_convergence(
+            switches=24, events=8, drop=args.drop, dup=args.dup,
+            delay=args.delay, reorder_window=args.reorder_window,
+            servers_per_switch=args.servers, cvt_iterations=5,
+            seed=args.seed, max_sweeps=args.max_sweeps)
+    else:
+        report = run_convergence(
+            switches=args.switches, events=args.events, drop=args.drop,
+            dup=args.dup, delay=args.delay,
+            reorder_window=args.reorder_window,
+            servers_per_switch=args.servers,
+            cvt_iterations=args.cvt_iterations, seed=args.seed,
+            max_sweeps=args.max_sweeps)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        config = report["config"]
+        stats = report["channel"]
+        divergence = report["divergence"]
+        print(f"churn              : {report['events_applied']} "
+              f"event(s) applied ({report['events_skipped']} skipped) "
+              f"over {config['switches']} switches")
+        print(f"channel faults     : drop={config['drop']:g} "
+              f"dup={config['dup']:g} delay={config['delay']:g} "
+              f"reorder_window={config['reorder_window']}")
+        print(f"southbound         : {stats['sent']} sent, "
+              f"{stats['dropped']} dropped, "
+              f"{stats['duplicated']} duplicated, "
+              f"{stats['reordered']} reordered, "
+              f"{stats['delayed']} delayed")
+        print(f"retries            : {report['totals']['retries']}")
+        print(f"divergence         : {divergence['before_reconcile']} "
+              f"before reconcile, {divergence['after_reconcile']} "
+              f"after ({report['reconcile']['sweeps']} sweep(s))")
+        print(f"oracle match       : {report['oracle_match']}")
+        print(f"verifier violations: {report['verifier_violations']}")
+    print(f"wrote {args.output}")
+    failures = []
+    if args.max_divergence is not None:
+        after = report["divergence"]["after_reconcile"]
+        if after > args.max_divergence:
+            failures.append(
+                f"{after} switch(es) stay divergent after reconcile, "
+                f"above the --max-divergence gate "
+                f"{args.max_divergence}")
+        if not report["oracle_match"]:
+            failures.append(
+                f"switches {report['mismatched_switches']} diverge "
+                f"from the install_all_rules oracle")
+        if report["verifier_violations"]:
+            failures.append(
+                f"{report['verifier_violations']} verifier "
+                f"violation(s) after reconcile")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "place": _cmd_place,
@@ -935,6 +1106,7 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
     "churn": _cmd_churn,
+    "reconcile": _cmd_reconcile,
 }
 
 

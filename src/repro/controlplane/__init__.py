@@ -2,7 +2,12 @@
 installation, range extension, dynamics), the rule compiler, and the
 incremental plan/diff/apply pipeline."""
 
-from .controller import ControlPlaneError, Controller, ControllerConfig
+from .controller import (
+    ControlPlaneError,
+    Controller,
+    ControllerConfig,
+    ReconcileReport,
+)
 from .routing_index import RoutingIndex
 from .verification import Violation, verify_installed_state
 from .southbound import (
@@ -12,6 +17,7 @@ from .southbound import (
     compile_messages,
     install_via_messages,
 )
+from .channel import ChannelStats, ControlChannelError, FaultyChannel
 from .rules import (
     average_table_entries,
     bfs_parent_tree,
@@ -20,9 +26,22 @@ from .rules import (
     path_toward,
     table_entry_counts,
 )
-from .plan import RulePlan, SwitchPlan, compile_plan, snapshot_plan
+from .plan import (
+    RulePlan,
+    SwitchPlan,
+    compile_plan,
+    plan_digests,
+    snapshot_plan,
+    switch_digest,
+)
 from .diff import RuleDelta, diff_plans
-from .apply import apply_delta, install_plan
+from .apply import (
+    ApplyReport,
+    RetryPolicy,
+    TransactionalApplier,
+    apply_delta,
+    install_plan,
+)
 
 __all__ = [
     "Controller",
@@ -50,4 +69,13 @@ __all__ = [
     "diff_plans",
     "apply_delta",
     "install_plan",
+    "switch_digest",
+    "plan_digests",
+    "FaultyChannel",
+    "ChannelStats",
+    "ControlChannelError",
+    "TransactionalApplier",
+    "RetryPolicy",
+    "ApplyReport",
+    "ReconcileReport",
 ]

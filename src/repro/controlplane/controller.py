@@ -21,7 +21,7 @@ traffic, so switches never consult the controller per packet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 import numpy as np
 
@@ -41,9 +41,9 @@ from ..graph import (
     is_connected,
 )
 from ..obs import EventLevel, default_registry
-from .apply import apply_delta
+from .apply import RetryPolicy, TransactionalApplier, apply_delta
 from .diff import RuleDelta, diff_plans
-from .plan import RulePlan, compile_plan, snapshot_plan
+from .plan import RulePlan, compile_plan, plan_digests, snapshot_plan
 from .routing_index import RoutingIndex
 
 #: Retained per-event touched-switch history; ``changes_since`` answers
@@ -76,6 +76,50 @@ class ControllerConfig:
     #: Embedding back end: "classical" (the paper's M-position) or
     #: "smacof" (stress majorization, ablation A4).
     embedding: str = "classical"
+
+
+@dataclass
+class ReconcileReport:
+    """Outcome of one anti-entropy reconciliation run.
+
+    ``sweeps`` counts the digest sweeps that shipped at least one
+    resync; ``divergence_window`` (the histogram) observes the same
+    number — how long (in sweeps) divergent state survived.
+    """
+
+    sweeps: int = 0
+    #: Switches diverging from the desired plan when the run started.
+    divergent_initial: int = 0
+    #: Switch resyncs shipped (a switch resynced twice counts twice).
+    resynced: int = 0
+    #: Message retransmissions during resyncs.
+    retries: int = 0
+    #: Southbound transmissions during resyncs.
+    messages: int = 0
+    #: Pending-queue entries drained by this run.
+    drained: int = 0
+    #: Switches skipped because their control channel is severed.
+    unreachable: FrozenSet[int] = frozenset()
+    #: Switches still divergent when the run ended (unreachable ones,
+    #: or ``max_sweeps`` ran out).
+    divergent_final: FrozenSet[int] = frozenset()
+
+    @property
+    def converged(self) -> bool:
+        return not self.divergent_final
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sweeps": self.sweeps,
+            "divergent_initial": self.divergent_initial,
+            "resynced": self.resynced,
+            "retries": self.retries,
+            "messages": self.messages,
+            "drained": self.drained,
+            "unreachable": sorted(self.unreachable),
+            "divergent_final": sorted(self.divergent_final),
+            "converged": self.converged,
+        }
 
 
 class Controller:
@@ -139,6 +183,18 @@ class Controller:
         #: Optional southbound RecordingChannel observing every
         #: rule-install message (control-traffic accounting).
         self.southbound_channel = None
+        #: Optional lossy transport (a :class:`~repro.controlplane.
+        #: channel.FaultyChannel`); when attached, deltas are applied
+        #: transactionally through it with acks and retries.
+        self.transport = None
+        self._applier: Optional[TransactionalApplier] = None
+        #: switch id -> generation of the delta it failed to ack (the
+        #: pending queue; drained by :meth:`reconcile`).
+        self._pending_deltas: Dict[int, int] = {}
+        #: switch id -> generation of the last fully-acked delta.
+        self._ack_generations: Dict[int, int] = {}
+        #: Outcome of the last transactional apply, for introspection.
+        self.last_apply_report = None
         self._routing_index: Optional[RoutingIndex] = None
         #: Full index (re)builds — the churn experiment asserts joins
         #: leave this flat.
@@ -147,6 +203,23 @@ class Controller:
     # ------------------------------------------------------------------
     # main pipeline
     # ------------------------------------------------------------------
+    def attach_transport(self, channel,
+                         policy: Optional[RetryPolicy] = None) -> None:
+        """Route all southbound traffic through a (possibly lossy)
+        control channel.
+
+        ``channel`` is a :class:`~repro.controlplane.channel.
+        FaultyChannel` (or anything with its ``ship``/``is_reachable``
+        surface).  From here on every delta is applied by a
+        :class:`~repro.controlplane.apply.TransactionalApplier`:
+        per-switch transactions with acks, bounded jittered retries,
+        and a pending queue for switches that fail to converge —
+        drained by :meth:`reconcile`.
+        """
+        self.transport = channel
+        self._applier = TransactionalApplier(
+            channel, policy=policy, seed=self.config.seed + 3)
+
     def dt_participants(self) -> List[int]:
         """Switches that host at least one edge server (DT members)."""
         return [node for node in self.topology.nodes()
@@ -288,17 +361,15 @@ class Controller:
             self._global_epoch += 1
             self._routing_index = None
         self._build_switches()
-        desired = compile_plan(
-            self.topology, self.positions, self.dt_adjacency(),
-            server_counts={node: len(self.server_map.get(node, []))
-                           for node in self.topology.nodes()},
-        )
+        desired = self._desired_plan()
         removed = (frozenset(self._plan.plans) - frozenset(desired.plans)
                    if self._plan is not None else frozenset())
         delta = diff_plans(snapshot_plan(self.switches), desired)
         with registry.timer("controlplane.phase.rule_install"):
-            apply_delta(self.switches, delta,
-                        channel=self.southbound_channel)
+            self._apply(delta, generation=self._version + 1)
+        for sid in removed:
+            self._pending_deltas.pop(sid, None)
+            self._ack_generations.pop(sid, None)
         self._plan = desired
         self._version += 1
         if global_event:
@@ -326,6 +397,41 @@ class Controller:
                 len(self.switches))
         return delta
 
+    def _desired_plan(self) -> RulePlan:
+        """Compile the desired plan from the current control view."""
+        return compile_plan(
+            self.topology, self.positions, self.dt_adjacency(),
+            server_counts={node: len(self.server_map.get(node, []))
+                           for node in self.topology.nodes()},
+        )
+
+    def _apply(self, delta: RuleDelta, *, generation: int) -> None:
+        """Ship one delta southbound.
+
+        Without a transport this is the perfect synchronous
+        ``apply_delta``.  With one attached, the delta is applied as
+        per-switch transactions: fully-acked switches advance their ack
+        generation, unconverged ones land on the pending queue (their
+        data plane keeps serving stale rules until :meth:`reconcile`
+        or a later delta converges them).
+        """
+        if self._applier is None:
+            apply_delta(self.switches, delta,
+                        channel=self.southbound_channel)
+            return
+        self.transport.observer = self.southbound_channel
+        report = self._applier.apply(self.switches, delta,
+                                     generation=generation)
+        self.last_apply_report = report
+        for sid in report.acked:
+            self._ack_generations[sid] = generation
+            self._pending_deltas.pop(sid, None)
+        for sid in report.pending:
+            self._pending_deltas[sid] = generation
+        for sid in report.departed:
+            self._pending_deltas.pop(sid, None)
+            self._ack_generations.pop(sid, None)
+
     def _log_change(self, touched: Optional[frozenset]) -> None:
         self._changelog.append((self._version, touched))
         if len(self._changelog) > _CHANGELOG_CAP:
@@ -348,6 +454,116 @@ class Controller:
             index.remove(node)
         for node in sorted(desired - current):
             index.insert(node, self.positions[node])
+
+    # ------------------------------------------------------------------
+    # anti-entropy reconciliation
+    # ------------------------------------------------------------------
+    def _divergent_switches(self, want: Dict[int, str]) -> Set[int]:
+        """Switches whose installed digest differs from the desired
+        one (either direction: wrong state, or state with no desired
+        counterpart)."""
+        have = plan_digests(snapshot_plan(self.switches))
+        return {sid for sid in set(want) | set(have)
+                if have.get(sid) != want.get(sid)}
+
+    def reconcile(self, max_sweeps: int = 8) -> ReconcileReport:
+        """Digest-based anti-entropy: converge live switches to the
+        desired plan.
+
+        Each sweep compares per-switch SHA-256 digests of the desired
+        plan against a fresh snapshot of the live switches and re-ships
+        (via :func:`~repro.controlplane.diff.diff_plans` restricted to
+        the divergent set) exactly the switches that differ — the
+        repair path for faults that survive ack/retry, e.g. a reordered
+        remove/install pair where every message was acked but the final
+        state is wrong, or a delayed stale message clobbering newer
+        rules.  Sweeps repeat until one finds no reachable divergence
+        or ``max_sweeps`` runs out (a resync round over a lossy
+        transport can itself be reordered).  Unreachable switches are
+        skipped — their pending deltas stay queued and drain on a later
+        run after recovery.
+        """
+        from contextlib import nullcontext
+
+        from ..obs.spans import default_recorder
+
+        registry = default_registry()
+        recorder = default_recorder()
+        span = (recorder.span("controlplane.reconcile",
+                              max_sweeps=max_sweeps)
+                if recorder is not None else nullcontext())
+        report = ReconcileReport()
+        with span:
+            # Reconcile against the freshly compiled desired plan, not
+            # the remembered one — the remembered plan is only what the
+            # controller *believes* it installed.
+            desired = self._desired_plan()
+            want = plan_digests(desired)
+            unreachable = (set(self.transport.unreachable_switches)
+                           if self.transport is not None else set())
+            divergent = self._divergent_switches(want)
+            report.divergent_initial = len(divergent)
+            sweeps = 0
+            while divergent - unreachable and sweeps < max_sweeps:
+                reachable = frozenset(divergent - unreachable)
+                delta = diff_plans(snapshot_plan(self.switches),
+                                   desired, only=reachable)
+                if self._applier is not None:
+                    self.transport.observer = self.southbound_channel
+                    apply_report = self._applier.apply(
+                        self.switches, delta, generation=self._version)
+                    report.retries += apply_report.retries
+                    report.messages += apply_report.transmissions
+                else:
+                    report.messages += apply_delta(
+                        self.switches, delta,
+                        channel=self.southbound_channel)
+                report.resynced += len(reachable)
+                sweeps += 1
+                if registry.enabled:
+                    registry.counter(
+                        "controlplane.southbound.resyncs").inc(
+                            len(reachable))
+                divergent = self._divergent_switches(want)
+            report.sweeps = sweeps
+            report.unreachable = frozenset(unreachable)
+            report.divergent_final = frozenset(divergent)
+            # Drain the pending queue: a reachable switch that now
+            # matches its desired digest has caught up with every delta
+            # it ever missed.
+            for sid in sorted(self._pending_deltas):
+                if sid not in self.switches:
+                    self._pending_deltas.pop(sid)
+                    continue
+                if sid not in divergent and sid not in unreachable:
+                    self._pending_deltas.pop(sid)
+                    self._ack_generations[sid] = self._version
+                    report.drained += 1
+        if registry.enabled:
+            registry.histogram(
+                "controlplane.southbound.divergence_window",
+                help="Anti-entropy sweeps needed to reconverge",
+                buckets=(0, 1, 2, 3, 4, 6, 8, 12),
+            ).observe(sweeps)
+            registry.event("reconcile",
+                           sweeps=sweeps,
+                           divergent_initial=report.divergent_initial,
+                           resynced=report.resynced,
+                           drained=report.drained,
+                           converged=report.converged)
+        return report
+
+    @property
+    def pending_deltas(self) -> Dict[int, int]:
+        """Switches with an unacked delta: id -> the generation whose
+        transaction failed to converge (copy)."""
+        return dict(self._pending_deltas)
+
+    @property
+    def ack_generations(self) -> Dict[int, int]:
+        """Per-switch generation of the last fully-acked transactional
+        delta (copy; empty until a transport is attached)."""
+        return dict(self._ack_generations)
 
     # ------------------------------------------------------------------
     # range extension (paper Section V-B)

@@ -55,23 +55,30 @@ class RuleDelta:
         return not self.messages and not self.removed
 
 
-def diff_plans(old: Optional[RulePlan], new: RulePlan) -> RuleDelta:
+def diff_plans(old: Optional[RulePlan], new: RulePlan,
+               only: Optional[FrozenSet[int]] = None) -> RuleDelta:
     """Messages converging the ``old`` plan's state to ``new``'s.
 
     ``old`` may be ``None`` (nothing installed): every switch gets a
     full install.  Switches only in ``old`` are reported in
-    ``removed``.
+    ``removed``.  ``only`` restricts the diff to a switch subset — the
+    anti-entropy sweep re-ships exactly the digest-divergent switches
+    and nothing else (``removed`` is filtered the same way).
     """
     old_plans = old.plans if old is not None else {}
     messages: List[SouthboundMessage] = []
     touched: List[int] = []
     for switch_id in sorted(new.plans):
+        if only is not None and switch_id not in only:
+            continue
         switch_messages = _switch_messages(
             old_plans.get(switch_id), new.plans[switch_id])
         if switch_messages:
             touched.append(switch_id)
             messages.extend(switch_messages)
     removed = frozenset(old_plans) - frozenset(new.plans)
+    if only is not None:
+        removed = removed & only
     return RuleDelta(messages=tuple(messages),
                      touched=frozenset(touched),
                      removed=frozenset(removed))

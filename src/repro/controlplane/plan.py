@@ -24,6 +24,7 @@ installed — out-of-band table mutations are repaired, not preserved.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
@@ -137,6 +138,33 @@ def compile_plan(
                          else server_counts.get(node, 0)),
         )
     return RulePlan(plans=plans)
+
+
+def switch_digest(plan: SwitchPlan) -> str:
+    """Content hash of one switch's forwarding state.
+
+    Two plans (or a plan and a :func:`snapshot_plan` row) digest
+    equally iff their installed state is byte-identical — the
+    anti-entropy comparison unit: the controller compares per-switch
+    digests of desired vs installed state and re-ships only the
+    switches whose digests diverge.
+    """
+    rows = (
+        plan.switch,
+        plan.position,
+        plan.ports,
+        plan.candidates,
+        plan.dt_neighbors,
+        tuple((e.sour, e.pred, e.succ, e.dest) for e in plan.virtuals),
+        plan.num_servers,
+    )
+    return hashlib.sha256(repr(rows).encode("utf-8")).hexdigest()
+
+
+def plan_digests(plan: RulePlan) -> Dict[int, str]:
+    """Per-switch digests of a whole plan (switch id -> hex digest)."""
+    return {switch_id: switch_digest(switch_plan)
+            for switch_id, switch_plan in plan.plans.items()}
 
 
 def snapshot_plan(switches: Dict[int, GredSwitch]) -> RulePlan:

@@ -129,17 +129,38 @@ class RecordingChannel:
     def send(self, message: SouthboundMessage) -> None:
         self.messages.append(message)
 
-    def count(self, message_type=None) -> int:
-        if message_type is None:
-            return len(self.messages)
-        return sum(1 for m in self.messages
-                   if isinstance(m, message_type))
+    def count(self, message_type=None, *, exclude=()) -> int:
+        """Recorded messages, optionally restricted by type.
 
-    def per_switch(self) -> Dict[int, int]:
+        ``message_type`` keeps only instances of that type (or tuple of
+        types); ``exclude`` drops instances of the given type(s) — e.g.
+        ``count(exclude=(Probe,))`` counts rule traffic without the
+        failure detector's liveness probes.
+        """
+        return len(self.filtered(message_type, exclude=exclude))
+
+    def per_switch(self, message_type=None,
+                   *, exclude=()) -> Dict[int, int]:
+        """Per-switch message counts, with the same filters as
+        :meth:`count`."""
         counts: Dict[int, int] = {}
-        for message in self.messages:
+        for message in self.filtered(message_type, exclude=exclude):
             counts[message.switch] = counts.get(message.switch, 0) + 1
         return counts
+
+    def filtered(self, message_type=None,
+                 *, exclude=()) -> List[SouthboundMessage]:
+        """The recorded messages matching the type filters, in order."""
+        messages = list(self.messages)
+        if message_type is not None:
+            messages = [m for m in messages
+                        if isinstance(m, message_type)]
+        if exclude:
+            excluded = (exclude if isinstance(exclude, tuple)
+                        else tuple(exclude))
+            messages = [m for m in messages
+                        if not isinstance(m, excluded)]
+        return messages
 
     def clear(self) -> None:
         self.messages.clear()
@@ -147,8 +168,26 @@ class RecordingChannel:
 
 def apply_message(switches: Dict[int, GredSwitch],
                   message: SouthboundMessage) -> None:
-    """Apply one message to the data plane."""
-    switch = switches[message.switch]
+    """Apply one message to the data plane.
+
+    Raises
+    ------
+    repro.core.GredError
+        If the message targets a switch absent from ``switches`` —
+        e.g. a message delivered after ``remove_switch`` retired its
+        target.  Reliable senders (the transactional applier, the
+        faulty channel) treat departed targets as acked no-ops instead
+        of calling this.
+    """
+    switch = switches.get(message.switch)
+    if switch is None:
+        from ..core import GredError
+
+        raise GredError(
+            f"southbound {type(message).__name__} targets unknown "
+            f"switch {message.switch} (departed or never joined); "
+            f"message: {message!r}"
+        )
     if isinstance(message, SetPosition):
         switch.install_position(message.position)
     elif isinstance(message, ClearDtState):

@@ -25,7 +25,12 @@ Checked invariants:
 7. every switch's installed port map equals the deterministic
    compiler's output for the current topology, exactly — a stale
    entry for a removed link or a missing entry for a new one means a
-   delta update retracted too little or installed too few rules.
+   delta update retracted too little or installed too few rules;
+8. (with ``desired_plan``) every switch's installed-state digest
+   equals the desired plan's — the anti-entropy comparison: a
+   mismatch means southbound faults (loss, reordering, stale delayed
+   messages) left divergent state that ``Controller.reconcile`` has
+   not yet repaired.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from .controller import Controller
+from .plan import RulePlan, plan_digests, snapshot_plan
 
 
 @dataclass(frozen=True)
@@ -51,12 +57,15 @@ class Violation:
 def verify_installed_state(
     controller: Controller,
     fault_state: Optional[object] = None,
+    desired_plan: Optional[RulePlan] = None,
 ) -> List[Violation]:
     """Audit the data-plane state against the controller's intent.
 
     With ``fault_state`` (a :class:`repro.faults.FaultState`), also
     flag rules that reference crashed switches as ``dead-reference``
-    violations; without it the audit is unchanged.
+    violations; with ``desired_plan``, also compare per-switch
+    installed-state digests against the plan and flag divergence as
+    ``digest-mismatch``; without them the audit is unchanged.
     """
     violations: List[Violation] = []
     topology = controller.topology
@@ -136,6 +145,31 @@ def verify_installed_state(
     # 6. nothing references a crashed switch.
     if fault_state is not None:
         violations.extend(_verify_liveness(controller, fault_state))
+    # 8. installed digests match the desired plan (anti-entropy view).
+    if desired_plan is not None:
+        violations.extend(_verify_digests(controller, desired_plan))
+    return violations
+
+
+def _verify_digests(controller: Controller,
+                    desired_plan: RulePlan) -> List[Violation]:
+    """Flag switches whose installed-state digest diverges from the
+    desired plan's — in either direction."""
+    violations: List[Violation] = []
+    want = plan_digests(desired_plan)
+    have = plan_digests(snapshot_plan(controller.switches))
+    for switch_id in sorted(set(want) | set(have)):
+        if want.get(switch_id) == have.get(switch_id):
+            continue
+        if switch_id not in have:
+            detail = "desired plan has no installed counterpart"
+        elif switch_id not in want:
+            detail = "installed state has no desired counterpart"
+        else:
+            detail = (f"installed digest {have[switch_id][:12]} != "
+                      f"desired {want[switch_id][:12]}")
+        violations.append(Violation("digest-mismatch", switch_id,
+                                    detail))
     return violations
 
 

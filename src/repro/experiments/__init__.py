@@ -29,6 +29,7 @@ from .ablations import (
     run_topology_families,
 )
 from .control_churn import run_control_churn
+from .convergence import run_convergence
 from .extensions import (
     run_adaptive_replication,
     run_failure_availability,
@@ -67,6 +68,7 @@ __all__ = [
     "run_embedding_methods",
     "run_saturation",
     "run_control_churn",
+    "run_convergence",
     "run_adaptive_replication",
     "run_ght_comparison",
     "run_topology_families",

@@ -97,6 +97,7 @@ def run_control_churn(
     from ..controlplane import Controller, ControllerConfig
 
     from ..controlplane import RecordingChannel
+    from ..controlplane.southbound import Probe
 
     rows = []
     # ---------------- GRED ------------------------------------------
@@ -128,8 +129,12 @@ def run_control_churn(
             servers=[EdgeServer(new_id, s)
                      for s in range(servers_per_switch)],
         )
-        messages_total += channel.count()
-        switches_messaged_total += len(channel.per_switch())
+        # Exclude liveness probes: the row reports rule traffic, and a
+        # failure-detector sweep sharing the channel must not inflate
+        # the join's apparent cost.
+        messages_total += channel.count(exclude=(Probe,))
+        switches_messaged_total += len(
+            channel.per_switch(exclude=(Probe,)))
         after = {
             sid: _gred_switch_state(sw)
             for sid, sw in controller.switches.items()
@@ -212,6 +217,7 @@ def run_churn_scaling(
       its generation counter bumped.
     """
     from ..controlplane import RecordingChannel, compile_messages
+    from ..controlplane.southbound import Probe
     from ..core import GredNetwork
 
     rows: List[Dict] = []
@@ -259,8 +265,8 @@ def run_churn_scaling(
                 servers=[EdgeServer(new_id, s)
                          for s in range(servers_per_switch)],
             )
-            delta_messages.append(channel.count())
-            touched = set(channel.per_switch())
+            delta_messages.append(channel.count(exclude=(Probe,)))
+            touched = set(channel.per_switch(exclude=(Probe,)))
             touched_counts.append(len(touched))
             # The pre-refactor path cleared and reinstalled every
             # switch: its cost is the full compiled message sequence

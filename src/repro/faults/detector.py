@@ -116,6 +116,7 @@ class FailureDetector:
         from ..controlplane.southbound import Probe
 
         controller = self.net.controller
+        transport = getattr(controller, "transport", None)
         dead_switches: List[int] = []
         probes = 0
         for switch_id in sorted(controller.switches):
@@ -124,6 +125,14 @@ class FailureDetector:
             probes += 1
             if not self.state.switch_alive(switch_id):
                 dead_switches.append(switch_id)
+                # Sever the southbound channel: nothing more is shipped
+                # to the corpse; its delta lands on the pending queue.
+                if transport is not None:
+                    transport.mark_unreachable(switch_id)
+            elif transport is not None:
+                # A switch answering probes is reachable again — its
+                # queued deltas drain on the next reconcile.
+                transport.mark_reachable(switch_id)
         dead_set = set(dead_switches)
         dead_links: List[Tuple[int, int]] = []
         for u, v, _ in controller.topology.edges():
@@ -171,6 +180,13 @@ class FailureDetector:
         if detection.dead_switches or detection.dead_links:
             report.stranded_switches = controller.absorb_failures(
                 detection.dead_switches, detection.dead_links)
+            transport = getattr(controller, "transport", None)
+            if transport is not None:
+                # Absorbed switches no longer exist — drop their
+                # unreachable marks so the set only names live outages.
+                for switch_id in (detection.dead_switches
+                                  + report.stranded_switches):
+                    transport.mark_reachable(switch_id)
             for switch_id in detection.dead_switches:
                 self.state.crashed_switches.discard(switch_id)
             for link in detection.dead_links:

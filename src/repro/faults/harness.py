@@ -59,6 +59,12 @@ class ChaosConfig:
     #: Faults to inject; ``None`` crashes one random switch at
     #: ``duration / 2``.
     plan: Optional[FaultPlan] = None
+    #: Control-channel faults (``control_*`` events) applied *before*
+    #: the load window: the whole run, including repair, then goes
+    #: through a lossy southbound channel, and the harness finishes
+    #: with an anti-entropy reconcile whose outcome lands in the
+    #: report's ``southbound`` section.
+    control_plan: Optional[FaultPlan] = None
     #: Length of the request window in simulated seconds.
     duration: float = 1.0
     #: Heartbeat period of the failure detector.
@@ -91,6 +97,8 @@ class ChaosConfig:
             "seed": self.seed,
             "duration": self.duration,
             "detection_interval": self.detection_interval,
+            "control_plan": (self.control_plan.to_dict()
+                             if self.control_plan is not None else None),
         }
 
 
@@ -162,6 +170,10 @@ def _run_chaos(config: ChaosConfig,
 
     # -- faults under load ----------------------------------------------
     injector = FaultInjector(net, seed=config.seed + 1)
+    if config.control_plan is not None:
+        # Degrade the southbound channel up front: every rule install
+        # from here on (repair included) rides the lossy transport.
+        injector.apply_plan(config.control_plan)
     plan = config.plan
     if plan is None:
         plan = FaultPlan([FaultEvent(
@@ -209,6 +221,21 @@ def _run_chaos(config: ChaosConfig,
         "southbound_messages": channel.count(),
     }
 
+    # -- anti-entropy reconcile -----------------------------------------
+    # Under a lossy control channel the repair's rule installs may
+    # themselves have been dropped or reordered; a reconcile sweep
+    # repairs whatever divergence survived the retries.
+    transport = getattr(net.controller, "transport", None)
+    southbound_summary = None
+    if transport is not None:
+        reconcile = net.controller.reconcile()
+        southbound_summary = {
+            "channel": transport.stats.to_dict(),
+            "reconcile": reconcile.to_dict(),
+            "pending_after_reconcile": sorted(
+                net.controller.pending_deltas),
+        }
+
     # -- recovered pass -------------------------------------------------
     # Same entry-point RNG seed as the baseline pass, so the hop
     # comparison reflects the repaired routes, not different entries.
@@ -220,8 +247,10 @@ def _run_chaos(config: ChaosConfig,
         / baseline["mean_round_trip_hops"]
         if baseline["mean_round_trip_hops"] else 1.0)
     registry.gauge("faults.hop_inflation").set(hop_inflation)
-    violations = verify_installed_state(net.controller,
-                                        fault_state=injector.state)
+    violations = verify_installed_state(
+        net.controller, fault_state=injector.state,
+        desired_plan=(net.controller._desired_plan()
+                      if transport is not None else None))
 
     return {
         "config": config.to_dict(),
@@ -229,6 +258,7 @@ def _run_chaos(config: ChaosConfig,
         "baseline": baseline,
         "under_faults": under_faults,
         "repair": repair_summary,
+        "southbound": southbound_summary,
         "recovered": recovered,
         # Headline figures (acceptance criteria of the chaos command).
         "availability": recovered["availability"],
@@ -237,5 +267,8 @@ def _run_chaos(config: ChaosConfig,
         "hop_inflation": hop_inflation,
         "recovery_time": repair.recovery_time,
         "verifier_violations": len(violations),
+        "post_reconcile_divergence": (
+            len(southbound_summary["reconcile"]["divergent_final"])
+            if southbound_summary is not None else 0),
         "faults_metrics": _faults_counters(registry),
     }

@@ -38,6 +38,7 @@ class FaultInjector:
         self.net = net
         self.state: FaultState = FaultState()
         net.fault_state = self.state
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.applied: List[FaultEvent] = []
 
@@ -56,6 +57,14 @@ class FaultInjector:
                 event.u, event.v, event.probability),
             "slow_link": lambda: self.set_slow_link(
                 event.u, event.v, event.factor),
+            "control_drop": lambda: self.set_control_fault(
+                drop=event.probability),
+            "control_dup": lambda: self.set_control_fault(
+                dup=event.probability),
+            "control_delay": lambda: self.set_control_fault(
+                delay=event.probability),
+            "control_reorder": lambda: self.set_control_fault(
+                reorder_window=event.window),
         }
         handlers[event.kind]()
         self.applied.append(event)
@@ -191,6 +200,43 @@ class FaultInjector:
         registry = default_registry()
         if registry.enabled:
             registry.counter("faults.slow_links").inc()
+
+    def _ensure_transport(self):
+        """The controller's lossy southbound transport, attached on
+        first use (seeded from the injector's seed so two runs with the
+        same seeds inject identical channel faults)."""
+        controller = self.net.controller
+        if controller.transport is None:
+            from ..controlplane.channel import FaultyChannel
+
+            controller.attach_transport(
+                FaultyChannel(seed=self.seed + 1))
+        return controller.transport
+
+    def set_control_fault(self, *, drop=None, dup=None, delay=None,
+                          reorder_window=None) -> None:
+        """Degrade the controller's southbound channel.
+
+        Attaches a :class:`~repro.controlplane.channel.FaultyChannel`
+        to the controller on first use (all southbound traffic from
+        then on goes through the transactional applier), then sets the
+        given knobs; ``None`` leaves a knob unchanged.
+        """
+        from ..controlplane.channel import ControlChannelError
+
+        transport = self._ensure_transport()
+        try:
+            transport.configure(drop=drop, dup=dup, delay=delay,
+                                reorder_window=reorder_window)
+        except ControlChannelError as exc:
+            raise FaultPlanError(str(exc)) from exc
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("faults.control_faults").inc()
+        registry.event("control_fault", level=EventLevel.WARNING,
+                       drop=transport.drop, dup=transport.dup,
+                       delay=transport.delay,
+                       reorder_window=transport.reorder_window)
 
     # ------------------------------------------------------------------
     # helpers

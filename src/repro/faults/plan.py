@@ -12,6 +12,15 @@ packet simulator's clock (crash-under-load).  Event kinds::
     {"time": 0.1, "kind": "packet_loss", "u": 0, "v": 3,
      "probability": 0.2}
     {"time": 0.1, "kind": "slow_link",   "u": 0, "v": 3, "factor": 4.0}
+
+Control-channel fault kinds degrade the controller's *southbound*
+channel instead of the data plane (the injector routes them to the
+controller's :class:`~repro.controlplane.channel.FaultyChannel`)::
+
+    {"time": 0.0, "kind": "control_drop",    "probability": 0.2}
+    {"time": 0.0, "kind": "control_dup",     "probability": 0.05}
+    {"time": 0.0, "kind": "control_delay",   "probability": 0.1}
+    {"time": 0.0, "kind": "control_reorder", "window": 4}
 """
 
 from __future__ import annotations
@@ -33,6 +42,10 @@ FAULT_KINDS: Dict[str, tuple] = {
     "link_up": ("u", "v"),
     "packet_loss": ("u", "v", "probability"),
     "slow_link": ("u", "v", "factor"),
+    "control_drop": ("probability",),
+    "control_dup": ("probability",),
+    "control_delay": ("probability",),
+    "control_reorder": ("window",),
 }
 
 
@@ -48,6 +61,7 @@ class FaultEvent:
     v: Optional[int] = None
     probability: Optional[float] = None
     factor: Optional[float] = None
+    window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -74,6 +88,11 @@ class FaultEvent:
         if self.factor is not None and self.factor < 1.0:
             raise FaultPlanError(
                 f"slow_link factor must be >= 1, got {self.factor}")
+        if self.window is not None and (
+                not isinstance(self.window, int) or self.window < 1):
+            raise FaultPlanError(
+                f"control_reorder window must be an int >= 1, got "
+                f"{self.window!r}")
 
     def to_dict(self) -> Dict:
         record: Dict = {"time": self.time, "kind": self.kind}
@@ -89,7 +108,7 @@ class FaultEvent:
                 f"{sorted(record)}"
             )
         known = {"time", "kind", "switch", "serial", "u", "v",
-                 "probability", "factor"}
+                 "probability", "factor", "window"}
         unknown = sorted(set(record) - known)
         if unknown:
             raise FaultPlanError(

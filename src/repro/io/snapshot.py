@@ -110,6 +110,21 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
                 for switch, generation
                 in sorted(controller.generations.items())
             },
+            # Southbound reliability state: the pending-delta queue
+            # (switches that never acked a delta) and the per-switch
+            # ack generations survive a controller crash/restart, so
+            # the restored controller knows exactly who still needs a
+            # reconcile instead of assuming the world converged.
+            "pending": {
+                str(switch): generation
+                for switch, generation
+                in sorted(controller.pending_deltas.items())
+            },
+            "ack_generations": {
+                str(switch): generation
+                for switch, generation
+                in sorted(controller.ack_generations.items())
+            },
         },
     }
     fault = net.fault_state
@@ -236,6 +251,16 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
             in controlplane.get("generations", {}).items()
         }
         controller._changelog = []
+        controller._pending_deltas = {
+            int(switch): int(generation)
+            for switch, generation
+            in controlplane.get("pending", {}).items()
+        }
+        controller._ack_generations = {
+            int(switch): int(generation)
+            for switch, generation
+            in controlplane.get("ack_generations", {}).items()
+        }
     for ext in snapshot.get("extensions", []):
         from ..dataplane import ExtensionEntry
 
