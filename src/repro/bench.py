@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +69,33 @@ class BenchConfig:
         """CI smoke preset: a tiny topology and workload (~seconds)."""
         return cls(switches=24, requests=400, cvt_iterations=5,
                    repeats=2)
+
+
+@dataclass
+class ScalingConfig:
+    """Grid for :func:`run_scaling`: switches x batch sizes x worker
+    counts, with replica fan-out (``copies``) exercised throughout."""
+
+    switches: Tuple[int, ...] = (100, 200)
+    batches: Tuple[int, ...] = (2_000, 10_000)
+    workers: Tuple[int, ...] = (1, 2, 4)
+    copies: int = 2
+    servers_per_switch: int = 4
+    min_degree: int = 3
+    cvt_iterations: int = 20
+    seed: int = 0
+    repeats: int = 2
+    #: Cap on the scalar-reference workload (the reference loop is two
+    #: orders of magnitude slower; its rps does not depend on how long
+    #: it runs).
+    reference_requests: int = 2_000
+
+    @classmethod
+    def quick(cls) -> "ScalingConfig":
+        """CI smoke preset (~seconds)."""
+        return cls(switches=(24,), batches=(400,), workers=(1, 2),
+                   cvt_iterations=5, repeats=1,
+                   reference_requests=400)
 
 
 def _percentile_us(samples: List[float], q: float) -> float:
@@ -104,9 +132,13 @@ class _Round:
     per_op: List[float] = field(default_factory=list)
 
 
-def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
+def run_bench(config: Optional[BenchConfig] = None,
+              scaling: Optional[ScalingConfig] = None
+              ) -> Dict[str, Any]:
     """Run the fast-path benchmark; returns the report dict
-    (``format: gred-bench-v1``)."""
+    (``format: gred-bench-v1``).  When ``scaling`` is given, the
+    report additionally carries the :func:`run_scaling` sweep under
+    ``"scaling"``."""
     from .core.network import GredNetwork
     from .edge import attach_uniform
     from .topology import brite_waxman_graph
@@ -219,7 +251,7 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
             "batch_speedup": scalar_best.seconds / batch_best.seconds,
         }
 
-    return {
+    report = {
         "format": "gred-bench-v1",
         "generated_unix": time.time(),
         "config": {
@@ -246,6 +278,176 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, Any]:
         "retrieval": section(get_rounds),
         "telemetry": telemetry,
         "equivalence": equivalence,
+    }
+    if scaling is not None:
+        report["scaling"] = run_scaling(scaling)
+    return report
+
+
+def run_scaling(config: Optional[ScalingConfig] = None
+                ) -> Dict[str, Any]:
+    """Scaling sweep of the batch pipeline: switches x batch size x
+    worker count, replica fan-out included.
+
+    For every topology size the sweep first measures the scalar
+    reference loop and verifies **in-run** that the batch pipeline —
+    at every worker count — returns byte-identical outcomes and load
+    vectors; the grid rows then time ``place_many`` /
+    ``retrieve_many`` (best of ``repeats``) and record the wave count
+    as proof the vectorized walker (not the scalar fallback) routed
+    the batch.
+
+    ``workers == 1`` runs the in-process wave router; ``workers > 1``
+    shards the batch across a :class:`~repro.dataplane.shard
+    .ShardPool`.  Worker sharding only pays on multi-core hosts —
+    ``summary.host_cpus`` records what this run had, and
+    ``speedup_vs_single_worker`` is expected to hover near (or below)
+    1.0 on a single-core host while ``speedup_vs_scalar`` reflects
+    the vectorization win that needs no extra cores.
+    """
+    from .core.network import GredNetwork
+    from .dataplane import batch_fastpath_blockers
+    from .edge import attach_uniform
+    from .topology import brite_waxman_graph
+
+    config = config or ScalingConfig()
+    perf = time.perf_counter
+    rows: List[Dict[str, Any]] = []
+    reference: Dict[str, Any] = {}
+    equivalence_ok = True
+    fanout_vectorized = True
+    gc_was_enabled = gc.isenabled()
+    try:
+        for switches in config.switches:
+            topology, _ = brite_waxman_graph(
+                switches, min_degree=config.min_degree,
+                rng=np.random.default_rng(config.seed),
+            )
+
+            def build() -> GredNetwork:
+                return GredNetwork(
+                    topology,
+                    attach_uniform(
+                        topology.nodes(),
+                        servers_per_switch=config.servers_per_switch),
+                    cvt_iterations=config.cvt_iterations,
+                    seed=config.seed,
+                )
+
+            scalar_net = build()
+            net = build()
+
+            # Scalar reference (capped: rps is workload-independent).
+            ref_n = min(max(config.batches), config.reference_requests)
+            ref_ids = [f"scale/ref/{i}" for i in range(ref_n)]
+            rng = np.random.default_rng(config.seed + 1)
+            gc.collect()
+            gc.disable()
+            start = perf()
+            expected = [scalar_net.place(d, copies=config.copies,
+                                         rng=rng) for d in ref_ids]
+            scalar_seconds = perf() - start
+            gc.enable()
+            reference[str(switches)] = {
+                "requests": ref_n,
+                "place_rps": ref_n / scalar_seconds,
+            }
+
+            # In-run equivalence: every worker count must reproduce
+            # the scalar outcomes byte for byte.
+            for w in config.workers:
+                eq_net = build()
+                rng = np.random.default_rng(config.seed + 1)
+                got = eq_net.place_many(
+                    ref_ids, copies=config.copies, rng=rng,
+                    workers=None if w <= 1 else w)
+                if (got != expected or eq_net.load_vector()
+                        != scalar_net.load_vector()):
+                    equivalence_ok = False
+                eq_net.close_worker_pools()
+
+            for batch in config.batches:
+                for w in config.workers:
+                    workers = None if w <= 1 else w
+                    best_place = best_get = None
+                    waves = 0
+                    for repeat in range(config.repeats):
+                        ids = [f"scale/{switches}/{batch}/{w}/"
+                               f"{repeat}/{i}" for i in range(batch)]
+                        rng = np.random.default_rng(config.seed + 2)
+                        gc.collect()
+                        gc.disable()
+                        start = perf()
+                        net.place_many(ids, copies=config.copies,
+                                       rng=rng, workers=workers)
+                        mid = perf()
+                        net.retrieve_many(ids, copies=config.copies,
+                                          rng=rng, workers=workers)
+                        end = perf()
+                        gc.enable()
+                        place, get = mid - start, end - mid
+                        if best_place is None or place < best_place:
+                            best_place = place
+                        if best_get is None or get < best_get:
+                            best_get = get
+                        waves = max(
+                            waves,
+                            net._fastpath.router.last_batch_waves)
+                    fallback = (bool(batch_fastpath_blockers(net))
+                                or waves <= 0)
+                    if fallback:
+                        fanout_vectorized = False
+                    rows.append({
+                        "switches": switches,
+                        "batch": batch,
+                        "workers": w,
+                        "copies": config.copies,
+                        "place_rps": batch / best_place,
+                        "retrieve_rps": batch / best_get,
+                        "batch_waves": int(waves),
+                        "scalar_fallback": fallback,
+                    })
+            net.close_worker_pools()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    top_switches = max(config.switches)
+    top_batch = max(config.batches)
+    top_rows = [r for r in rows if r["switches"] == top_switches
+                and r["batch"] == top_batch]
+    scalar_rps = reference[str(top_switches)]["place_rps"]
+    best_place_rps = max(r["place_rps"] for r in top_rows)
+    single = next((r for r in top_rows if r["workers"] == 1), None)
+    multi = [r for r in top_rows if r["workers"] > 1]
+    summary = {
+        "speedup_vs_scalar_place": best_place_rps / scalar_rps,
+        "speedup_vs_single_worker": (
+            max(r["place_rps"] for r in multi) / single["place_rps"]
+            if single is not None and multi else None),
+        "replica_fanout_vectorized": fanout_vectorized,
+        "equivalence_verified": equivalence_ok,
+        "host_cpus": os.cpu_count(),
+        "note": ("speedup_vs_scalar_place is the vectorization win "
+                 "over the per-request reference loop; "
+                 "speedup_vs_single_worker only exceeds 1.0 when "
+                 "host_cpus gives the shard workers real cores"),
+    }
+    return {
+        "config": {
+            "switches": list(config.switches),
+            "batches": list(config.batches),
+            "workers": list(config.workers),
+            "copies": config.copies,
+            "servers_per_switch": config.servers_per_switch,
+            "min_degree": config.min_degree,
+            "cvt_iterations": config.cvt_iterations,
+            "seed": config.seed,
+            "repeats": config.repeats,
+        },
+        "scalar_reference": reference,
+        "rows": rows,
+        "summary": summary,
     }
 
 
@@ -361,6 +563,24 @@ def render_summary(report: Dict[str, Any]) -> str:
     ok = all(eq.values())
     lines.append(f"equivalence     : "
                  f"{'identical outcomes' if ok else 'MISMATCH ' + str(eq)}")
+    scaling = report.get("scaling")
+    if scaling is not None:
+        summary = scaling["summary"]
+        lines.append(
+            f"scaling         : x{summary['speedup_vs_scalar_place']:.1f}"
+            f" vs scalar loop, "
+            f"{'vectorized fan-out' if summary['replica_fanout_vectorized'] else 'SCALAR FALLBACK'}, "
+            f"{'equivalence verified' if summary['equivalence_verified'] else 'EQUIVALENCE MISMATCH'}"
+            f" ({summary['host_cpus']} cpu)"
+        )
+        for row in scaling["rows"]:
+            lines.append(
+                f"  {row['switches']:>4} sw | batch {row['batch']:>6}"
+                f" | workers {row['workers']} | place "
+                f"{row['place_rps']:>9,.0f} rps | retrieve "
+                f"{row['retrieve_rps']:>9,.0f} rps | "
+                f"{row['batch_waves']} waves"
+            )
     return "\n".join(lines)
 
 

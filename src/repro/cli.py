@@ -298,6 +298,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "slows the batch path by more than this "
                             "fraction, or forces the scalar fallback "
                             "(CI gate)")
+    bench.add_argument("--scaling", action="store_true",
+                       help="additionally run the switches x batch x "
+                            "workers scaling sweep (replica fan-out, "
+                            "worker-sharded routing) and attach it to "
+                            "the report; exits nonzero when the sweep "
+                            "hits the scalar fallback or an "
+                            "equivalence mismatch")
+    bench.add_argument("--scaling-switches", type=int, nargs="+",
+                       default=None, metavar="N",
+                       help="topology sizes for the scaling sweep "
+                            "(default: 100 200)")
+    bench.add_argument("--scaling-batches", type=int, nargs="+",
+                       default=None, metavar="K",
+                       help="batch sizes for the scaling sweep "
+                            "(default: 2000 10000)")
+    bench.add_argument("--scaling-workers", type=int, nargs="+",
+                       default=None, metavar="W",
+                       help="worker counts for the scaling sweep; 1 = "
+                            "in-process (default: 1 2 4)")
+    bench.add_argument("--scaling-copies", type=int, default=None,
+                       metavar="C",
+                       help="replica fan-out for the scaling sweep "
+                            "(default: 2)")
 
     churn = sub.add_parser(
         "churn",
@@ -908,7 +931,8 @@ def _cmd_loadtest(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .bench import BenchConfig, render_summary, run_bench, write_report
+    from .bench import (BenchConfig, ScalingConfig, render_summary,
+                        run_bench, write_report)
 
     if args.quick:
         config = BenchConfig.quick()
@@ -925,7 +949,20 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             chunks=args.chunks,
         )
-    report = run_bench(config)
+    scaling = None
+    if args.scaling:
+        scaling = (ScalingConfig.quick() if args.quick
+                   else ScalingConfig())
+        scaling.seed = args.seed
+        if args.scaling_switches is not None:
+            scaling.switches = tuple(args.scaling_switches)
+        if args.scaling_batches is not None:
+            scaling.batches = tuple(args.scaling_batches)
+        if args.scaling_workers is not None:
+            scaling.workers = tuple(args.scaling_workers)
+        if args.scaling_copies is not None:
+            scaling.copies = args.scaling_copies
+    report = run_bench(config, scaling=scaling)
     write_report(report, args.output)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -933,6 +970,17 @@ def _cmd_bench(args) -> int:
         print(render_summary(report))
     print(f"wrote {args.output}")
     failed = not all(report["equivalence"].values())
+    if args.scaling:
+        summary = report["scaling"]["summary"]
+        if not summary["replica_fanout_vectorized"]:
+            print("error: the scaling sweep degraded to the scalar "
+                  "fallback (no wave-router waves recorded)",
+                  file=sys.stderr)
+            failed = True
+        if not summary["equivalence_verified"]:
+            print("error: a scaling-sweep batch diverged from the "
+                  "scalar reference loop", file=sys.stderr)
+            failed = True
     if args.max_telemetry_overhead is not None:
         telemetry = report["telemetry"]
         if not telemetry["vectorized"]:

@@ -45,6 +45,7 @@ from ..hashing import (
     data_position,
     positions_from_digests,
     replica_id,
+    replica_ids_flat,
     serials_from_digests,
     sha256_digests,
 )
@@ -651,10 +652,15 @@ class GredNetwork:
         fallback: the batch paths emit the same aggregates with numpy
         reductions (see ``_emit_place_telemetry`` /
         ``_emit_retrieve_telemetry``), byte-equal to a scalar run.
+
+        Evaluates the same ``FASTPATH_GATES`` list as
+        :func:`~repro.dataplane.fastpath.batch_fastpath_blockers`, so
+        the boolean gate and the operator-facing reason list cannot
+        drift apart.
         """
-        return (self.fault_state is None
-                and getattr(self, "_position_fn", None) is data_position
-                and not self._resilience_blocks_fastpath())
+        from ..dataplane.fastpath import fastpath_usable
+
+        return fastpath_usable(self)
 
     def _count_standdown(self) -> None:
         """Structured why-not-fast-path telemetry: one counter per
@@ -671,13 +677,37 @@ class GredNetwork:
                 reason=reason.replace(" ", "_"),
             ).inc()
 
+    def _shard_pool(self, workers: int):
+        """The sticky worker pool for ``workers`` shards (created on
+        first use, reused across batches and epochs)."""
+        pools = getattr(self, "_shard_pools", None)
+        if pools is None:
+            pools = self._shard_pools = {}
+        pool = pools.get(workers)
+        if pool is None:
+            from ..dataplane.shard import ShardPool
+
+            pool = pools[workers] = ShardPool(workers)
+        return pool
+
+    def close_worker_pools(self) -> None:
+        """Stop any routing worker pools started by ``workers=`` batch
+        calls and release their shared-memory plane snapshots."""
+        pools = getattr(self, "_shard_pools", None)
+        if not pools:
+            return
+        for pool in pools.values():
+            pool.close()
+        pools.clear()
+
     def _fast_routes(self, state: _FastPathState,
                      flat_entries: Sequence[int],
                      flat_ids: Sequence[str],
                      positions: np.ndarray, serial_u64s: np.ndarray,
                      flats: Sequence[int],
                      max_hops: Optional[int] = None,
-                     stats_out: Optional[List[Any]] = None) -> List[Any]:
+                     stats_out: Optional[List[Any]] = None,
+                     workers: Optional[int] = None) -> List[Any]:
         """Routes for the flat request indices ``flats``, combining the
         per-epoch LRU cache with one wave-routed batch for the misses.
 
@@ -724,12 +754,33 @@ class GredNetwork:
                     stats.append(stat_cache.get(key, (0, 0, 0)))
         if misses:
             idx = np.asarray(misses, dtype=np.intp)
-            outcomes = state.router.route_batch(
-                [flat_entries[f] for f in misses],
-                [flat_ids[f] for f in misses],
-                positions[idx, 0], positions[idx, 1],
-                serial_u64s[idx], max_hops=max_hops,
-            )
+            hop_bound = (max_hops if max_hops is not None
+                         else state.router._default_max_hops)
+            worker_waves: Optional[List[int]] = None
+            if workers is not None and workers > 1:
+                pool = self._shard_pool(workers)
+                pool.sync(state.router, (state.epoch, state.version))
+                packed = pool.route_batch_packed(
+                    np.asarray([flat_entries[f] for f in misses],
+                               dtype=np.int64),
+                    positions[idx, 0], positions[idx, 1],
+                    serial_u64s[idx], hop_bound)
+                outcomes = packed.materialize(
+                    [flat_ids[f] for f in misses], hop_bound)
+                batch_stats = packed.stats_list()
+                state.router.last_batch_waves = packed.waves
+                state.router.last_batch_stats = batch_stats
+                waves = packed.waves
+                worker_waves = packed.worker_waves
+            else:
+                outcomes = state.router.route_batch(
+                    [flat_entries[f] for f in misses],
+                    [flat_ids[f] for f in misses],
+                    positions[idx, 0], positions[idx, 1],
+                    serial_u64s[idx], max_hops=max_hops,
+                )
+                batch_stats = state.router.last_batch_stats
+                waves = state.router.last_batch_waves
             registry = default_registry()
             if registry.enabled:
                 # Batch-only extras (the scalar loop has no waves):
@@ -738,9 +789,15 @@ class GredNetwork:
                 # checks can separate them from the shared aggregates.
                 registry.counter("dataplane.batch.requests").inc(
                     len(misses))
-                registry.counter("dataplane.batch.waves").inc(
-                    state.router.last_batch_waves)
-            batch_stats = state.router.last_batch_stats
+                registry.counter("dataplane.batch.waves").inc(waves)
+                if worker_waves is not None:
+                    # Per-shard wave counts aggregate into the same
+                    # total above; the per-worker counters expose the
+                    # shard balance.
+                    for w, wv in enumerate(worker_waves):
+                        registry.counter(
+                            "dataplane.batch.worker_waves",
+                            worker=w).inc(wv)
             if miss_keys is None:
                 for slot, out, st in zip(slots, outcomes, batch_stats):
                     routes[slot] = out
@@ -930,6 +987,7 @@ class GredNetwork:
         entry_switches: Optional[Sequence[int]] = None,
         copies: int = 1,
         rng: Optional[np.random.Generator] = None,
+        workers: Optional[int] = None,
     ) -> List[PlacementResult]:
         """Place a batch of items; equivalent to calling :meth:`place`
         per item in order, but vectorized.
@@ -953,6 +1011,12 @@ class GredNetwork:
             Optional per-item access switches; random when omitted.
         copies, rng:
             As in :meth:`place`.
+        workers:
+            Route uncached requests across this many processes
+            sharing the compiled plane via ``multiprocessing.shared_
+            memory`` (results stay byte-identical to the
+            single-process path).  ``None``/``1`` routes in-process;
+            the scalar fallback ignores it.
         """
         data_ids = list(data_ids)
         if copies < 1:
@@ -979,8 +1043,7 @@ class GredNetwork:
             ]
         entries = self._resolve_entries(len(data_ids), entry_switches,
                                         rng)
-        flat_ids = [replica_id(d, c) for d in data_ids
-                    for c in range(copies)]
+        flat_ids = replica_ids_flat(data_ids, copies)
         flat_entries = (entries if copies == 1 else
                         [e for e in entries for _ in range(copies)])
         digests = sha256_digests(flat_ids)
@@ -991,12 +1054,20 @@ class GredNetwork:
         routes = self._fast_routes(state, flat_entries, flat_ids,
                                    positions, serial_u64s,
                                    range(len(flat_ids)),
-                                   stats_out=route_stats)
+                                   stats_out=route_stats,
+                                   workers=workers)
         switches = self.controller.switches
         server_map = self.server_map
         registry = default_registry()
         telemetry = registry.enabled
         recorder = default_span_recorder()
+        # Grouped storage: when every route delivered, no extension is
+        # installed anywhere and every target server is unbounded, the
+        # per-item store/extension/target work collapses to one bulk
+        # dict update per server (identical storage state — the stable
+        # grouping preserves each server's insertion order).
+        stored = self._grouped_store(routes, flat_ids, payloads,
+                                     copies, switches, server_map)
         t_hops: List[int] = []
         t_sizes: List[int] = []
         t_extended = 0
@@ -1032,46 +1103,57 @@ class GredNetwork:
                             positions)
                     raise outcome
                 trace, overlay, dest, serial = outcome
-                extension = switches[dest].table.extension_for(serial)
-                if extension is not None:
-                    target = self.server(extension.target_switch,
-                                         extension.target_serial)
-                    physical = len(trace) - 1 + self._fast_hop(
-                        state, dest, extension.target_switch)
-                else:
-                    # Delivery guarantees the switch has servers and
-                    # the serial is in range (H(d) mod s).
-                    target = server_map[dest][serial]
+                if stored is not None:
+                    # Already bulk-stored; no extension anywhere, so
+                    # the target is the ``H(d) mod s`` server.
+                    extended = False
                     physical = len(trace) - 1
-                target.store(copy_id, payload)
+                    server_id = (dest, serial)
+                else:
+                    extension = switches[dest].table.extension_for(
+                        serial)
+                    extended = extension is not None
+                    if extended:
+                        target = self.server(extension.target_switch,
+                                             extension.target_serial)
+                        physical = len(trace) - 1 + self._fast_hop(
+                            state, dest, extension.target_switch)
+                    else:
+                        # Delivery guarantees the switch has servers
+                        # and the serial is in range (H(d) mod s).
+                        target = server_map[dest][serial]
+                        physical = len(trace) - 1
+                    target.store(copy_id, payload)
+                    server_id = target.server_id
                 if telemetry:
                     t_hops.append(physical)
-                    if extension is not None:
+                    if extended:
                         t_extended += 1
                     size = _payload_size(payload)
                     if size is not None:
                         t_sizes.append(size)
                     t_transits.extend(trace)
                     t_flats.append(flat - 1)
-                    t_servers[(target.switch, target.serial)] = target
+                    if stored is None:
+                        t_servers[server_id] = target
                     t_route_hops.append(len(trace) - 1)
                     t_overlay.append(overlay)
                 if recorder is not None:
                     self._record_exemplar(
                         recorder, "request.place", copy_id, trace,
                         entry=entry, destination=dest,
-                        server=target.server_id,
+                        server=server_id,
                         physical_hops=physical,
-                        extended=extension is not None)
+                        extended=extended)
                 records.append(PlacementRecord(
                     data_id=copy_id,
                     entry_switch=entry,
                     destination_switch=dest,
-                    server_id=target.server_id,
+                    server_id=server_id,
                     physical_hops=physical,
                     overlay_hops=overlay,
                     trace=list(trace),
-                    extended=extension is not None,
+                    extended=extended,
                 ))
             results.append(PlacementResult(data_id=data_id,
                                            records=records))
@@ -1081,8 +1163,62 @@ class GredNetwork:
                 t_route_hops, t_overlay, t_extended)
             self._emit_place_telemetry(
                 registry, t_hops, t_sizes, t_extended, t_transits,
-                t_servers, t_flats, flat_ids, positions)
+                stored if stored is not None else t_servers,
+                t_flats, flat_ids, positions)
         return results
+
+    def _grouped_store(self, routes: List[Any],
+                       flat_ids: Sequence[str],
+                       payloads: Optional[Sequence[Any]],
+                       copies: int, switches, server_map
+                       ) -> Optional[Dict[Any, EdgeServer]]:
+        """Bulk-store a fully-delivered batch server by server.
+
+        Returns the ``(switch, serial) -> server`` map of stored-to
+        servers, or ``None`` when the batch must take the per-item
+        path: any routing error (the scalar loop raises mid-batch,
+        storing only the prefix), any installed range extension
+        (per-delivery rewrite decisions), or any bounded target server
+        (per-id ``StorageFull`` ordering).  The stable grouping sort
+        preserves each server's item insertion order, so the resulting
+        storage state is byte-identical to sequential ``store`` calls.
+        """
+        k = len(routes)
+        if k == 0:
+            return {}
+        for switch in switches.values():
+            if switch.table.has_extensions():
+                return None
+        for outcome in routes:
+            if type(outcome) is not tuple:
+                return None
+        dest = np.fromiter((o[2] for o in routes), dtype=np.int64,
+                           count=k)
+        serial = np.fromiter((o[3] for o in routes), dtype=np.int64,
+                             count=k)
+        combined = dest * (int(serial.max()) + 1) + serial
+        order = np.argsort(combined, kind="stable")
+        ordered = combined[order]
+        groups = np.split(order,
+                          (np.flatnonzero(np.diff(ordered)) + 1))
+        plan = []
+        servers: Dict[Any, EdgeServer] = {}
+        for group in groups:
+            first = int(group[0])
+            d = int(dest[first])
+            s = int(serial[first])
+            server = server_map[d][s]
+            if server.capacity is not None:
+                return None
+            servers[(d, s)] = server
+            plan.append((server, group))
+        for server, group in plan:
+            flats = group.tolist()
+            ids = [flat_ids[f] for f in flats]
+            group_payloads = (None if payloads is None else
+                              [payloads[f // copies] for f in flats])
+            server.store_many(ids, group_payloads)
+        return servers
 
     def retrieve_many(
         self,
@@ -1091,14 +1227,15 @@ class GredNetwork:
         copies: int = 1,
         rng: Optional[np.random.Generator] = None,
         max_hops: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> List[RetrievalResult]:
         """Retrieve a batch of items; equivalent to calling
         :meth:`retrieve` per item in order, but vectorized.
 
         Shares the fast-path machinery (and its fallback conditions)
-        with :meth:`place_many`; response hop counts come from a
-        per-epoch BFS distance cache instead of a fresh traversal per
-        request.
+        with :meth:`place_many`, including worker-sharded routing via
+        ``workers``; response hop counts come from a per-epoch BFS
+        distance cache instead of a fresh traversal per request.
         """
         data_ids = list(data_ids)
         if copies < 1:
@@ -1119,8 +1256,7 @@ class GredNetwork:
             ]
         entries = self._resolve_entries(len(data_ids), entry_switches,
                                         rng)
-        flat_ids = [replica_id(d, c) for d in data_ids
-                    for c in range(copies)]
+        flat_ids = replica_ids_flat(data_ids, copies)
         flat_entries = (entries if copies == 1 else
                         [e for e in entries for _ in range(copies)])
         digests = sha256_digests(flat_ids)
@@ -1173,7 +1309,8 @@ class GredNetwork:
             routes = self._fast_routes(state, flat_entries, flat_ids,
                                        positions, serial_u64s, probes,
                                        max_hops=max_hops,
-                                       stats_out=t_stats)
+                                       stats_out=t_stats,
+                                       workers=workers)
             server_map = self.server_map
             still: List[int] = []
             for i, flat, outcome in zip(pending, probes, routes):

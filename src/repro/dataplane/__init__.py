@@ -9,8 +9,14 @@ from .switch import (
     ForwardingError,
     GredSwitch,
 )
-from .fastpath import CompiledRouter, batch_fastpath_blockers
+from .fastpath import (
+    CompiledRouter,
+    FASTPATH_GATES,
+    batch_fastpath_blockers,
+    fastpath_usable,
+)
 from .forwarding import RouteResult, route_packet
+from .shard import PlaneSnapshot, ShardPool
 from .tracing import TraceEvent, TraceEventKind, Tracer
 
 __all__ = [
@@ -27,7 +33,11 @@ __all__ = [
     "RouteResult",
     "route_packet",
     "CompiledRouter",
+    "FASTPATH_GATES",
     "batch_fastpath_blockers",
+    "fastpath_usable",
+    "PlaneSnapshot",
+    "ShardPool",
     "Tracer",
     "TraceEvent",
     "TraceEventKind",

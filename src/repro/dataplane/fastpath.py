@@ -32,11 +32,40 @@ reference engine on inconsistent state.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .switch import ForwardingError, GredSwitch
+
+
+def _gate_fault_state(net) -> bool:
+    return getattr(net, "fault_state", None) is not None
+
+
+def _gate_position_fn(net) -> bool:
+    from ..hashing import data_position
+
+    return getattr(net, "_position_fn", None) is not data_position
+
+
+def _gate_resilience(net) -> bool:
+    pipeline = getattr(net, "_resilience", None)
+    return pipeline is not None and pipeline.blocks_fastpath()
+
+
+#: The single source of truth for fast-path eligibility: ``(predicate,
+#: reason)`` gates evaluated against the facade.  A request batch may
+#: take the vectorized path iff no predicate fires.  Both the facade's
+#: ``_fastpath_usable`` and :func:`batch_fastpath_blockers` consume
+#: this list, so the two can never drift apart again (they did once:
+#: telemetry stopped blocking the fast path in PR 6 and only one copy
+#: was updated at first).
+FASTPATH_GATES: Tuple[Tuple[Callable[[object], bool], str], ...] = (
+    (_gate_fault_state, "fault state attached"),
+    (_gate_position_fn, "custom position_fn"),
+    (_gate_resilience, "resilience breakers tripped"),
+)
 
 
 def batch_fastpath_blockers(net) -> List[str]:
@@ -44,21 +73,18 @@ def batch_fastpath_blockers(net) -> List[str]:
     to the scalar reference pipeline for ``net`` (empty = fast path
     eligible).
 
-    Mirrors the facade's ``_fastpath_usable`` gate reason by reason so
-    operators can see *which* condition is costing them the vectorized
-    path (``gred stats --json`` surfaces this list).
+    Evaluates :data:`FASTPATH_GATES` — the same gates the facade's
+    ``_fastpath_usable`` consults — so operators can see *which*
+    condition is costing them the vectorized path (``gred stats
+    --json`` surfaces this list).
     """
-    from ..hashing import data_position
+    return [reason for gate, reason in FASTPATH_GATES if gate(net)]
 
-    blockers: List[str] = []
-    if getattr(net, "fault_state", None) is not None:
-        blockers.append("fault state attached")
-    if getattr(net, "_position_fn", None) is not data_position:
-        blockers.append("custom position_fn")
-    pipeline = getattr(net, "_resilience", None)
-    if pipeline is not None and pipeline.blocks_fastpath():
-        blockers.append("resilience breakers tripped")
-    return blockers
+
+def fastpath_usable(net) -> bool:
+    """``True`` iff no :data:`FASTPATH_GATES` predicate fires for
+    ``net`` — the boolean twin of :func:`batch_fastpath_blockers`."""
+    return not any(gate(net) for gate, _ in FASTPATH_GATES)
 
 
 #: ``route_batch`` hands stragglers to the scalar walker once the
@@ -81,7 +107,9 @@ class _FlatPlane:
     """
 
     __slots__ = ("sid_sorted", "sid", "ox", "oy", "in_dt", "ns",
-                 "cx", "cy", "kind", "nid", "nrow")
+                 "cx", "cy", "kind", "nid", "nrow",
+                 "chain_off", "chain_len", "chain_err",
+                 "chain_sids", "chain_errors", "chains_built")
 
     def __init__(self, states: Dict[int, _CompiledSwitch]) -> None:
         sids = sorted(states)
@@ -94,7 +122,7 @@ class _FlatPlane:
         self.ox = np.empty(n, dtype=np.float64)
         self.oy = np.empty(n, dtype=np.float64)
         self.in_dt = np.empty(n, dtype=bool)
-        self.ns = np.empty(n, dtype=np.uint64)
+        self.ns = np.empty(n, dtype=np.int64)
         self.cx = np.full((n, width), np.inf, dtype=np.float64)
         self.cy = np.full((n, width), np.inf, dtype=np.float64)
         self.kind = np.full((n, width), 2, dtype=np.int64)
@@ -113,6 +141,71 @@ class _FlatPlane:
                 self.kind[r, c] = kind
                 self.nid[r, c] = nid
                 self.nrow[r, c] = rows.get(nid, -1)
+        self.invalidate_chains()
+        self._assert_invariants()
+
+    def _assert_invariants(self) -> None:
+        """Dtype invariant of the compile step: every id/count plane
+        is ``int64`` and every coordinate plane ``float64``.  Mixing a
+        ``uint64`` array into int64 arithmetic silently promotes the
+        result to ``float64``, which corrupts exact comparisons above
+        2**53 — ``ns`` shipped as uint64 once, so the invariant is now
+        enforced at build time."""
+        for name in ("sid_sorted", "sid", "ns", "kind", "nid", "nrow"):
+            dtype = getattr(self, name).dtype
+            if dtype != np.int64:
+                raise AssertionError(
+                    f"_FlatPlane.{name} must be int64, got {dtype}")
+        for name in ("ox", "oy", "cx", "cy"):
+            dtype = getattr(self, name).dtype
+            if dtype != np.float64:
+                raise AssertionError(
+                    f"_FlatPlane.{name} must be float64, got {dtype}")
+
+    def invalidate_chains(self) -> None:
+        """Drop the CSR relay-chain arrays (after a scoped patch —
+        chains are rebuilt from the router's pruned cache on next
+        use)."""
+        self.chain_off = None
+        self.chain_len = None
+        self.chain_err = None
+        self.chain_sids = None
+        self.chain_errors = None
+        self.chains_built = False
+
+    def attach_chains(self, resolver) -> None:
+        """Resolve every virtual-link cell's relay chain into CSR
+        arrays (``chain_off``/``chain_len`` index a flat ``chain_sids``
+        run) so wave dispatch crosses virtual links without leaving
+        numpy.  Resolution failures are recorded per cell in
+        ``chain_err`` (an index into ``chain_errors``) and surfaced
+        only when a request actually crosses that cell — exactly the
+        behavior of the lazy per-request resolution this replaces."""
+        n, width = self.kind.shape
+        off = np.full((n, width), -1, dtype=np.int64)
+        length = np.zeros((n, width), dtype=np.int64)
+        err = np.full((n, width), -1, dtype=np.int64)
+        sids: List[int] = []
+        messages: List[str] = []
+        vl_rows, vl_cols = np.nonzero(self.kind == 1)
+        for r, c in zip(vl_rows.tolist(), vl_cols.tolist()):
+            src = int(self.sid[r])
+            dst = int(self.nid[r, c])
+            try:
+                chain = resolver(src, dst)
+            except ForwardingError as exc:
+                err[r, c] = len(messages)
+                messages.append(str(exc))
+                continue
+            off[r, c] = len(sids)
+            length[r, c] = len(chain)
+            sids.extend(chain)
+        self.chain_off = off
+        self.chain_len = length
+        self.chain_err = err
+        self.chain_sids = np.asarray(sids, dtype=np.int64)
+        self.chain_errors = messages
+        self.chains_built = True
 
 
 class _CompiledSwitch:
@@ -146,6 +239,513 @@ class _CompiledSwitch:
         self.cand_y = np.array([c[1] for c in cands], dtype=np.float64)
         self.cand_kind = np.array([c[2] for c in cands], dtype=np.int64)
         self.cand_nid = np.array([c[3] for c in cands], dtype=np.int64)
+
+
+def _error_text(code: str, args: tuple, data_id: str) -> str:
+    """Materialize a deferred routing-error message.  The packed walk
+    records ``(code, args)`` instead of strings so worker shards never
+    need the request ids — the parent formats the byte-identical
+    message the scalar engine would have raised."""
+    if code == "entry":
+        return f"unknown entry switch {args[0]}"
+    if code == "relay_only":
+        return f"greedy stage reached relay-only switch {args[0]}"
+    if code == "no_servers":
+        return (f"switch {args[0]} must deliver {data_id!r} "
+                f"but has no attached servers")
+    if code == "unknown_fwd":
+        return f"switch {args[0]} forwarded to unknown switch {args[1]}"
+    return args[0]
+
+
+def _ragged_arange(lens: np.ndarray) -> np.ndarray:
+    """``[0..lens[0]), [0..lens[1]), ...`` concatenated."""
+    total = int(lens.sum())
+    out = np.arange(total, dtype=np.int64)
+    return out - np.repeat(np.cumsum(lens) - lens, lens)
+
+
+class _PackedRoutes:
+    """Array-of-struct result of one packed batch walk.
+
+    Every per-request outcome lives in a parallel array: delivered
+    requests carry ``dest >= 0`` plus the ``H(d) mod s`` serial and a
+    ``trace_flat[off[j]:off[j+1]]`` switch trace; failed requests
+    carry a coded entry in ``errors`` (or an index in
+    ``hop_failures``) that :meth:`materialize` formats into the
+    byte-identical :class:`ForwardingError` lazily.  The struct is
+    picklable and id-free, so worker shards ship it back over a pipe
+    without materializing any Python outcome objects.
+    """
+
+    __slots__ = ("k", "dest", "serial", "overlay", "greedy", "vl",
+                 "relays", "known", "tlen", "off", "trace_flat",
+                 "errors", "hop_failures", "waves", "worker_waves")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.dest = np.full(k, -1, dtype=np.int64)
+        self.serial = np.zeros(k, dtype=np.int64)
+        self.overlay = np.zeros(k, dtype=np.int64)
+        self.greedy = np.zeros(k, dtype=np.int64)
+        self.vl = np.zeros(k, dtype=np.int64)
+        self.relays = np.zeros(k, dtype=np.int64)
+        self.known = np.ones(k, dtype=bool)
+        # Trace lengths start at 1: the entry switch leads every trace.
+        self.tlen = np.ones(k, dtype=np.int64)
+        self.off: Optional[np.ndarray] = None
+        self.trace_flat: Optional[np.ndarray] = None
+        #: ``(request_index, code, args)`` deferred errors.
+        self.errors: List[Tuple[int, str, tuple]] = []
+        #: Request indices that breached the hop bound (their message
+        #: needs the assembled trace, hence a separate channel).
+        self.hop_failures: List[int] = []
+        self.waves = 0
+        #: Per-shard wave counts when produced by a worker merge.
+        self.worker_waves: Optional[List[int]] = None
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def finish(self, entries_arr: np.ndarray, segs: List[tuple]) -> None:
+        """Assemble the flat trace array from the walk's per-wave
+        segments with cumsum offsets + scatter stores — the step that
+        replaces ~one Python ``list.append`` per request per hop."""
+        k = self.k
+        off = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(self.tlen, out=off[1:])
+        trace_flat = np.empty(int(off[k]), dtype=np.int64)
+        cursor = off[:k].copy()
+        trace_flat[cursor] = entries_arr
+        cursor += 1
+        for seg in segs:
+            tag = seg[0]
+            if tag == 0:
+                # One greedy step for a wave: (0, indices, next_sids).
+                _, idx, sids = seg
+                trace_flat[cursor[idx]] = sids
+                cursor[idx] += 1
+            elif tag == 1:
+                # Relay chains: (1, indices, csr_off, lens, csr_sids).
+                _, idx, coff, clen, csr = seg
+                inner = _ragged_arange(clen)
+                trace_flat[np.repeat(cursor[idx], clen) + inner] = \
+                    csr[np.repeat(coff, clen) + inner]
+                cursor[idx] += clen
+            else:
+                # Straggler continuation: (2, index, [sids...]).
+                _, j, lst = seg
+                start = cursor[j]
+                trace_flat[start:start + len(lst)] = lst
+                cursor[j] += len(lst)
+        self.off = off
+        self.trace_flat = trace_flat
+
+    def stats_list(self) -> List[Optional[Tuple[int, int, int]]]:
+        """Per-request ``(greedy, vl_starts, vl_relays)`` decision mix
+        with the reference engine's event timing; ``None`` for
+        unknown-entry requests (the scalar walker raises before
+        fetching counters, so they carry no mix at all)."""
+        stats: List[Optional[Tuple[int, int, int]]] = list(zip(
+            self.greedy.tolist(), self.vl.tolist(),
+            self.relays.tolist()))
+        if not self.known.all():
+            for j in np.flatnonzero(~self.known).tolist():
+                stats[j] = None
+        return stats
+
+    def materialize(self, data_ids: Sequence[str],
+                    max_hops: int) -> List[RouteOutcome]:
+        """Format the packed arrays into the scalar walker's outcome
+        list: ``(trace, overlay_hops, destination, serial)`` tuples or
+        the exact :class:`ForwardingError` it would have raised."""
+        results: List[Optional[RouteOutcome]] = [None] * self.k
+        flat_list = self.trace_flat.tolist()
+        off = self.off.tolist()
+        for j, code, args in self.errors:
+            results[j] = ForwardingError(
+                _error_text(code, args, data_ids[j]))
+        for j in self.hop_failures:
+            trace = flat_list[off[j]:off[j + 1]]
+            results[j] = ForwardingError(
+                f"hop bound {max_hops} exceeded routing "
+                f"{data_ids[j]!r} (trace {trace})")
+        dest = self.dest.tolist()
+        serial = self.serial.tolist()
+        overlay = self.overlay.tolist()
+        for j, d in enumerate(dest):
+            if d >= 0:
+                results[j] = (flat_list[off[j]:off[j + 1]],
+                              overlay[j], d, serial[j])
+        return results
+
+
+def _continue_plane_scalar(flat: _FlatPlane, packed: _PackedRoutes,
+                           segs: List[tuple], hops: np.ndarray,
+                           j: int, row: int, px: float, py: float,
+                           su64: int, max_hops: int) -> None:
+    """Walk one straggler to completion directly on the dense plane.
+
+    Replaces the old fallback that re-ran stragglers through
+    :meth:`CompiledRouter.route` *from their entry switch*: this
+    continues from the request's current position, reusing the wave
+    prefix already accumulated in ``packed`` (trace, hop count,
+    decision mix), and replays the scalar walker's float arithmetic
+    and tie-breaks exactly — the combined prefix + continuation is
+    byte-identical to the full scalar walk."""
+    seg: List[int] = []
+    hop = int(hops[j])
+    try:
+        while True:
+            if not flat.in_dt[row]:
+                packed.errors.append(
+                    (j, "relay_only", (int(flat.sid[row]),)))
+                return
+            ox = float(flat.ox[row])
+            oy = float(flat.oy[row])
+            dx = ox - px
+            dy = oy - py
+            bd2 = dx * dx + dy * dy
+            bx = ox
+            by = oy
+            bkind = 2
+            bnid = -1
+            bcol = -1
+            kinds = flat.kind[row].tolist()
+            cxs = flat.cx[row].tolist()
+            cys = flat.cy[row].tolist()
+            nids = flat.nid[row].tolist()
+            for c, kind in enumerate(kinds):
+                if kind == 2:
+                    break  # pad cells are trailing
+                cx = cxs[c]
+                cy = cys[c]
+                ddx = cx - px
+                ddy = cy - py
+                d2 = ddx * ddx + ddy * ddy
+                if d2 > bd2:
+                    continue
+                if d2 == bd2:
+                    if cx > bx:
+                        continue
+                    if cx == bx:
+                        if cy > by:
+                            continue
+                        if cy == by and (kind > bkind or (
+                                kind == bkind and nids[c] >= bnid)):
+                            continue
+                bd2 = d2
+                bx = cx
+                by = cy
+                bkind = kind
+                bnid = nids[c]
+                bcol = c
+            if bkind == 2:
+                ns = int(flat.ns[row])
+                if ns <= 0:
+                    packed.errors.append(
+                        (j, "no_servers", (int(flat.sid[row]),)))
+                    return
+                packed.dest[j] = int(flat.sid[row])
+                packed.serial[j] = su64 % ns
+                return
+            packed.overlay[j] += 1
+            nrow = int(flat.nrow[row, bcol])
+            if bkind == 0:
+                packed.greedy[j] += 1
+                if nrow < 0:
+                    packed.errors.append(
+                        (j, "unknown_fwd", (int(flat.sid[row]), bnid)))
+                    return
+                seg.append(bnid)
+                hop += 1
+                row = nrow
+                if hop > max_hops:
+                    packed.hop_failures.append(j)
+                    return
+            else:
+                packed.vl[j] += 1
+                cerr = int(flat.chain_err[row, bcol])
+                if cerr >= 0:
+                    packed.errors.append(
+                        (j, "msg", (flat.chain_errors[cerr],)))
+                    return
+                if nrow < 0:
+                    # The scalar walker would key its states dict with
+                    # the unknown destination next iteration; surface
+                    # the same KeyError.
+                    raise KeyError(bnid)
+                coff = int(flat.chain_off[row, bcol])
+                clen = int(flat.chain_len[row, bcol])
+                chain = flat.chain_sids[coff:coff + clen].tolist()
+                for ci, relay in enumerate(chain):
+                    if ci:
+                        packed.relays[j] += 1
+                    seg.append(relay)
+                    hop += 1
+                    if hop > max_hops:
+                        packed.hop_failures.append(j)
+                        return
+                row = nrow
+    finally:
+        if seg:
+            segs.append((2, j, seg))
+            packed.tlen[j] += len(seg)
+        hops[j] = hop
+
+
+def _route_batch_packed(flat: _FlatPlane, entries_arr: np.ndarray,
+                        pxs: np.ndarray, pys: np.ndarray,
+                        serial_u64s: np.ndarray, max_hops: int,
+                        min_active: int = _WAVE_MIN_ACTIVE
+                        ) -> _PackedRoutes:
+    """Advance a whole batch over the dense plane in switch-grouped
+    waves, keeping every per-request output in numpy arrays.
+
+    This is the pure-array core shared by the in-process fast path and
+    the shared-memory worker shards: it needs only the plane and the
+    request arrays (entries, positions, 64-bit digest serials) — no
+    request ids, no live router — and returns a :class:`_PackedRoutes`.
+    Stragglers below ``min_active`` continue scalar *on the plane* from
+    their current switch instead of re-walking from the entry, so
+    replica fan-out batches stay on the vectorized path end to end.
+    """
+    k = int(entries_arr.size)
+    packed = _PackedRoutes(k)
+    dest = packed.dest
+    serial = packed.serial
+    overlay = packed.overlay
+    g_arr = packed.greedy
+    v_arr = packed.vl
+    r_arr = packed.relays
+    tlen = packed.tlen
+    errors = packed.errors
+    hop_failures = packed.hop_failures
+    hops = np.zeros(k, dtype=np.int64)
+    segs: List[tuple] = []
+    if flat.sid_sorted.size:
+        lookup = np.minimum(
+            np.searchsorted(flat.sid_sorted, entries_arr),
+            flat.sid_sorted.size - 1)
+        known = flat.sid_sorted[lookup] == entries_arr
+    else:
+        lookup = np.zeros(k, dtype=np.int64)
+        known = np.zeros(k, dtype=bool)
+    current = lookup.astype(np.int64, copy=True)
+    packed.known = known
+    if known.all():
+        active = np.arange(k, dtype=np.int64)
+    else:
+        active = np.flatnonzero(known)
+        for j, entry in zip(np.flatnonzero(~known).tolist(),
+                            entries_arr[~known].tolist()):
+            errors.append((j, "entry", (entry,)))
+    while active.size:
+        packed.waves += 1
+        if active.size < min_active:
+            # Stragglers: whole-plane numpy dispatch no longer
+            # amortizes — continue them scalar on the plane from
+            # where they stand (same outcome, no re-walk).
+            for j in active.tolist():
+                _continue_plane_scalar(
+                    flat, packed, segs, hops, j, int(current[j]),
+                    float(pxs[j]), float(pys[j]),
+                    int(serial_u64s[j]), max_hops)
+            break
+        rows = current[active]
+        tx = pxs[active]
+        ty = pys[active]
+        in_dt = flat.in_dt[rows]
+        if not in_dt.all():
+            stuck = active[~in_dt]
+            for j, sid in zip(stuck.tolist(),
+                              flat.sid[rows[~in_dt]].tolist()):
+                errors.append((j, "relay_only", (sid,)))
+            active = active[in_dt]
+            if not active.size:
+                break
+            rows = rows[in_dt]
+            tx = tx[in_dt]
+            ty = ty[in_dt]
+        ox = flat.ox[rows]
+        oy = flat.oy[rows]
+        dx = ox - tx
+        dy = oy - ty
+        od2 = dx * dx + dy * dy
+        cxb = flat.cx[rows]
+        cyb = flat.cy[rows]
+        cdx = cxb - tx[:, None]
+        cdy = cyb - ty[:, None]
+        d2 = cdx * cdx + cdy * cdy
+        best = d2.argmin(axis=1)
+        bd2 = d2.min(axis=1)
+        improved = bd2 < od2
+        ties = bd2 == od2
+        if ties.any():
+            # Strict improvement over the switch's own key.  The
+            # scalar walker's sentinel kind makes a full (d^2, x, y)
+            # tie win for the candidate, hence ``<=`` on ``y``.  (Pad
+            # cells are at +inf and cannot tie.)
+            t = np.flatnonzero(ties)
+            bx = cxb[t, best[t]]
+            by = cyb[t, best[t]]
+            improved[t] |= (bx < ox[t]) | (
+                (bx == ox[t]) & (by <= oy[t]))
+        if not improved.all():
+            keep = ~improved
+            stay = active[keep]
+            ns = flat.ns[rows[keep]]
+            sids_stay = flat.sid[rows[keep]]
+            # ns is int64 (dtype invariant) but the modulo must stay
+            # exact uint64 arithmetic: int64 % uint64 would promote
+            # to float64 and corrupt serials above 2**53.
+            serials_stay = (serial_u64s[stay] %
+                            np.maximum(ns, 1).astype(np.uint64)
+                            ).astype(np.int64)
+            empty = ns == 0
+            if empty.any():
+                good = ~empty
+                ok_stay = stay[good]
+                dest[ok_stay] = sids_stay[good]
+                serial[ok_stay] = serials_stay[good]
+                for j, sid in zip(stay[empty].tolist(),
+                                  sids_stay[empty].tolist()):
+                    errors.append((j, "no_servers", (sid,)))
+            else:
+                dest[stay] = sids_stay
+                serial[stay] = serials_stay
+            if not improved.any():
+                break
+            moved = active[improved]
+            rows_m = rows[improved]
+            best_m = best[improved]
+        else:
+            moved = active
+            rows_m = rows
+            best_m = best
+        overlay[moved] += 1
+        kinds = flat.kind[rows_m, best_m]
+        nrows = flat.nrow[rows_m, best_m]
+        phys = kinds == 0
+        if phys.all():
+            pj, prow = moved, nrows
+            vl = None
+        elif not phys.any():
+            pj = prow = None
+            vl = ~phys
+        else:
+            pj = moved[phys]
+            prow = nrows[phys]
+            vl = ~phys
+        phys_ok: Optional[np.ndarray] = None
+        if pj is not None and pj.size:
+            # Engine counts a greedy forward at decision time, before
+            # the unknown-neighbor/hop-bound checks.
+            g_arr[pj] += 1
+            walked = hops[pj] + 1
+            if prow.min() >= 0 and not walked.max() > max_hops:
+                current[pj] = prow
+                hops[pj] = walked
+                segs.append((0, pj, flat.sid[prow]))
+                tlen[pj] += 1
+                phys_ok = pj
+            else:
+                # Unknown neighbor or hop-bound breach somewhere in
+                # this wave: take the exact per-request path.
+                current[pj] = np.maximum(prow, 0)
+                hops[pj] = walked
+                src_rows = rows_m[phys] if vl is not None else rows_m
+                nids_all = flat.nid[rows_m, best_m]
+                pn = nids_all[phys] if vl is not None else nids_all
+                ok: List[int] = []
+                step_idx: List[int] = []
+                step_sid: List[int] = []
+                exceeded = (walked > max_hops).tolist()
+                for j, src, nxt, nrow, exc in zip(
+                        pj.tolist(), flat.sid[src_rows].tolist(),
+                        pn.tolist(), prow.tolist(), exceeded):
+                    if nrow < 0:
+                        errors.append((j, "unknown_fwd", (src, nxt)))
+                        continue
+                    step_idx.append(j)
+                    step_sid.append(nxt)
+                    if exc:
+                        hop_failures.append(j)
+                    else:
+                        ok.append(j)
+                if step_idx:
+                    idx_arr = np.asarray(step_idx, dtype=np.int64)
+                    segs.append((0, idx_arr,
+                                 np.asarray(step_sid, dtype=np.int64)))
+                    tlen[idx_arr] += 1
+                phys_ok = np.asarray(ok, dtype=np.int64)
+        vl_ok: Optional[np.ndarray] = None
+        if vl is not None:
+            vj = moved[vl]
+            if vj.size:
+                # Engine counts the vl start at decision time, before
+                # chain resolution can fail.
+                v_arr[vj] += 1
+                rows_v = rows_m[vl]
+                best_v = best_m[vl]
+                coff = flat.chain_off[rows_v, best_v]
+                clen = flat.chain_len[rows_v, best_v]
+                cerr = flat.chain_err[rows_v, best_v]
+                nrow_v = nrows[vl]
+                good = cerr < 0
+                if not good.all():
+                    for j, ei in zip(vj[~good].tolist(),
+                                     cerr[~good].tolist()):
+                        errors.append(
+                            (j, "msg", (flat.chain_errors[ei],)))
+                unknown_dest = good & (nrow_v < 0)
+                if unknown_dest.any():
+                    # The scalar walker would key its states dict with
+                    # the unknown destination next iteration; surface
+                    # the same KeyError for the first such request.
+                    first = int(np.flatnonzero(unknown_dest)[0])
+                    raise KeyError(int(flat.nid[rows_v, best_v][first]))
+                budget = hops[vj] + clen
+                ok_m = good & (budget <= max_hops)
+                exc_m = good & ~ok_m
+                if ok_m.any():
+                    oj = vj[ok_m]
+                    segs.append((1, oj, coff[ok_m], clen[ok_m],
+                                 flat.chain_sids))
+                    tlen[oj] += clen[ok_m]
+                    hops[oj] = budget[ok_m]
+                    current[oj] = nrow_v[ok_m]
+                    r_arr[oj] += clen[ok_m] - 1
+                    vl_ok = oj
+                if exc_m.any():
+                    # The scalar walker appends relays one by one and
+                    # raises at the breaching step — keep exactly the
+                    # relays up to and including the breach.
+                    ej = vj[exc_m]
+                    part = max_hops - hops[ej] + 1
+                    segs.append((1, ej, coff[exc_m], part,
+                                 flat.chain_sids))
+                    tlen[ej] += part
+                    hops[ej] += part
+                    r_arr[ej] += part - 1
+                    hop_failures.extend(ej.tolist())
+        parts = []
+        if phys_ok is not None and phys_ok.size:
+            parts.append(phys_ok)
+        if vl_ok is not None and vl_ok.size:
+            parts.append(vl_ok)
+        if len(parts) == 2:
+            active = np.concatenate(parts)
+        elif parts:
+            active = parts[0]
+        else:
+            active = np.empty(0, dtype=np.int64)
+    packed.finish(entries_arr, segs)
+    return packed
 
 
 class CompiledRouter:
@@ -242,6 +842,11 @@ class CompiledRouter:
                     nid in states for nid in state.cand_nid.tolist())
             if self._flat is not None:
                 self._flat = self._patched_flat(touched)
+                if self._flat is not None:
+                    # Patched rows may carry different virtual-link
+                    # candidates and the chain cache was pruned above;
+                    # rebuild the CSR arrays on next use.
+                    self._flat.invalidate_chains()
         self.patch_events += 1
 
     def _patched_flat(self, touched) -> Optional[_FlatPlane]:
@@ -437,263 +1042,49 @@ class CompiledRouter:
         of them with one vectorized pass; the per-request winner and
         strict-improvement test replicate :meth:`route`'s float
         arithmetic and lexicographic tie-breaks exactly, so every
-        outcome is byte-identical to the scalar walk.
+        outcome is byte-identical to the scalar walk.  The walk itself
+        is the pure-array :func:`_route_batch_packed` program — trace
+        assembly, relay chains and straggler continuation all stay in
+        numpy — and this wrapper materializes its packed result.
 
         Returns one outcome per request, in order: the same
         ``(trace, overlay_hops, destination_switch, primary_serial)``
         tuple :meth:`route` produces, or the :class:`ForwardingError`
         it would have raised (the caller decides whether to raise).
         """
-        k = len(entries)
         if max_hops is None:
             max_hops = self._default_max_hops
-        self.last_batch_waves = 0
-        results: List[Optional[RouteOutcome]] = [None] * k
+        packed = self.route_batch_packed(
+            np.asarray(entries, dtype=np.int64),
+            pxs, pys, serial_u64s, max_hops)
+        self.last_batch_waves = packed.waves
+        self.last_batch_stats = packed.stats_list()
+        return packed.materialize(data_ids, max_hops)
+
+    def route_batch_packed(self, entries_arr: np.ndarray,
+                           pxs: np.ndarray, pys: np.ndarray,
+                           serial_u64s: np.ndarray,
+                           max_hops: int) -> _PackedRoutes:
+        """Array-form batch walk over the dense plane — the unit the
+        shared-memory worker shards execute.  Returns the raw
+        :class:`_PackedRoutes` without touching the router's
+        last-batch telemetry (the caller owns aggregation)."""
+        flat = self._ensure_flat()
+        return _route_batch_packed(
+            flat, entries_arr,
+            np.asarray(pxs, dtype=np.float64),
+            np.asarray(pys, dtype=np.float64),
+            np.asarray(serial_u64s, dtype=np.uint64),
+            max_hops)
+
+    def _ensure_flat(self) -> _FlatPlane:
+        """The dense plane with relay-chain CSR arrays attached,
+        building either lazily (chains resolve through the epoch's
+        pruned chain cache, so a scoped patch recomputes only what it
+        invalidated)."""
         flat = self._flat
         if flat is None:
             flat = self._flat = _FlatPlane(self._states)
-        traces: List[Optional[List[int]]] = [None] * k
-        overlay = np.zeros(k, dtype=np.int64)
-        hops = np.zeros(k, dtype=np.int64)
-        # Per-request decision mix (greedy, vl_starts, vl_relays),
-        # incremented with the same event timing as the scalar engine
-        # so telemetry derived from it is byte-identical.
-        g_arr = np.zeros(k, dtype=np.int64)
-        v_arr = np.zeros(k, dtype=np.int64)
-        r_arr = np.zeros(k, dtype=np.int64)
-        entries_arr = np.asarray(entries, dtype=np.int64)
-        if flat.sid_sorted.size:
-            lookup = np.minimum(
-                np.searchsorted(flat.sid_sorted, entries_arr),
-                flat.sid_sorted.size - 1)
-            known = flat.sid_sorted[lookup] == entries_arr
-        else:
-            lookup = np.zeros(k, dtype=np.int64)
-            known = np.zeros(k, dtype=bool)
-        current = lookup  # row index per request, valid where known
-        if known.all():
-            active = np.arange(k, dtype=np.int64)
-            for j, entry in enumerate(entries):
-                traces[j] = [entry]
-        else:
-            active = np.flatnonzero(known)
-            for j in np.flatnonzero(~known).tolist():
-                results[j] = ForwardingError(
-                    f"unknown entry switch {entries[j]}")
-            for j in active.tolist():
-                traces[j] = [entries[j]]
-        while active.size:
-            self.last_batch_waves += 1
-            if active.size < _WAVE_MIN_ACTIVE:
-                # Stragglers: whole-plane numpy dispatch would no
-                # longer amortize — rerun them through the scalar
-                # walker from their entry (same outcome) instead.
-                for j in active.tolist():
-                    try:
-                        results[j] = self.route(
-                            entries[j], data_ids[j],
-                            pxs[j], pys[j], serial_u64s[j],
-                            max_hops=max_hops)
-                    except ForwardingError as exc:
-                        results[j] = exc
-                    g_arr[j], v_arr[j], r_arr[j] = \
-                        self.last_route_stats
-                break
-            rows = current[active]
-            tx = pxs[active]
-            ty = pys[active]
-            in_dt = flat.in_dt[rows]
-            if not in_dt.all():
-                stuck = active[~in_dt]
-                sids = flat.sid[rows[~in_dt]].tolist()
-                for j, sid in zip(stuck.tolist(), sids):
-                    results[j] = ForwardingError(
-                        f"greedy stage reached relay-only switch {sid}"
-                    )
-                active = active[in_dt]
-                if not active.size:
-                    break
-                rows = rows[in_dt]
-                tx = tx[in_dt]
-                ty = ty[in_dt]
-            ox = flat.ox[rows]
-            oy = flat.oy[rows]
-            dx = ox - tx
-            dy = oy - ty
-            od2 = dx * dx + dy * dy
-            cxb = flat.cx[rows]
-            cyb = flat.cy[rows]
-            cdx = cxb - tx[:, None]
-            cdy = cyb - ty[:, None]
-            d2 = cdx * cdx + cdy * cdy
-            best = d2.argmin(axis=1)
-            bd2 = d2.min(axis=1)
-            improved = bd2 < od2
-            ties = bd2 == od2
-            if ties.any():
-                # Strict improvement over the switch's own key.  The
-                # scalar walker's sentinel kind makes a full
-                # (d^2, x, y) tie win for the candidate, hence ``<=``
-                # on ``y``.  (Pad cells are at +inf and cannot tie.)
-                t = np.flatnonzero(ties)
-                bx = cxb[t, best[t]]
-                by = cyb[t, best[t]]
-                improved[t] |= (bx < ox[t]) | (
-                    (bx == ox[t]) & (by <= oy[t]))
-            if not improved.all():
-                keep = ~improved
-                stay = active[keep]
-                ns = flat.ns[rows[keep]]
-                sids = flat.sid[rows[keep]].tolist()
-                serials = (serial_u64s[stay]
-                           % np.maximum(ns, 1)).tolist()
-                overlays = overlay[stay].tolist()
-                if (ns == 0).any():
-                    empty = (ns == 0).tolist()
-                    for j, sid, ov, serial, bad in zip(
-                            stay.tolist(), sids, overlays, serials,
-                            empty):
-                        if bad:
-                            results[j] = ForwardingError(
-                                f"switch {sid} must deliver "
-                                f"{data_ids[j]!r} but has no "
-                                f"attached servers"
-                            )
-                        else:
-                            results[j] = (traces[j], ov, sid, serial)
-                else:
-                    for j, sid, ov, serial in zip(
-                            stay.tolist(), sids, overlays, serials):
-                        results[j] = (traces[j], ov, sid, serial)
-                if not improved.any():
-                    break
-                moved = active[improved]
-                rows_m = rows[improved]
-                best_m = best[improved]
-            else:
-                moved = active
-                rows_m = rows
-                best_m = best
-            overlay[moved] += 1
-            kinds = flat.kind[rows_m, best_m]
-            nrows = flat.nrow[rows_m, best_m]
-            phys = kinds == 0
-            if phys.all():
-                pj, prow = moved, nrows
-                vl = None
-            elif not phys.any():
-                pj = prow = None
-                vl = ~phys
-            else:
-                pj = moved[phys]
-                prow = nrows[phys]
-                vl = ~phys
-            if pj is not None and pj.size:
-                # Engine counts a greedy forward at decision time,
-                # before the unknown-neighbor/hop-bound checks.
-                g_arr[pj] += 1
-            phys_ok: Optional[np.ndarray] = None
-            if pj is not None and pj.size:
-                walked = hops[pj] + 1
-                if prow.min() >= 0 and not walked.max() > max_hops:
-                    current[pj] = prow
-                    hops[pj] = walked
-                    nxt_sids = flat.sid[prow].tolist()
-                    for j, nxt in zip(pj.tolist(), nxt_sids):
-                        traces[j].append(nxt)
-                    phys_ok = pj
-                else:
-                    # Unknown neighbor or hop-bound breach somewhere
-                    # in this wave: take the exact per-request path.
-                    current[pj] = np.maximum(prow, 0)
-                    hops[pj] = walked
-                    src_sids = flat.sid[rows_m[phys] if vl is not None
-                                        else rows_m].tolist()
-                    nids = flat.nid[rows_m, best_m]
-                    pn = (nids[phys] if vl is not None
-                          else nids).tolist()
-                    ok: List[int] = []
-                    exceeded = (walked > max_hops).tolist()
-                    for j, src, nxt, nrow, exc in zip(
-                            pj.tolist(), src_sids, pn,
-                            prow.tolist(), exceeded):
-                        if nrow < 0:
-                            results[j] = ForwardingError(
-                                f"switch {src} forwarded to unknown "
-                                f"switch {nxt}"
-                            )
-                            continue
-                        traces[j].append(nxt)
-                        if exc:
-                            results[j] = ForwardingError(
-                                f"hop bound {max_hops} exceeded "
-                                f"routing {data_ids[j]!r} "
-                                f"(trace {traces[j]})"
-                            )
-                        else:
-                            ok.append(j)
-                    phys_ok = np.asarray(ok, dtype=np.int64)
-            vl_ok: List[int] = []
-            if vl is not None:
-                vj = moved[vl]
-                if vj.size:
-                    vrows = nrows[vl]
-                    src_sids = flat.sid[rows_m[vl]].tolist()
-                    dest_sids = flat.nid[rows_m, best_m][vl].tolist()
-                    hv = hops[vj].tolist()
-                    for j, src, dest, nrow, stepped in zip(
-                            vj.tolist(), src_sids, dest_sids,
-                            vrows.tolist(), hv):
-                        v_arr[j] += 1
-                        try:
-                            chain = self._chain(src, dest)
-                        except ForwardingError as exc:
-                            results[j] = exc
-                            continue
-                        if nrow < 0:
-                            # The scalar walker would key the states
-                            # dict with the unknown destination next
-                            # iteration; surface the same KeyError.
-                            raise KeyError(dest)
-                        budget = stepped + len(chain)
-                        if budget <= max_hops:
-                            traces[j].extend(chain)
-                            hops[j] = budget
-                            current[j] = nrow
-                            r_arr[j] += len(chain) - 1
-                            vl_ok.append(j)
-                        else:
-                            # Replay relay by relay so the error
-                            # trace truncates exactly where the
-                            # scalar walker raised.
-                            trace = traces[j]
-                            for ci, relay in enumerate(chain):
-                                if ci:
-                                    r_arr[j] += 1
-                                trace.append(relay)
-                                stepped += 1
-                                if stepped > max_hops:
-                                    results[j] = ForwardingError(
-                                        f"hop bound {max_hops} "
-                                        f"exceeded routing "
-                                        f"{data_ids[j]!r} "
-                                        f"(trace {trace})"
-                                    )
-                                    break
-            if phys_ok is None:
-                active = np.asarray(vl_ok, dtype=np.int64)
-            elif vl_ok:
-                active = np.concatenate(
-                    [phys_ok, np.asarray(vl_ok, dtype=np.int64)])
-            else:
-                active = phys_ok
-        batch_stats: List[Optional[Tuple[int, int, int]]] = list(
-            zip(g_arr.tolist(), v_arr.tolist(), r_arr.tolist()))
-        if not known.all():
-            # Unknown-entry requests never enter the engine (the
-            # reference walker raises before fetching its counters),
-            # so they carry no decision mix at all rather than zeros.
-            for j in np.flatnonzero(~known).tolist():
-                batch_stats[j] = None
-        self.last_batch_stats = batch_stats
-        return results
+        if not flat.chains_built:
+            flat.attach_chains(self._chain)
+        return flat

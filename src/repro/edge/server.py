@@ -81,6 +81,28 @@ class EdgeServer:
             raise StorageFull(self.server_id, self.capacity)
         self._items[data_id] = payload
 
+    def store_many(self, data_ids, payloads=None) -> None:
+        """Bulk :meth:`store`: same per-id semantics in order.
+
+        The unbounded case collapses to one dict update, which is what
+        lets the batch placement path store a whole per-server group
+        without a Python call per item; bounded servers keep the exact
+        per-id capacity check (and partial-store-then-raise behavior)
+        of sequential ``store`` calls.
+        """
+        if self.capacity is None:
+            if payloads is None:
+                self._items.update(dict.fromkeys(data_ids))
+            else:
+                self._items.update(zip(data_ids, payloads))
+            return
+        if payloads is None:
+            for data_id in data_ids:
+                self.store(data_id)
+        else:
+            for data_id, payload in zip(data_ids, payloads):
+                self.store(data_id, payload)
+
     def has(self, data_id: str) -> bool:
         return data_id in self._items
 

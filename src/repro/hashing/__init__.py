@@ -7,6 +7,7 @@ from .batch import (
     data_positions,
     positions_from_digests,
     replica_ids,
+    replica_ids_flat,
     serials_from_digests,
     server_indices,
     server_indices_from_digests,
@@ -32,6 +33,7 @@ __all__ = [
     "data_positions",
     "server_indices",
     "replica_ids",
+    "replica_ids_flat",
     "positions_from_digests",
     "server_indices_from_digests",
     "serials_from_digests",

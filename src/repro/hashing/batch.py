@@ -103,6 +103,23 @@ def replica_ids(data_ids: Sequence[str], copies: int) -> List[List[str]]:
     ]
 
 
+def replica_ids_flat(data_ids: Sequence[str],
+                     copies: int) -> List[str]:
+    """Replica identifiers flattened copy-major (``copies`` rows per
+    id, copy 0 = the id itself) — the layout the batch fan-out path
+    hashes and routes as one array program.
+
+    Equals ``[replica_id(d, c) for d in data_ids for c in range(copies)]``
+    without a function call per replica.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    if copies == 1:
+        return list(data_ids)
+    return [d if c == 0 else f"{d}#copy{c}"
+            for d in data_ids for c in range(copies)]
+
+
 def batch_hash(data_ids: Sequence[str], num_servers: int
                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One digest pass → ``(positions, server serials, u64 serials)``."""

@@ -16,6 +16,8 @@ import hashlib
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import GredNetwork, utils
 from repro.controlplane import RoutingIndex
@@ -324,3 +326,338 @@ class TestSeededFallbackRng:
         utils.reseed()
         assert sorted(g1.edges()) == sorted(g2.edges())
         assert pos1 == pos2
+
+
+class TestFastpathGates:
+    """The ``(predicate, reason)`` gate list is the single source of
+    truth: the facade's boolean and the operator-facing reason list
+    must agree in every configuration."""
+
+    def _agree(self, net):
+        from repro.dataplane import batch_fastpath_blockers, \
+            fastpath_usable
+
+        blockers = batch_fastpath_blockers(net)
+        assert fastpath_usable(net) == (blockers == [])
+        assert net._fastpath_usable() == (blockers == [])
+        return blockers
+
+    def test_clean_network_is_eligible(self):
+        net, _ = build_pair(switches=12)
+        assert self._agree(net) == []
+
+    def test_fault_state_gate(self):
+        from repro.faults import FaultState
+
+        net, _ = build_pair(switches=12)
+        net.fault_state = FaultState()
+        assert self._agree(net) == ["fault state attached"]
+        net.fault_state = None
+        assert self._agree(net) == []
+
+    def test_custom_position_fn_gate(self):
+        topology, _ = brite_waxman_graph(
+            12, min_degree=3, rng=np.random.default_rng(0))
+        servers_map = attach_uniform(topology.nodes(),
+                                     servers_per_switch=2)
+        net = GredNetwork(topology, servers_map, cvt_iterations=5,
+                          seed=0, position_fn=lambda d: (0.5, 0.5))
+        assert self._agree(net) == ["custom position_fn"]
+
+    def test_resilience_gate_fires_only_when_blocking(self):
+        class _Pipeline:
+            blocking = False
+
+            def blocks_fastpath(self):
+                return self.blocking
+
+        net, _ = build_pair(switches=12)
+        pipeline = _Pipeline()
+        net._resilience = pipeline
+        assert self._agree(net) == []
+        pipeline.blocking = True
+        assert self._agree(net) == ["resilience breakers tripped"]
+        del net._resilience
+
+    def test_new_gate_reaches_both_views(self, monkeypatch):
+        """A gate appended to ``FASTPATH_GATES`` must flip the boolean
+        and the reason list together — neither view hardcodes the
+        conditions."""
+        from repro.dataplane import fastpath
+
+        extended = fastpath.FASTPATH_GATES + (
+            (lambda net: True, "always blocked"),)
+        monkeypatch.setattr(fastpath, "FASTPATH_GATES", extended)
+        net, _ = build_pair(switches=12)
+        assert self._agree(net) == ["always blocked"]
+
+
+class TestPlaneDtypeInvariants:
+    def test_compiled_plane_dtypes(self):
+        net, _ = build_pair(switches=12)
+        net.place_many([f"dt/{i}" for i in range(8)],
+                       rng=np.random.default_rng(0))
+        flat = net._fast_state().router._ensure_flat()
+        for name in ("sid_sorted", "sid", "ns", "kind", "nid", "nrow"):
+            assert getattr(flat, name).dtype == np.int64, name
+        for name in ("ox", "oy", "cx", "cy"):
+            assert getattr(flat, name).dtype == np.float64, name
+        assert flat.chains_built
+        for name in ("chain_off", "chain_len", "chain_err"):
+            assert getattr(flat, name).dtype == np.int64, name
+
+    def test_dtype_violation_is_rejected(self):
+        net, _ = build_pair(switches=12)
+        net.destinations_for(["dt/x"])
+        flat = net._fast_state().router._ensure_flat()
+        good = flat.ns
+        flat.ns = good.astype(np.uint64)
+        try:
+            with pytest.raises(AssertionError, match="ns must be int64"):
+                flat._assert_invariants()
+        finally:
+            flat.ns = good
+        flat._assert_invariants()
+
+
+class TestRouteCacheEviction:
+    def test_stats_cache_follows_route_lru(self, monkeypatch):
+        """Evicting a route must evict its decision-mix stats entry:
+        the stats dict can never outgrow the route LRU."""
+        import repro.core.network as core_network
+
+        monkeypatch.setattr(core_network, "_ROUTE_CACHE_CAP", 32)
+        net, _ = build_pair(switches=20)
+        net.place_many([f"cap/{i}" for i in range(300)],
+                       rng=np.random.default_rng(0), copies=2)
+        state = net._fastpath
+        assert len(state.routes) <= 32
+        assert len(state.stats) <= len(state.routes)
+        assert set(state.stats) <= set(state.routes)
+        # Warm hits on the survivors keep both caches aligned.
+        survivors = [key[1] for key in list(state.routes)
+                     if "#copy" not in key[1]]
+        if survivors:
+            net.retrieve_many(survivors,
+                              rng=np.random.default_rng(1))
+            assert set(state.stats) <= set(state.routes)
+
+
+class TestWorkerSharding:
+    def _clean(self, net):
+        net.close_worker_pools()
+
+    def test_sharded_place_and_retrieve_match_in_process(self):
+        single, sharded = build_pair(switches=30)
+        ids = [f"shard/{i}" for i in range(400)]
+        r1, r2 = (np.random.default_rng(3) for _ in range(2))
+        expected = single.place_many(
+            ids, payloads=[{"k": d} for d in ids], copies=2, rng=r1)
+        got = sharded.place_many(
+            ids, payloads=[{"k": d} for d in ids], copies=2, rng=r2,
+            workers=3)
+        try:
+            assert got == expected
+            assert single.load_vector() == sharded.load_vector()
+            probe = ids + [f"miss/{i}" for i in range(50)]
+            r1, r2 = (np.random.default_rng(4) for _ in range(2))
+            assert sharded.retrieve_many(probe, copies=2, rng=r2,
+                                         workers=3) == \
+                single.retrieve_many(probe, copies=2, rng=r1)
+        finally:
+            self._clean(sharded)
+
+    def test_pool_resyncs_after_control_plane_change(self):
+        single, sharded = build_pair(switches=24)
+        warm = [f"warm/{i}" for i in range(60)]
+        single.place_many(warm, rng=np.random.default_rng(1))
+        sharded.place_many(warm, rng=np.random.default_rng(1),
+                           workers=2)
+        try:
+            single.controller.recompute()
+            sharded.controller.recompute()
+            ids = [f"post/{i}" for i in range(120)]
+            r1, r2 = (np.random.default_rng(2) for _ in range(2))
+            assert sharded.place_many(ids, rng=r2, workers=2) == \
+                single.place_many(ids, rng=r1)
+            assert single.load_vector() == sharded.load_vector()
+        finally:
+            self._clean(sharded)
+
+    def test_unsynced_pool_rejects_batches(self):
+        from repro.dataplane import ShardPool
+
+        pool = ShardPool(1)
+        try:
+            with pytest.raises(RuntimeError, match="sync"):
+                pool.route_batch_packed(
+                    np.zeros(1, dtype=np.int64),
+                    np.zeros(1), np.zeros(1),
+                    np.zeros(1, dtype=np.uint64), 10)
+        finally:
+            pool.close()
+
+    def test_worker_exception_propagates(self, monkeypatch):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to inherit the patched walker")
+        from repro.dataplane import ShardPool, shard
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("shard walker exploded")
+
+        # The worker loop calls the name bound in the shard module;
+        # fork-started workers inherit the patched binding.
+        monkeypatch.setattr(shard, "_route_batch_packed", boom)
+        net, _ = build_pair(switches=12)
+        net.destinations_for(["w/x"])
+        state = net._fast_state()
+        pool = ShardPool(2, start_method="fork")
+        try:
+            pool.sync(state.router, (state.epoch, state.version))
+            with pytest.raises(RuntimeError,
+                               match="shard walker exploded"):
+                pool.route_batch_packed(
+                    np.asarray([net.switch_ids()[0]] * 4,
+                               dtype=np.int64),
+                    np.full(4, 0.5), np.full(4, 0.5),
+                    np.arange(4, dtype=np.uint64), 64)
+        finally:
+            pool.close()
+
+    def test_telemetry_parity_under_workers(self):
+        """A sharded run emits the same shared aggregates as the
+        in-process batch path; only the ``dataplane.batch.*`` extras
+        (wave counts are per-shard) may differ."""
+        from repro.obs import MetricsRegistry, set_default_registry
+
+        def run(workers):
+            net, _ = build_pair(switches=24)
+            registry = MetricsRegistry(enabled=True)
+            previous = set_default_registry(registry)
+            try:
+                ids = [f"tp/{i}" for i in range(150)]
+                net.place_many(ids, copies=2,
+                               rng=np.random.default_rng(5),
+                               workers=workers)
+                net.retrieve_many(ids + [f"tmiss/{i}"
+                                         for i in range(30)],
+                                  copies=2,
+                                  rng=np.random.default_rng(6),
+                                  workers=workers)
+                dump = registry.to_dict(include_events=False)
+            finally:
+                net.close_worker_pools()
+                set_default_registry(previous)
+            out = {}
+            for kind in ("counters", "gauges", "histograms"):
+                out[kind] = {
+                    (e["name"], tuple(sorted(e["labels"].items()))):
+                    {k: v for k, v in e.items()
+                     if k not in ("name", "labels")}
+                    for e in dump[kind]
+                    if not e["name"].startswith("dataplane.batch.")
+                }
+            return out
+
+        single, sharded = run(None), run(2)
+        for kind in ("counters", "gauges", "histograms"):
+            assert single[kind] == sharded[kind], kind
+
+
+class TestGroupedStore:
+    def test_bounded_servers_fall_back_and_match_scalar(self):
+        topology, _ = brite_waxman_graph(
+            16, min_degree=3, rng=np.random.default_rng(2))
+
+        def build():
+            servers_map = attach_uniform(topology.nodes(),
+                                         servers_per_switch=2,
+                                         capacity=100)
+            return GredNetwork(topology, servers_map,
+                               cvt_iterations=8, seed=2)
+
+        scalar, batch = build(), build()
+        ids = [f"cap/{i}" for i in range(80)]
+        r1, r2 = (np.random.default_rng(3) for _ in range(2))
+        expected = [scalar.place(d, payload=d, rng=r1) for d in ids]
+        assert batch.place_many(ids, payloads=list(ids),
+                                rng=r2) == expected
+        assert scalar.load_vector() == batch.load_vector()
+
+    def test_extensions_fall_back_and_match_scalar(self):
+        scalar, batch = build_pair(switches=20)
+        for net in (scalar, batch):
+            net.extend_range(net.switch_ids()[0], 0)
+        assert any(
+            sw.table.has_extensions()
+            for sw in batch.controller.switches.values())
+        ids = [f"ext/{i}" for i in range(120)]
+        r1, r2 = (np.random.default_rng(4) for _ in range(2))
+        expected = [scalar.place(d, copies=2, rng=r1) for d in ids]
+        assert batch.place_many(ids, copies=2, rng=r2) == expected
+        assert scalar.load_vector() == batch.load_vector()
+
+    def test_grouped_payloads_land_on_the_right_replica(self):
+        net, _ = build_pair(switches=20)
+        ids = [f"pay/{i}" for i in range(60)]
+        payloads = [{"item": d} for d in ids]
+        net.place_many(ids, payloads=payloads, copies=3,
+                       rng=np.random.default_rng(5))
+        results = net.retrieve_many(ids,
+                                    rng=np.random.default_rng(6))
+        for data_id, result in zip(ids, results):
+            assert result.found
+            assert result.payload == {"item": data_id}
+
+
+class TestDifferentialProperties:
+    """S4: randomized differential sweep — for random topologies,
+    batch sizes, replica counts, and worker counts, the vectorized
+    (and worker-sharded) batch pipeline is byte-identical to the
+    scalar reference loop."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        switches=st.integers(min_value=8, max_value=26),
+        batch=st.integers(min_value=1, max_value=48),
+        copies=st.integers(min_value=2, max_value=3),
+        workers=st.sampled_from([None, 2, 3]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_batch_pipeline_matches_scalar_reference(
+            self, seed, switches, batch, copies, workers):
+        topology, _ = brite_waxman_graph(
+            switches, min_degree=3, rng=np.random.default_rng(seed))
+
+        def build():
+            servers_map = attach_uniform(topology.nodes(),
+                                         servers_per_switch=2)
+            return GredNetwork(topology, servers_map,
+                               cvt_iterations=4, seed=seed)
+
+        scalar, vector = build(), build()
+        ids = [f"d{seed}/{i}" for i in range(batch)]
+        r1, r2 = (np.random.default_rng(seed + 1) for _ in range(2))
+        expected = [scalar.place(d, payload=(d, seed), copies=copies,
+                                 rng=r1) for d in ids]
+        try:
+            got = vector.place_many(ids,
+                                    payloads=[(d, seed) for d in ids],
+                                    copies=copies, rng=r2,
+                                    workers=workers)
+            assert got == expected
+            assert scalar.load_vector() == vector.load_vector()
+            probe = [d for pair in zip(
+                ids, (f"m{seed}/{i}" for i in range(batch)))
+                for d in pair]
+            r1, r2 = (np.random.default_rng(seed + 2)
+                      for _ in range(2))
+            want = [scalar.retrieve(d, copies=copies, max_hops=6,
+                                    rng=r1) for d in probe]
+            assert vector.retrieve_many(probe, copies=copies,
+                                        max_hops=6, rng=r2,
+                                        workers=workers) == want
+        finally:
+            vector.close_worker_pools()
