@@ -81,7 +81,7 @@ def main() -> None:
     print(f"\noverload manager: {len(extensions)} active range "
           f"extensions: {extensions[:6]}")
     utilizations = [
-        server.load / server.capacity
+        server.utilization
         for node in net.switch_ids()
         for server in net.server_map[node]
     ]

@@ -14,6 +14,9 @@ File-backed workflows over a saved deployment snapshot::
     gred reconcile -n net.json [--max-divergence 0]   # anti-entropy
     gred reconcile [--quick] [-o CONVERGENCE_report.json]
                    [--max-divergence 0]   # churn-under-loss experiment
+    gred scrub -n net.json [--max-divergence 0]   # storage anti-entropy
+    gred scrub [--quick] [-o DURABILITY_report.json]
+               [--max-divergence 0]   # crash+partition+delete churn
     gred loadtest [--quick] [--min-goodput 0.99] [-o SLO_report.json]
                   [--trace-out traces.jsonl [--trace-sample 0.05]]
     gred trace -n net.json [data_id] [--summary]
@@ -395,6 +398,59 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "reconcile (CI gate; the experiment "
                                 "mode additionally requires the "
                                 "install_all_rules oracle to match)")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="storage anti-entropy scrub of a snapshot (-n), or the "
+             "crash+partition+delete durability experiment writing "
+             "DURABILITY_report.json")
+    scrub.add_argument("-n", "--network", default=None,
+                       help="snapshot to scrub in place (omit to run "
+                            "the durability experiment instead)")
+    scrub.add_argument("--switches", type=int, default=40)
+    scrub.add_argument("--servers", type=int, default=2,
+                       help="servers per switch")
+    scrub.add_argument("--items", type=int, default=120,
+                       help="items seeded before the fault schedule")
+    scrub.add_argument("--copies", type=int, default=2,
+                       help="replicas per item")
+    scrub.add_argument("--ops", type=int, default=80,
+                       help="delete-heavy write ops driven through "
+                            "the partitioned network")
+    scrub.add_argument("--crash-fraction", type=float, default=0.2,
+                       help="fraction of edge servers crashed before "
+                            "the partition window")
+    scrub.add_argument("--partition-fraction", type=float,
+                       default=0.3,
+                       help="fraction of switches split away during "
+                            "the write workload")
+    scrub.add_argument("--late-crashes", type=int, default=3,
+                       help="extra crashes inside the partition "
+                            "window")
+    scrub.add_argument("--cvt-iterations", type=int, default=10)
+    scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument("--max-sweeps", type=int, default=6,
+                       help="scrub sweep budget")
+    scrub.add_argument("--quick", action="store_true",
+                       help="tiny CI smoke preset (overrides the "
+                            "workload-shape flags)")
+    scrub.add_argument("-o", "--output",
+                       default="DURABILITY_report.json",
+                       metavar="FILE",
+                       help="experiment report path (default: "
+                            "DURABILITY_report.json)")
+    scrub.add_argument("--json", action="store_true",
+                       help="print the full report instead of the "
+                            "summary")
+    scrub.add_argument("--max-divergence", type=int, default=None,
+                       metavar="N",
+                       help="exit nonzero when more than N "
+                            "(server, hash-range) pairs stay "
+                            "divergent after the scrub (CI gate; "
+                            "the experiment mode additionally "
+                            "requires the fault-free oracle to "
+                            "match: zero resurrected, lost or "
+                            "stale items)")
     return parser
 
 
@@ -1137,6 +1193,117 @@ def _reconcile_experiment(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_scrub(args) -> int:
+    if args.network is not None:
+        return _scrub_snapshot(args)
+    return _scrub_experiment(args)
+
+
+def _scrub_snapshot(args) -> int:
+    """Anti-entropy sweep over a saved deployment's storage plane:
+    drain parked hints, repair stale/missing/orphaned replicas and
+    collect eligible tombstones, then save the snapshot back."""
+    from .core import storage_divergence
+
+    net = _load(args.network)
+    report = net.scrub(max_sweeps=args.max_sweeps)
+    divergent = storage_divergence(net)
+    _save(net, args.network)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"sweeps             : {report.sweeps}")
+        print(f"hints drained      : {report.hints_drained}")
+        print(f"repairs            : {report.repairs}")
+        print(f"resurrections cut  : {report.resurrections_removed}")
+        print(f"orphans removed    : {report.orphans_removed}")
+        print(f"tombstones gc'd    : {report.tombstones_gced}")
+        print(f"unreachable skips  : {report.skipped_unreachable}")
+        print(f"still divergent    : {divergent}")
+    if args.max_divergence is not None and \
+            divergent > args.max_divergence:
+        print(f"error: {divergent} (server, range) pair(s) stay "
+              f"divergent after scrub, above the --max-divergence "
+              f"gate {args.max_divergence}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _scrub_experiment(args) -> int:
+    """Crash+partition+delete durability experiment; writes the
+    committed DURABILITY_report.json CI artifact."""
+    from .experiments.durability import run_durability
+
+    if args.quick:
+        report = run_durability(
+            switches=24, servers_per_switch=args.servers, items=60,
+            copies=args.copies, ops=40,
+            crash_fraction=args.crash_fraction,
+            partition_fraction=args.partition_fraction,
+            late_crashes=args.late_crashes, cvt_iterations=5,
+            seed=args.seed, max_sweeps=args.max_sweeps)
+    else:
+        report = run_durability(
+            switches=args.switches,
+            servers_per_switch=args.servers, items=args.items,
+            copies=args.copies, ops=args.ops,
+            crash_fraction=args.crash_fraction,
+            partition_fraction=args.partition_fraction,
+            late_crashes=args.late_crashes,
+            cvt_iterations=args.cvt_iterations, seed=args.seed,
+            max_sweeps=args.max_sweeps)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        config = report["config"]
+        workload = report["workload"]
+        divergence = report["divergence"]
+        scrub_stats = report["scrub"]
+        print(f"workload           : {workload['items_placed']} "
+              f"item(s), {workload['items_deleted']} deleted, "
+              f"{config['ops']} op(s) under partition")
+        print(f"faults             : {workload['crashes']} crash(es) "
+              f"({workload['crash_fraction_actual']:.0%} of servers), "
+              f"partition_fraction={config['partition_fraction']:g}")
+        print(f"hints              : "
+              f"{workload['hints_parked_pre_scrub']} parked, "
+              f"{scrub_stats['hints_drained']} drained by scrub")
+        print(f"divergence         : {divergence['before_scrub']} "
+              f"before scrub, {divergence['after_scrub']} after "
+              f"({scrub_stats['sweeps']} sweep(s), "
+              f"{scrub_stats['repairs']} repair(s))")
+        print(f"tombstones         : "
+              f"{scrub_stats['resurrections_removed']} "
+              f"resurrection(s) cut, {scrub_stats['tombstones_gced']} "
+              f"gc'd")
+        print(f"oracle verdicts    : {len(report['resurrected'])} "
+              f"resurrected, {len(report['lost'])} lost, "
+              f"{len(report['stale'])} stale, "
+              f"{len(report['unavailable'])} unavailable")
+        print(f"oracle match       : {report['oracle_match']}")
+    print(f"wrote {args.output}")
+    failures = []
+    if args.max_divergence is not None:
+        after = report["divergence"]["after_scrub"]
+        if after > args.max_divergence:
+            failures.append(
+                f"{after} (server, range) pair(s) stay divergent "
+                f"after scrub, above the --max-divergence gate "
+                f"{args.max_divergence}")
+        if not report["oracle_match"]:
+            failures.append(
+                "storage plane diverges from the fault-free oracle: "
+                f"{len(report['resurrected'])} resurrected, "
+                f"{len(report['lost'])} lost, "
+                f"{len(report['stale'])} stale, "
+                f"{len(report['unavailable'])} unavailable")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "place": _cmd_place,
@@ -1155,6 +1322,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "churn": _cmd_churn,
     "reconcile": _cmd_reconcile,
+    "scrub": _cmd_scrub,
 }
 
 

@@ -2,6 +2,12 @@
 
 from .network import GredError, GredNetwork
 from .results import PlacementRecord, PlacementResult, RetrievalResult
+from .scrub import (
+    ScrubReport,
+    infer_catalog,
+    scrub_network,
+    storage_divergence,
+)
 
 __all__ = [
     "GredNetwork",
@@ -9,4 +15,8 @@ __all__ = [
     "PlacementRecord",
     "PlacementResult",
     "RetrievalResult",
+    "ScrubReport",
+    "infer_catalog",
+    "scrub_network",
+    "storage_divergence",
 ]

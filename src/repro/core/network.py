@@ -38,7 +38,13 @@ from ..dataplane import (
     RouteResult,
     route_packet,
 )
-from ..edge import EdgeServer, ServerMap, attach_uniform, load_vector
+from ..edge import (
+    EdgeServer,
+    ServerMap,
+    StorageFull,
+    attach_uniform,
+    load_vector,
+)
 from ..geometry import euclidean
 from ..graph import Graph, bfs_distances, hop_count
 from ..hashing import (
@@ -47,6 +53,7 @@ from ..hashing import (
     replica_id,
     replica_ids_flat,
     serials_from_digests,
+    server_index,
     sha256_digests,
 )
 from ..obs import BYTE_BUCKETS, HOP_BUCKETS, default_registry, demand_region
@@ -172,6 +179,38 @@ class GredNetwork:
     @fault_state.setter
     def fault_state(self, state) -> None:
         self._fault_state = state
+
+    @property
+    def hinted_handoff(self) -> bool:
+        """Whether writes/deletes aimed at an unreachable home server
+        are parked as hints on the nearest live server (drained by
+        :meth:`drain_hints` / :meth:`scrub`) instead of raising.
+        Off by default: without it a placement toward a crashed,
+        unrepaired server fails loudly, which is the right default for
+        chaos experiments that count errors."""
+        # getattr: snapshots restore via __new__ and predate the field.
+        return getattr(self, "_hinted_handoff", False)
+
+    @hinted_handoff.setter
+    def hinted_handoff(self, enabled: bool) -> None:
+        self._hinted_handoff = bool(enabled)
+
+    @property
+    def write_version(self) -> int:
+        """The network-global write clock: how many stamped write /
+        delete operations have been issued.  Only advances while a
+        fault state is attached (stamps exist for repair; the
+        fault-free paths stay byte-identical without them)."""
+        return getattr(self, "_write_version", 0)
+
+    def _next_stamp(self, origin: int):
+        """Allocate the next ``(version, origin)`` write stamp.  One
+        stamp is shared by every copy of one logical operation so
+        cross-copy staleness is comparable."""
+        version = getattr(self, "_write_version", 0) + 1
+        self._write_version = version
+        return (version, origin)
+
     @property
     def topology(self) -> Graph:
         return self.controller.topology
@@ -236,25 +275,32 @@ class GredNetwork:
         if copies < 1:
             raise GredError(f"copies must be >= 1, got {copies}")
         entry = self._resolve_entry(entry_switch, rng)
+        # One stamp per logical operation, shared by all copies, so a
+        # scrub can compare copies of the same write.  Stamps exist
+        # only under an attached fault state: the fault-free paths
+        # (including the grouped batch store) stay byte-identical.
+        stamp = (self._next_stamp(entry)
+                 if self.fault_state is not None else None)
         records = []
         for i in range(copies):
             records.append(self._place_one(replica_id(data_id, i),
-                                           payload, entry))
+                                           payload, entry, stamp=stamp))
         return PlacementResult(data_id=data_id, records=records)
 
     def _place_one(self, copy_id: str, payload: Any,
-                   entry: int) -> PlacementRecord:
+                   entry: int, stamp=None) -> PlacementRecord:
         recorder = default_span_recorder()
         if recorder is None:
             return self._place_one_traced(copy_id, payload, entry,
-                                          None, None)
+                                          None, None, stamp=stamp)
         with recorder.trace("request.place", key=copy_id,
                             entry=entry) as handle:
             return self._place_one_traced(copy_id, payload, entry,
-                                          recorder, handle)
+                                          recorder, handle, stamp=stamp)
 
     def _place_one_traced(self, copy_id: str, payload: Any, entry: int,
-                          recorder, handle) -> PlacementRecord:
+                          recorder, handle, stamp=None
+                          ) -> PlacementRecord:
         tracer = None
         if handle is not None and handle.recording:
             from ..dataplane import Tracer
@@ -266,9 +312,17 @@ class GredNetwork:
             position=self._position_fn(copy_id),
             payload=payload,
         )
-        route = route_packet(self.controller.switches, entry, packet,
-                             tracer=tracer,
-                             fault_state=self.fault_state)
+        try:
+            route = route_packet(self.controller.switches, entry, packet,
+                                 tracer=tracer,
+                                 fault_state=self.fault_state)
+        except ForwardingError:
+            if not self.hinted_handoff or self.fault_state is None:
+                raise
+            # The home is unroutable (partition / outage): park the
+            # write as a hint near the entry instead of failing.
+            return self._hinted_record(copy_id, payload, entry, stamp,
+                                       handle)
         delivery = route.delivery
         extended = delivery.extension is not None
         if extended:
@@ -283,12 +337,16 @@ class GredNetwork:
             physical_hops = route.physical_hops
         if self.fault_state is not None and \
                 not self.fault_state.server_alive(target.server_id):
+            if self.hinted_handoff:
+                return self._hinted_record(copy_id, payload, entry,
+                                           stamp, handle,
+                                           target=target.server_id)
             raise GredError(
                 f"cannot place {copy_id!r}: target server "
                 f"{target.server_id} has crashed and has not been "
                 f"repaired yet"
             )
-        target.store(copy_id, payload)
+        target.store(copy_id, payload, stamp=stamp)
         registry = default_registry()
         if registry.enabled:
             registry.counter("core.places").inc()
@@ -338,6 +396,7 @@ class GredNetwork:
         copies: int = 1,
         rng: Optional[np.random.Generator] = None,
         max_hops: Optional[int] = None,
+        read_repair: bool = False,
     ) -> RetrievalResult:
         """Retrieve ``data_id``, walking its replicas nearest-first.
 
@@ -351,27 +410,35 @@ class GredNetwork:
 
         ``max_hops`` optionally bounds each probe's forwarding path
         (the per-request hop budget of degraded mode).
+
+        With ``read_repair=True`` a successful walk also synchronizes
+        the item's replicas to the newest stamp observed among them
+        (:meth:`read_repair`) — opt-in anti-entropy piggybacked on the
+        read path.
         """
         if copies < 1:
             raise GredError(f"copies must be >= 1, got {copies}")
         entry = self._resolve_entry(entry_switch, rng)
         recorder = default_span_recorder()
         if recorder is None:
-            return self._retrieve_ordered(data_id, entry, copies,
-                                          max_hops)
-        with recorder.trace("request.retrieve", key=data_id,
-                            entry=entry) as handle:
             result = self._retrieve_ordered(data_id, entry, copies,
                                             max_hops)
-            if handle.recording:
-                handle.set(found=result.found,
-                           attempts=result.attempts,
-                           copy_used=result.copy_used,
-                           request_hops=result.request_hops,
-                           response_hops=result.response_hops)
-                if not result.found:
-                    handle.fail("miss")
-            return result
+        else:
+            with recorder.trace("request.retrieve", key=data_id,
+                                entry=entry) as handle:
+                result = self._retrieve_ordered(data_id, entry, copies,
+                                                max_hops)
+                if handle.recording:
+                    handle.set(found=result.found,
+                               attempts=result.attempts,
+                               copy_used=result.copy_used,
+                               request_hops=result.request_hops,
+                               response_hops=result.response_hops)
+                    if not result.found:
+                        handle.fail("miss")
+        if read_repair and copies > 1:
+            self.read_repair(data_id, copies)
+        return result
 
     def _retrieve_ordered(self, data_id: str, entry: int, copies: int,
                           max_hops: Optional[int]) -> RetrievalResult:
@@ -1467,9 +1534,20 @@ class GredNetwork:
     def delete(self, data_id: str, copies: int = 1,
                entry_switch: Optional[int] = None) -> int:
         """Delete all copies of a data item; returns how many were
-        removed."""
+        removed.
+
+        Fault-free, a delete simply pops the copies.  With a fault
+        state attached, each copy is *entombed* instead: a stamped
+        tombstone replaces it so a later repair or scrub cannot
+        resurrect the item from a stale survivor, and a copy whose
+        home is unroutable is skipped (or, with
+        :attr:`hinted_handoff`, parked as a delete hint) rather than
+        aborting the remaining copies mid-loop.
+        """
         removed = 0
         entry = self._resolve_entry(entry_switch, None)
+        fault = self.fault_state
+        stamp = self._next_stamp(entry) if fault is not None else None
         for i in range(copies):
             copy_id = replica_id(data_id, i)
             packet = Packet(
@@ -1477,8 +1555,22 @@ class GredNetwork:
                 data_id=copy_id,
                 position=self._position_fn(copy_id),
             )
-            route = route_packet(self.controller.switches, entry, packet,
-                                 fault_state=self.fault_state)
+            try:
+                route = route_packet(self.controller.switches, entry,
+                                     packet,
+                                     fault_state=self.fault_state)
+            except ForwardingError:
+                if stamp is None:
+                    raise
+                registry = default_registry()
+                if self.hinted_handoff:
+                    self._park_hint(copy_id, "delete",
+                                    self._home_server(copy_id).server_id,
+                                    stamp, None, entry)
+                elif registry.enabled:
+                    registry.counter(
+                        "durability.deletes_unreachable").inc()
+                continue
             delivery = route.delivery
             servers = [self.server(delivery.switch,
                                    delivery.primary_serial)]
@@ -1487,9 +1579,14 @@ class GredNetwork:
                     self.server(delivery.extension.target_switch,
                                 delivery.extension.target_serial)
                 )
+            hit = False
             for server in servers:
                 if server.has(copy_id):
-                    server.delete(copy_id)
+                    if stamp is None:
+                        server.delete(copy_id)
+                    else:
+                        self._entomb(server, copy_id, stamp)
+                    hit = True
                     removed += 1
                     registry = default_registry()
                     if registry.enabled:
@@ -1499,7 +1596,215 @@ class GredNetwork:
                             serial=server.serial,
                         ).set(server.load)
                     break
+            if stamp is not None and not hit:
+                # No live copy at the home (it may sit on a crashed,
+                # not-yet-repaired server): still record the tombstone
+                # so repair cannot rebuild the copy later.
+                home = servers[0]
+                if fault.server_alive(home.server_id):
+                    self._entomb(home, copy_id, stamp)
+                elif self.hinted_handoff:
+                    self._park_hint(copy_id, "delete", home.server_id,
+                                    stamp, None, entry)
         return removed
+
+    # ------------------------------------------------------------------
+    # durability: hints, read repair, anti-entropy scrub
+    # ------------------------------------------------------------------
+    def _home_server(self, copy_id: str) -> EdgeServer:
+        """The server that canonically owns a replica id right now
+        (control-plane computation, no routing): the ``H(d) mod s``
+        server of the closest switch, redirected by an active range
+        extension."""
+        switch = self.controller.closest_switch(
+            self._position_fn(copy_id))
+        servers = self.server_map[switch]
+        serial = server_index(copy_id, len(servers))
+        extension = self.controller.switches[switch].table.extension_for(
+            serial)
+        if extension is not None:
+            return self.server(extension.target_switch,
+                               extension.target_serial)
+        return servers[serial]
+
+    def _nearest_live_server(self, entry: int) -> Optional[EdgeServer]:
+        """The closest live server reachable from ``entry`` (BFS over
+        the physical topology honoring the fault state), or ``None``."""
+        fault = self.fault_state
+        seen = {entry}
+        frontier = [entry]
+        while frontier:
+            next_frontier: List[int] = []
+            for switch in frontier:
+                for server in self.server_map.get(switch, []):
+                    if fault is None or fault.server_alive(
+                            server.server_id):
+                        return server
+                for peer in sorted(self.topology.neighbors(switch)):
+                    if peer in seen:
+                        continue
+                    if fault is not None and \
+                            not fault.can_forward(switch, peer):
+                        continue
+                    seen.add(peer)
+                    next_frontier.append(peer)
+            frontier = next_frontier
+        return None
+
+    def _park_hint(self, copy_id: str, op: str, target, stamp,
+                   payload: Any, entry: int) -> EdgeServer:
+        """Park a hinted write/delete on the nearest live server."""
+        from ..edge import Hint
+
+        holder = self._nearest_live_server(entry)
+        if holder is None:
+            raise GredError(
+                f"cannot park a hint for {copy_id!r}: no live server "
+                f"is reachable from switch {entry}"
+            )
+        holder.park_hint(Hint(copy_id=copy_id, op=op, target=target,
+                              stamp=stamp, payload=payload))
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("durability.hints_parked").inc()
+        return holder
+
+    def _entomb(self, server: EdgeServer, copy_id: str, stamp) -> bool:
+        """Record a stamped tombstone on a server (counter-wrapped)."""
+        removed = server.entomb(copy_id, stamp)
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("durability.tombstones_written").inc()
+        return removed
+
+    def _hinted_record(self, copy_id: str, payload: Any, entry: int,
+                       stamp, handle, target=None) -> PlacementRecord:
+        """Placement outcome for a copy parked as a hinted write."""
+        if target is None:
+            target = self._home_server(copy_id).server_id
+        holder = self._park_hint(copy_id, "store", target, stamp,
+                                 payload, entry)
+        physical = hop_count(self.topology, entry, holder.switch)
+        if handle is not None and handle.recording:
+            handle.set(destination=holder.switch,
+                       server=holder.server_id, hinted=True)
+        return PlacementRecord(
+            data_id=copy_id,
+            entry_switch=entry,
+            destination_switch=holder.switch,
+            server_id=holder.server_id,
+            physical_hops=physical,
+            overlay_hops=0,
+            trace=[entry],
+            extended=False,
+            hinted=True,
+        )
+
+    def drain_hints(self, ignore_partitions: bool = False) -> int:
+        """Apply every parked hint whose home is live and reachable
+        again; returns the number of hints applied.  Hints whose home
+        is still down (or still partitioned away from the holder, or
+        full) stay parked for the next drain.  The scrubber passes
+        ``ignore_partitions=True``: it is an operator-plane sweep that
+        is not bound by data-plane partitions."""
+        fault = self.fault_state
+        applied = 0
+        for switch in sorted(self.server_map):
+            for holder in self.server_map[switch]:
+                if holder.hint_count == 0:
+                    continue
+                keep = []
+                for hint in holder.take_hints():
+                    home = self._home_server(hint.copy_id)
+                    if fault is not None and (
+                            not fault.server_alive(home.server_id)
+                            or (not ignore_partitions
+                                and not fault.same_side(holder.switch,
+                                                        home.switch))):
+                        keep.append(hint)
+                        continue
+                    try:
+                        if hint.op == "delete":
+                            self._entomb(home, hint.copy_id, hint.stamp)
+                        else:
+                            home.store(hint.copy_id, hint.payload,
+                                       stamp=hint.stamp)
+                    except StorageFull:
+                        keep.append(hint)
+                        continue
+                    applied += 1
+                for hint in keep:
+                    holder.park_hint(hint)
+        registry = default_registry()
+        if applied and registry.enabled:
+            registry.counter("durability.hints_drained").inc(applied)
+        return applied
+
+    def read_repair(self, data_id: str, copies: int = 1) -> int:
+        """Synchronize the live replicas of one item to the newest
+        stamp observed among them (their tombstones included); returns
+        the number of replica homes corrected.  Replicas on crashed or
+        unreachable servers are left for :meth:`scrub`."""
+        from ..edge import NO_STAMP
+
+        fault = self.fault_state
+        holders = []
+        win_stamp = None
+        win_payload = None
+        win_tomb = None
+        for i in range(copies):
+            copy_id = replica_id(data_id, i)
+            home = self._home_server(copy_id)
+            if fault is not None and \
+                    not fault.server_alive(home.server_id):
+                continue
+            tomb = home.tombstone_of(copy_id)
+            if tomb is not None and (win_tomb is None
+                                     or tomb > win_tomb):
+                win_tomb = tomb
+            if home.has(copy_id):
+                stamp = home.stamp_of(copy_id) or NO_STAMP
+                if win_stamp is None or stamp > win_stamp:
+                    win_stamp = stamp
+                    win_payload = home.retrieve(copy_id)
+                holders.append((copy_id, home, stamp))
+            else:
+                holders.append((copy_id, home, None))
+        repaired = 0
+        if win_tomb is not None and (win_stamp is None
+                                     or win_tomb > win_stamp):
+            # The newest write is a delete: entomb the stale leftovers.
+            for copy_id, home, stamp in holders:
+                if stamp is not None and self._entomb(home, copy_id,
+                                                      win_tomb):
+                    repaired += 1
+        elif win_stamp is not None:
+            for copy_id, home, stamp in holders:
+                if stamp is not None and stamp >= win_stamp:
+                    continue
+                try:
+                    stored = (home.store(copy_id, win_payload)
+                              if win_stamp == NO_STAMP
+                              else home.store(copy_id, win_payload,
+                                              stamp=win_stamp))
+                except StorageFull:
+                    continue
+                if stored:
+                    repaired += 1
+        registry = default_registry()
+        if repaired and registry.enabled:
+            registry.counter("durability.read_repairs").inc(repaired)
+        return repaired
+
+    def scrub(self, catalog=None, **kwargs):
+        """Run the anti-entropy scrubber over the whole storage plane
+        (see :func:`repro.core.scrub.scrub_network`): drain hints,
+        resolve each catalogued item's winning stamp, compare
+        per-server hash-range digests and repair only the mismatching
+        ranges.  Returns a :class:`~repro.core.scrub.ScrubReport`."""
+        from .scrub import scrub_network
+
+        return scrub_network(self, catalog, **kwargs)
 
     # ------------------------------------------------------------------
     # range extension (paper Section V-B)
@@ -1518,7 +1823,8 @@ class GredNetwork:
             source = self.server(switch, serial)
             target = self.server(entry.target_switch, entry.target_serial)
             for item_id in source.stored_ids():
-                target.store(item_id, source.retrieve(item_id))
+                target.store(item_id, source.retrieve(item_id),
+                             stamp=source.stamp_of(item_id))
                 source.delete(item_id)
 
     def retract_range(self, switch: int, serial: int) -> int:
@@ -1552,7 +1858,8 @@ class GredNetwork:
                     f"migrate back"
                 )
         for item_id in belonging:
-            home.store(item_id, source.retrieve(item_id))
+            home.store(item_id, source.retrieve(item_id),
+                       stamp=source.stamp_of(item_id))
             source.delete(item_id)
         self.controller.retract_range(switch, serial)
         return len(belonging)
@@ -1619,7 +1926,8 @@ class GredNetwork:
         orphans = []
         for server in servers:
             for item_id in server.stored_ids():
-                orphans.append((item_id, server.retrieve(item_id)))
+                orphans.append((item_id, server.retrieve(item_id),
+                                server.stamp_of(item_id)))
             server.clear()
         # Re-place from a surviving physical neighbor of the leaver.
         neighbors = [n for n in self.topology.neighbors(switch_id)]
@@ -1643,8 +1951,8 @@ class GredNetwork:
                     s,
                 ),
             )
-        for item_id, payload in orphans:
-            self._place_one(item_id, payload, entry)
+        for item_id, payload, stamp in orphans:
+            self._place_one(item_id, payload, entry, stamp=stamp)
         if orphans:
             default_registry().counter("core.migrations").inc(
                 len(orphans))
@@ -1661,8 +1969,10 @@ class GredNetwork:
                                         server.serial):
                         continue
                     payload = server.retrieve(item_id)
+                    stamp = server.stamp_of(item_id)
                     server.delete(item_id)
-                    self._place_one(item_id, payload, switch)
+                    self._place_one(item_id, payload, switch,
+                                    stamp=stamp)
                     moved += 1
         if moved:
             default_registry().counter("core.migrations").inc(moved)

@@ -33,6 +33,11 @@ class PlacementRecord:
         Switch ids visited by the request.
     extended:
         True when the copy was redirected by a range extension.
+    hinted:
+        True when the copy could not reach its home server (crashed or
+        partitioned away) and was parked as a hinted-handoff write on
+        the nearest live server instead; ``server_id`` then names the
+        hint holder, not the home.
     """
 
     data_id: str
@@ -43,6 +48,7 @@ class PlacementRecord:
     overlay_hops: int
     trace: List[int] = field(default_factory=list)
     extended: bool = False
+    hinted: bool = False
 
 
 @dataclass

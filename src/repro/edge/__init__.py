@@ -1,6 +1,20 @@
 """Edge plane: edge servers, capacity models, and switch attachment."""
 
-from .server import EdgeServer, ServerId, StorageFull
+from .server import (
+    NO_STAMP,
+    EdgeServer,
+    Hint,
+    ServerId,
+    Stamp,
+    StorageFull,
+)
+from .antientropy import (
+    DEFAULT_RANGES,
+    hash_range,
+    rows_digest,
+    server_range_digests,
+    server_rows,
+)
 from .attachment import (
     ServerMap,
     all_servers,
@@ -12,8 +26,16 @@ from .attachment import (
 
 __all__ = [
     "EdgeServer",
+    "Hint",
+    "NO_STAMP",
     "ServerId",
+    "Stamp",
     "StorageFull",
+    "DEFAULT_RANGES",
+    "hash_range",
+    "rows_digest",
+    "server_range_digests",
+    "server_rows",
     "ServerMap",
     "attach_uniform",
     "attach_heterogeneous",

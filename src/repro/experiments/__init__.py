@@ -30,6 +30,7 @@ from .ablations import (
 )
 from .control_churn import run_control_churn
 from .convergence import run_convergence
+from .durability import run_durability
 from .extensions import (
     run_adaptive_replication,
     run_failure_availability,
@@ -69,6 +70,7 @@ __all__ = [
     "run_saturation",
     "run_control_churn",
     "run_convergence",
+    "run_durability",
     "run_adaptive_replication",
     "run_ght_comparison",
     "run_topology_families",

@@ -1,0 +1,375 @@
+"""X8 — self-healing storage under crash, partition and delete churn.
+
+The paper's placement/retrieval services assume replicas, once placed,
+stay where ``H(d || i)`` put them.  This experiment drops that
+assumption: a deterministic fault schedule crashes a fraction of the
+edge servers, partitions the data plane, and drives a delete-heavy
+write workload through the degraded network (hinted handoff parks the
+writes whose homes are unreachable).  After heal and repair, the
+storage plane is *divergent* — stale replicas, undrained hints,
+resurrection candidates — and the claim under test is that one
+``net.scrub()`` (versioned replicas + tombstones + hash-range
+anti-entropy, :mod:`repro.core.scrub`) converges every reachable
+replica to a fault-free oracle's catalog: **zero** divergent ranges,
+**zero** resurrected deletes, **zero** lost items.
+
+The committed ``DURABILITY_report.json`` (CI artifact of the ``gred
+scrub`` command) records the fault schedule, the divergence before and
+after the scrub, the scrub's own accounting, and the oracle verdicts.
+Everything is deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.scrub import storage_divergence
+from ..edge import NO_STAMP, EdgeServer
+from ..faults import FailureDetector, FaultInjector
+from ..hashing import parse_replica_id, replica_id
+from ..obs import MetricsRegistry, default_registry, set_default_registry
+from .common import build_gred, build_topology
+
+#: Format marker of the ``gred scrub`` JSON report.
+DURABILITY_FORMAT = "gred-durability-v1"
+
+#: Oracle sentinel for a deleted item.
+_DELETED = object()
+
+
+def _live_holders(net, fault) -> Dict[str, Set[Tuple[int, int]]]:
+    """Per replica id, the alive servers currently holding it."""
+    holders: Dict[str, Set[Tuple[int, int]]] = {}
+    for switch in sorted(net.server_map):
+        for server in net.server_map[switch]:
+            if fault is not None and \
+                    not fault.server_alive(server.server_id):
+                continue
+            for copy_id in server.stored_ids():
+                holders.setdefault(copy_id, set()).add(server.server_id)
+    return holders
+
+
+def _best_stamp_elsewhere(net, fault,
+                          exclude: Tuple[int, int]) -> Dict[str, tuple]:
+    """Per base item, the newest stamp visible anywhere *except* on the
+    ``exclude`` server: live replicas (even misplaced ones left behind
+    by degraded-mode rerouting) and parked hints both count."""
+    best: Dict[str, tuple] = {}
+    for switch in sorted(net.server_map):
+        for server in net.server_map[switch]:
+            if server.server_id == exclude:
+                continue
+            if fault is not None and \
+                    not fault.server_alive(server.server_id):
+                continue
+            for copy_id in server.stored_ids():
+                base, _ = parse_replica_id(copy_id)
+                stamp = server.stamp_of(copy_id) or NO_STAMP
+                if stamp > best.get(base, NO_STAMP):
+                    best[base] = stamp
+            for hint in server.hints():
+                base, _ = parse_replica_id(hint.copy_id)
+                if hint.stamp > best.get(base, NO_STAMP):
+                    best[base] = hint.stamp
+    return best
+
+
+def _crash_safe(net, injector, candidate: EdgeServer,
+                catalog: Dict[str, int]) -> bool:
+    """Whether crashing ``candidate`` keeps every item at >= 1 live
+    replica, keeps every item's *newest version* recoverable, and
+    loses no parked hint (the experiment verifies durability of the
+    *protocol*, not of unrecoverable data loss)."""
+    if candidate.hint_count:
+        return False
+    holders = _live_holders(net, injector.state)
+    best = _best_stamp_elsewhere(net, injector.state,
+                                 candidate.server_id)
+    for copy_id in candidate.stored_ids():
+        base, _ = parse_replica_id(copy_id)
+        copies = catalog.get(base, 1)
+        survivors = 0
+        for i in range(copies):
+            for server_id in holders.get(replica_id(base, i), ()):
+                if server_id != candidate.server_id:
+                    survivors += 1
+        if survivors == 0:
+            return False
+        # A rerouted write may exist only here: crashing the unique
+        # holder of the newest stamp is unrecoverable data loss, not
+        # a divergence the scrub could ever repair.
+        stamp = candidate.stamp_of(copy_id) or NO_STAMP
+        if stamp > best.get(base, NO_STAMP):
+            return False
+    return True
+
+
+def _crash_window(net, injector, rng, catalog: Dict[str, int],
+                  count: int) -> List[Dict]:
+    """Crash up to ``count`` servers, never losing an item's last live
+    replica; returns the event rows (skips recorded explicitly)."""
+    events: List[Dict] = []
+    crashed = 0
+    pool = [server for switch in sorted(net.server_map)
+            for server in net.server_map[switch]]
+    order = rng.permutation(len(pool))
+    for k in order:
+        if crashed >= count:
+            break
+        victim = pool[int(k)]
+        if not injector.state.server_alive(victim.server_id):
+            continue
+        if not _crash_safe(net, injector, victim, catalog):
+            events.append({"kind": "server_crash_skipped",
+                           "server": list(victim.server_id),
+                           "avoid_total_loss": True})
+            continue
+        destroyed = injector.crash_server(*victim.server_id)
+        events.append({"kind": "server_crash",
+                       "server": list(victim.server_id),
+                       "items_destroyed": destroyed})
+        crashed += 1
+    return events
+
+
+def _alive_entry(net, injector, rng) -> int:
+    ids = [s for s in net.switch_ids()
+           if injector.state.switch_alive(s)]
+    return int(ids[int(rng.integers(0, len(ids)))])
+
+
+def run_durability(
+    switches: int = 40,
+    servers_per_switch: int = 2,
+    items: int = 120,
+    copies: int = 2,
+    ops: int = 80,
+    crash_fraction: float = 0.2,
+    partition_fraction: float = 0.3,
+    late_crashes: int = 3,
+    cvt_iterations: int = 10,
+    seed: int = 0,
+    max_sweeps: int = 6,
+) -> Dict:
+    """Crash + partition + delete-heavy churn, then one scrub.
+
+    Returns the deterministic ``gred-durability-v1`` report.  The run
+    swaps in a fresh enabled metrics registry (restored on exit) so
+    the ``durability.*`` counters in the report belong to this
+    experiment alone.
+    """
+    previous = default_registry()
+    registry = MetricsRegistry(enabled=True)
+    set_default_registry(registry)
+    try:
+        return _run_durability(
+            switches=switches, servers_per_switch=servers_per_switch,
+            items=items, copies=copies, ops=ops,
+            crash_fraction=crash_fraction,
+            partition_fraction=partition_fraction,
+            late_crashes=late_crashes, cvt_iterations=cvt_iterations,
+            seed=seed, max_sweeps=max_sweeps, registry=registry)
+    finally:
+        set_default_registry(previous)
+
+
+def _run_durability(*, switches, servers_per_switch, items, copies,
+                    ops, crash_fraction, partition_fraction,
+                    late_crashes, cvt_iterations, seed, max_sweeps,
+                    registry) -> Dict:
+    topology = build_topology(switches, 3, seed)
+    net = build_gred(topology, servers_per_switch, cvt_iterations, seed)
+    injector = FaultInjector(net, seed=seed + 1)
+    net.hinted_handoff = True
+    rng = np.random.default_rng(seed + 2)
+    oracle: Dict[str, Any] = {}
+    catalog: Dict[str, int] = {}
+    events: List[Dict] = []
+
+    # Phase 1 — seed the catalog (stamped: the fault state is attached).
+    for i in range(items):
+        data_id = f"item-{i:04d}"
+        payload = f"v1:{data_id}"
+        net.place(data_id, payload=payload,
+                  entry_switch=_alive_entry(net, injector, rng),
+                  copies=copies)
+        oracle[data_id] = payload
+        catalog[data_id] = copies
+    detector = FailureDetector(net, catalog=catalog)
+
+    # Phase 2 — crash window (>= crash_fraction of all servers), then
+    # repair: re-replication restores the replica counts.
+    total_servers = sum(len(v) for v in net.server_map.values())
+    crash_count = int(np.ceil(crash_fraction * total_servers))
+    events += _crash_window(net, injector, rng, catalog, crash_count)
+    repair_1 = detector.repair()
+    events.append({"kind": "repair",
+                   "servers_replaced": repair_1.servers_replaced,
+                   "re_replicated": repair_1.re_replicated,
+                   "lost": repair_1.items_lost})
+
+    # Phase 3 — partition window: split ~partition_fraction of the
+    # switches away and drive a delete-heavy workload from entries on
+    # both sides.  Writes toward the far side park as hints; replicas
+    # split across the cut go stale.
+    ids = sorted(net.switch_ids())
+    side_size = max(1, int(partition_fraction * len(ids)))
+    side = [int(ids[int(k)]) for k in rng.choice(len(ids),
+                                                 size=side_size,
+                                                 replace=False)]
+    injector.partition(side)
+    events.append({"kind": "partition", "switches": sorted(side)})
+    version = 2
+    known = sorted(oracle)
+    for j in range(ops):
+        op = str(rng.choice(["delete", "update", "place"],
+                            p=[0.5, 0.3, 0.2]))
+        entry = _alive_entry(net, injector, rng)
+        if op == "delete":
+            target = known[int(rng.integers(0, len(known)))]
+            if oracle[target] is _DELETED:
+                continue
+            net.delete(target, copies=catalog[target],
+                       entry_switch=entry)
+            oracle[target] = _DELETED
+            events.append({"kind": "delete", "data_id": target,
+                           "entry": entry})
+        elif op == "update":
+            target = known[int(rng.integers(0, len(known)))]
+            if oracle[target] is _DELETED:
+                continue
+            payload = f"v{version}:{target}"
+            version += 1
+            net.place(target, payload=payload, entry_switch=entry,
+                      copies=catalog[target])
+            oracle[target] = payload
+            events.append({"kind": "update", "data_id": target,
+                           "entry": entry})
+        else:
+            data_id = f"late-{j:04d}"
+            payload = f"v1:{data_id}"
+            net.place(data_id, payload=payload, entry_switch=entry,
+                      copies=copies)
+            oracle[data_id] = payload
+            catalog[data_id] = copies
+            detector.register(data_id, copies)
+            events.append({"kind": "place", "data_id": data_id,
+                           "entry": entry})
+
+    # Phase 4 — crashes *inside* the partition, heal, repair: the
+    # tombstone-aware re-replication rebuilds from survivors that may
+    # be stale, manufacturing exactly the divergence a scrub must fix.
+    events += _crash_window(net, injector, rng, catalog, late_crashes)
+    injector.heal_partition()
+    events.append({"kind": "heal_partition"})
+    repair_2 = detector.repair()
+    events.append({
+        "kind": "repair",
+        "servers_replaced": repair_2.servers_replaced,
+        "re_replicated": repair_2.re_replicated,
+        "lost": repair_2.items_lost,
+        "suppressed_resurrections": repair_2.suppressed_resurrections,
+    })
+
+    # Phase 5 — measure, scrub, re-measure.
+    hints_parked = sum(server.hint_count
+                       for switch in sorted(net.server_map)
+                       for server in net.server_map[switch])
+    divergence_before = storage_divergence(net, catalog)
+    scrub_report = net.scrub(catalog, max_sweeps=max_sweeps)
+    divergence_after = storage_divergence(net, catalog)
+
+    # Phase 6 — oracle verdicts + retrieval availability.
+    fault = net.fault_state
+    holders = _live_holders(net, fault)
+    resurrected: List[str] = []
+    lost: List[str] = []
+    stale: List[str] = []
+    unavailable: List[str] = []
+    for data_id in sorted(oracle):
+        want = oracle[data_id]
+        copy_ids = [replica_id(data_id, i)
+                    for i in range(catalog[data_id])]
+        live = [c for c in copy_ids if holders.get(c)]
+        if want is _DELETED:
+            if live:
+                resurrected.append(data_id)
+            continue
+        if not live:
+            lost.append(data_id)
+            continue
+        for copy_id in live:
+            for server_id in sorted(holders[copy_id]):
+                if net.server(*server_id).retrieve(copy_id) != want:
+                    stale.append(data_id)
+                    break
+            else:
+                continue
+            break
+        result = net.retrieve(data_id,
+                              entry_switch=_alive_entry(net, injector,
+                                                        rng),
+                              copies=catalog[data_id])
+        if not result.found or result.payload != want:
+            unavailable.append(data_id)
+
+    deleted_total = sum(1 for v in oracle.values() if v is _DELETED)
+    return {
+        "format": DURABILITY_FORMAT,
+        "config": {
+            "switches": switches,
+            "servers_per_switch": servers_per_switch,
+            "items": items,
+            "copies": copies,
+            "ops": ops,
+            "crash_fraction": crash_fraction,
+            "partition_fraction": partition_fraction,
+            "late_crashes": late_crashes,
+            "cvt_iterations": cvt_iterations,
+            "seed": seed,
+            "max_sweeps": max_sweeps,
+            "avoid_total_loss": True,
+        },
+        "events": events,
+        "workload": {
+            "items_placed": len(oracle),
+            "items_deleted": deleted_total,
+            "crashes": sum(1 for e in events
+                           if e["kind"] == "server_crash"),
+            "crash_fraction_actual": round(
+                sum(1 for e in events
+                    if e["kind"] == "server_crash") / total_servers, 4),
+            "hints_parked_pre_scrub": hints_parked,
+        },
+        "divergence": {
+            "before_scrub": divergence_before,
+            "after_scrub": divergence_after,
+        },
+        "scrub": scrub_report.to_dict(),
+        # Headline verdicts (acceptance criteria of ``gred scrub``).
+        "resurrected": resurrected,
+        "lost": lost,
+        "stale": stale,
+        "unavailable": unavailable,
+        "oracle_match": not (resurrected or lost or stale
+                             or unavailable),
+        "durability_metrics": registry.counter_values("durability."),
+    }
+
+
+def main() -> None:
+    report = run_durability(switches=24, items=60, ops=40,
+                            cvt_iterations=5)
+    print(f"divergence before/after scrub: "
+          f"{report['divergence']['before_scrub']}/"
+          f"{report['divergence']['after_scrub']}")
+    print(f"resurrected/lost/stale: {len(report['resurrected'])}/"
+          f"{len(report['lost'])}/{len(report['stale'])}")
+    print(f"oracle match: {report['oracle_match']}")
+
+
+if __name__ == "__main__":
+    main()

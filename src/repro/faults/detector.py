@@ -55,6 +55,13 @@ class RepairReport:
     servers_replaced: int = 0
     re_replicated: int = 0
     lost_items: List[str] = field(default_factory=list)
+    #: Catalogued items whose newest stamp is a tombstone: repair skips
+    #: them instead of resurrecting deleted data from stale survivors.
+    suppressed_resurrections: int = 0
+    #: Replica placements skipped because no route reached the home
+    #: slot (e.g. repair ran during a partition); a later sweep or a
+    #: ``scrub`` retries them.
+    unroutable_copies: int = 0
     #: Simulated seconds from the first fault to the repairing sweep
     #: (heartbeat discretization); 0.0 when nothing was repaired.
     recovery_time: float = 0.0
@@ -197,6 +204,9 @@ class FailureDetector:
             detection.dead_servers)
         # 3. restore replication targets.
         report.lost_items, report.re_replicated = self._re_replicate()
+        report.suppressed_resurrections = getattr(
+            self, "_last_suppressed", 0)
+        report.unroutable_copies = getattr(self, "_last_unroutable", 0)
         tick = math.floor(fault_time / self.interval) + 1
         report.recovery_time = tick * self.interval - fault_time
         if registry.enabled:
@@ -212,6 +222,10 @@ class FailureDetector:
             if report.lost_items:
                 registry.counter("faults.items_lost").inc(
                     len(report.lost_items))
+            if report.suppressed_resurrections:
+                registry.counter(
+                    "durability.suppressed_resurrections").inc(
+                        report.suppressed_resurrections)
             registry.gauge("faults.recovery_time").set(
                 report.recovery_time)
         registry.event(
@@ -254,17 +268,51 @@ class FailureDetector:
         }
         return replaced
 
+    def _tombstone_index(self) -> Dict[str, Tuple[int, int]]:
+        """Newest tombstone stamp per *base* data id, gathered from
+        server tombstones and parked delete hints."""
+        from ..hashing import parse_replica_id
+
+        newest: Dict[str, Tuple[int, int]] = {}
+        for switch_id in sorted(self.net.server_map):
+            for server in self.net.server_map[switch_id]:
+                for copy_id, stamp in server.tombstones().items():
+                    base, _ = parse_replica_id(copy_id)
+                    if stamp > newest.get(base, (0, -1)):
+                        newest[base] = stamp
+                for hint in server.hints():
+                    if hint.op != "delete":
+                        continue
+                    base, _ = parse_replica_id(hint.copy_id)
+                    if hint.stamp > newest.get(base, (0, -1)):
+                        newest[base] = hint.stamp
+        return newest
+
     def _re_replicate(self) -> Tuple[List[str], int]:
-        """Re-place missing replicas from surviving copies."""
+        """Re-place missing replicas from surviving copies.
+
+        Tombstone-aware: an item whose newest stamp network-wide is a
+        tombstone is *deleted*, not damaged — repair must not rebuild
+        it from a stale survivor (counted as a suppressed
+        resurrection, see :attr:`RepairReport.suppressed_resurrections`
+        via :attr:`_last_suppressed`).
+        """
         if not self.catalog:
             return [], 0
+        from ..core import GredError
+        from ..dataplane import ForwardingError
+        from ..edge import NO_STAMP
+
         index: Dict[str, object] = {}
         for switch_id in sorted(self.net.server_map):
             for server in self.net.server_map[switch_id]:
                 for item_id in server.stored_ids():
                     index.setdefault(item_id, server)
+        tombstones = self._tombstone_index()
         lost: List[str] = []
         restored = 0
+        self._last_suppressed = 0
+        self._last_unroutable = 0
         for data_id in sorted(self.catalog):
             copies = self.catalog[data_id]
             holders = [
@@ -272,6 +320,14 @@ class FailureDetector:
                 for i in range(copies)
             ]
             present = [(i, s) for i, s in holders if s is not None]
+            if data_id in tombstones:
+                live_max = max(
+                    (s.stamp_of(replica_id(data_id, i)) or NO_STAMP
+                     for i, s in present), default=NO_STAMP)
+                if tombstones[data_id] > live_max:
+                    if present:
+                        self._last_suppressed += 1
+                    continue
             if not present:
                 lost.append(data_id)
                 continue
@@ -279,9 +335,17 @@ class FailureDetector:
             missing = [i for i, s in holders if s is None]
             if not missing:
                 continue
-            payload = source.retrieve(replica_id(data_id, source_index))
+            source_copy = replica_id(data_id, source_index)
+            payload = source.retrieve(source_copy)
+            stamp = source.stamp_of(source_copy)
             for i in missing:
-                self.net._place_one(replica_id(data_id, i), payload,
-                                    source.switch)
+                try:
+                    self.net._place_one(replica_id(data_id, i), payload,
+                                        source.switch, stamp=stamp)
+                except (ForwardingError, GredError):
+                    # No route to the home slot (partition / outage);
+                    # leave the copy for a later sweep or scrub.
+                    self._last_unroutable += 1
+                    continue
                 restored += 1
         return lost, restored

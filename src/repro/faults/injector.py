@@ -65,6 +65,8 @@ class FaultInjector:
                 delay=event.probability),
             "control_reorder": lambda: self.set_control_fault(
                 reorder_window=event.window),
+            "partition": lambda: self.partition(event.switches),
+            "heal_partition": lambda: self.heal_partition(),
         }
         handlers[event.kind]()
         self.applied.append(event)
@@ -200,6 +202,43 @@ class FaultInjector:
         registry = default_registry()
         if registry.enabled:
             registry.counter("faults.slow_links").inc()
+
+    def partition(self, switches) -> int:
+        """Split the listed switches away from the rest of the network.
+
+        The victims are assigned a fresh partition group; the data
+        plane refuses to forward packets across groups (see
+        :meth:`FaultState.can_forward`).  Repeated calls stack: each
+        creates a new group, so three calls yield four sides.  Only the
+        data plane is affected — the controller's southbound channel is
+        a separate management network.  Returns the new group id.
+        """
+        victims = sorted(set(switches))
+        unknown = [s for s in victims
+                   if s not in self.net.controller.switches]
+        if unknown:
+            raise FaultPlanError(
+                f"cannot partition unknown switch(es) {unknown}")
+        group = max(self.state.partitions.values(), default=0) + 1
+        for switch_id in victims:
+            self.state.partitions[switch_id] = group
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("faults.partitions").inc()
+        registry.event("partition", level=EventLevel.ERROR,
+                       switches=victims, group=group)
+        return group
+
+    def heal_partition(self) -> int:
+        """Remove every active partition; returns how many switches
+        were rejoined to the main group."""
+        healed = len(self.state.partitions)
+        self.state.partitions.clear()
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("faults.partition_heals").inc()
+        registry.event("partition_healed", switches_rejoined=healed)
+        return healed
 
     def _ensure_transport(self):
         """The controller's lossy southbound transport, attached on

@@ -12,6 +12,13 @@ packet simulator's clock (crash-under-load).  Event kinds::
     {"time": 0.1, "kind": "packet_loss", "u": 0, "v": 3,
      "probability": 0.2}
     {"time": 0.1, "kind": "slow_link",   "u": 0, "v": 3, "factor": 4.0}
+    {"time": 0.2, "kind": "partition",   "switches": [1, 4, 9]}
+    {"time": 0.8, "kind": "heal_partition"}
+
+A ``partition`` splits the listed switches away from the rest of the
+network (packets cannot cross sides); ``heal_partition`` removes every
+active split.  Partitions create the replica divergence the storage
+scrubber (``gred scrub``) is built to repair.
 
 Control-channel fault kinds degrade the controller's *southbound*
 channel instead of the data plane (the injector routes them to the
@@ -46,6 +53,8 @@ FAULT_KINDS: Dict[str, tuple] = {
     "control_dup": ("probability",),
     "control_delay": ("probability",),
     "control_reorder": ("window",),
+    "partition": ("switches",),
+    "heal_partition": (),
 }
 
 
@@ -62,8 +71,11 @@ class FaultEvent:
     probability: Optional[float] = None
     factor: Optional[float] = None
     window: Optional[int] = None
+    switches: Optional[tuple] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.switches, list):
+            object.__setattr__(self, "switches", tuple(self.switches))
         if self.kind not in FAULT_KINDS:
             raise FaultPlanError(
                 f"unknown fault kind {self.kind!r}; expected one of "
@@ -93,11 +105,19 @@ class FaultEvent:
             raise FaultPlanError(
                 f"control_reorder window must be an int >= 1, got "
                 f"{self.window!r}")
+        if self.switches is not None and (
+                not self.switches
+                or not all(isinstance(s, int) and not isinstance(s, bool)
+                           for s in self.switches)):
+            raise FaultPlanError(
+                f"partition switches must be a non-empty list of switch "
+                f"ids, got {list(self.switches)!r}")
 
     def to_dict(self) -> Dict:
         record: Dict = {"time": self.time, "kind": self.kind}
         for name in FAULT_KINDS[self.kind]:
-            record[name] = getattr(self, name)
+            value = getattr(self, name)
+            record[name] = list(value) if isinstance(value, tuple) else value
         return record
 
     @classmethod
@@ -108,7 +128,7 @@ class FaultEvent:
                 f"{sorted(record)}"
             )
         known = {"time", "kind", "switch", "serial", "u", "v",
-                 "probability", "factor", "window"}
+                 "probability", "factor", "window", "switches"}
         unknown = sorted(set(record) - known)
         if unknown:
             raise FaultPlanError(

@@ -36,6 +36,10 @@ class FaultState:
     loss: Dict[LinkKey, float] = field(default_factory=dict)
     #: Per-link delay multiplier (> 1 means slower).
     slow: Dict[LinkKey, float] = field(default_factory=dict)
+    #: Network partition: switch -> partition group.  Switches not in
+    #: the map are group 0; packets cannot cross groups.  Empty = no
+    #: partition (the hot-path check is one falsy test).
+    partitions: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # queries (hot path: keep them trivial)
@@ -50,10 +54,23 @@ class FaultState:
     def link_down(self, u: int, v: int) -> bool:
         return link_key(u, v) in self.down_links
 
+    def same_side(self, u: int, v: int) -> bool:
+        """Whether two switches sit on the same side of the current
+        partition (trivially true when none is active)."""
+        if not self.partitions:
+            return True
+        groups = self.partitions
+        return groups.get(u, 0) == groups.get(v, 0)
+
     def can_forward(self, u: int, v: int) -> bool:
         """Whether a packet at ``u`` can be handed to neighbor ``v``."""
-        return (v not in self.crashed_switches
-                and link_key(u, v) not in self.down_links)
+        if (v in self.crashed_switches
+                or link_key(u, v) in self.down_links):
+            return False
+        if self.partitions:
+            groups = self.partitions
+            return groups.get(u, 0) == groups.get(v, 0)
+        return True
 
     def loss_probability(self, u: int, v: int) -> float:
         return self.loss.get(link_key(u, v), 0.0)
@@ -66,7 +83,8 @@ class FaultState:
     # ------------------------------------------------------------------
     def any_active(self) -> bool:
         return bool(self.crashed_switches or self.crashed_servers
-                    or self.down_links or self.loss or self.slow)
+                    or self.down_links or self.loss or self.slow
+                    or self.partitions)
 
     def clear(self) -> None:
         self.crashed_switches.clear()
@@ -74,3 +92,4 @@ class FaultState:
         self.down_links.clear()
         self.loss.clear()
         self.slow.clear()
+        self.partitions.clear()

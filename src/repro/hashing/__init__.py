@@ -17,6 +17,7 @@ from .position import (
     chord_id,
     data_position,
     position_and_server,
+    parse_replica_id,
     replica_id,
     server_index,
     sha256_digest,
@@ -26,6 +27,7 @@ __all__ = [
     "sha256_digest",
     "data_position",
     "server_index",
+    "parse_replica_id",
     "replica_id",
     "chord_id",
     "position_and_server",

@@ -70,6 +70,20 @@ def replica_id(data_id: str, copy_index: int) -> str:
     return f"{data_id}#copy{copy_index}"
 
 
+def parse_replica_id(copy_id: str):
+    """Invert :func:`replica_id`: ``(data_id, copy_index)``.
+
+    A trailing ``#copy<N>`` suffix names copy ``N``; anything else is
+    copy 0 of itself.  (A data id that legitimately ends in such a
+    suffix is indistinguishable from a replica — the repair plane
+    assumes application ids do not use the reserved suffix.)
+    """
+    base, sep, tail = copy_id.rpartition("#copy")
+    if sep and base and tail.isdigit():
+        return base, int(tail)
+    return copy_id, 0
+
+
 def chord_id(key: str, bits: int = 32) -> int:
     """``bits``-bit Chord ring identifier of a key."""
     if not 1 <= bits <= 256:

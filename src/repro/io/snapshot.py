@@ -65,12 +65,44 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
                 payload = server.retrieve(item_id)
                 _check_payload(item_id, payload)
                 items[item_id] = payload
-            servers.append({
+            record = {
                 "switch": server.switch,
                 "serial": server.serial,
                 "capacity": server.capacity,
                 "items": items,
-            })
+            }
+            # Durability state (write stamps, tombstones, parked
+            # hinted-handoff writes) is emitted only when present, so
+            # fault-free snapshots are byte-identical to before.
+            stamps = {
+                item_id: list(stamp)
+                for item_id in server.stored_ids()
+                for stamp in [server.stamp_of(item_id)]
+                if stamp is not None
+            }
+            if stamps:
+                record["stamps"] = stamps
+            tombstones = server.tombstones()
+            if tombstones:
+                record["tombstones"] = {
+                    item_id: list(stamp)
+                    for item_id, stamp in tombstones.items()
+                }
+            hints = server.hints()
+            if hints:
+                for hint in hints:
+                    _check_payload(hint.copy_id, hint.payload)
+                record["hints"] = [
+                    {
+                        "copy_id": hint.copy_id,
+                        "op": hint.op,
+                        "target": list(hint.target),
+                        "stamp": list(hint.stamp),
+                        "payload": hint.payload,
+                    }
+                    for hint in hints
+                ]
+            servers.append(record)
     extensions = []
     for switch_id, switch in controller.switches.items():
         for ext in switch.table.extensions():
@@ -129,7 +161,7 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
     }
     fault = net.fault_state
     if fault is not None and fault.any_active():
-        snapshot["faults"] = {
+        faults: Dict[str, Any] = {
             "crashed_switches": sorted(fault.crashed_switches),
             "crashed_servers": [list(ref) for ref
                                 in sorted(fault.crashed_servers)],
@@ -139,6 +171,18 @@ def to_snapshot(net: GredNetwork) -> Dict[str, Any]:
                      in sorted(fault.loss.items())],
             "slow": [[u, v, f] for (u, v), f
                      in sorted(fault.slow.items())],
+        }
+        if fault.partitions:
+            faults["partitions"] = [
+                [switch, group] for switch, group
+                in sorted(fault.partitions.items())
+            ]
+        snapshot["faults"] = faults
+    # Network-level durability state (only when it has ever advanced).
+    if net.write_version or net.hinted_handoff:
+        snapshot["durability"] = {
+            "write_version": net.write_version,
+            "hinted_handoff": net.hinted_handoff,
         }
     return snapshot
 
@@ -172,6 +216,8 @@ def _restore_fault_state(record: Any):
                   in record.get("loss", [])},
             slow={link_key(int(u), int(v)): float(f) for u, v, f
                   in record.get("slow", [])},
+            partitions={int(switch): int(group) for switch, group
+                        in record.get("partitions", [])},
         )
     except (TypeError, ValueError) as exc:
         raise SnapshotError(
@@ -197,8 +243,23 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
             serial=int(record["serial"]),
             capacity=record["capacity"],
         )
+        stamps = record.get("stamps", {})
         for item_id, payload in record["items"].items():
-            server.store(item_id, payload)
+            stamp = stamps.get(item_id)
+            server.store(item_id, payload,
+                         stamp=tuple(stamp) if stamp else None)
+        for item_id, stamp in record.get("tombstones", {}).items():
+            server.entomb(item_id, tuple(stamp))
+        for hint in record.get("hints", []):
+            from ..edge import Hint
+
+            server.park_hint(Hint(
+                copy_id=hint["copy_id"],
+                op=hint["op"],
+                target=tuple(hint["target"]),
+                stamp=tuple(hint["stamp"]),
+                payload=hint.get("payload"),
+            ))
         server_map.setdefault(server.switch, []).append(server)
     for servers in server_map.values():
         servers.sort(key=lambda s: s.serial)
@@ -278,6 +339,11 @@ def from_snapshot(snapshot: Dict[str, Any]) -> GredNetwork:
     from ..hashing import data_position
 
     net._position_fn = data_position
+    durability = snapshot.get("durability")
+    if durability is not None:
+        net._write_version = int(durability.get("write_version", 0))
+        net.hinted_handoff = bool(durability.get("hinted_handoff",
+                                                 False))
     return net
 
 

@@ -61,6 +61,12 @@ class ResilienceConfig:
     hedge_fraction:
         Hedge when the remaining deadline budget drops to this fraction
         of the total budget (or on any retry attempt).
+    read_repair:
+        After a successful multi-copy retrieval, synchronize the
+        item's replicas to the newest stamp observed among them
+        (:meth:`repro.core.GredNetwork.read_repair`) — opt-in
+        anti-entropy piggybacked on the read path.  Repairs happen
+        outside the latency model (a background write-back).
     per_hop_latency:
         Virtual seconds charged per physical hop of a request/response
         path (the pipeline's latency model — no wall clock anywhere).
@@ -92,6 +98,8 @@ class ResilienceConfig:
     # hedged retrieval
     hedge_enabled: bool = True
     hedge_fraction: float = 0.5
+    # read-path anti-entropy
+    read_repair: bool = False
     # virtual service-time model
     per_hop_latency: float = 0.0005
     service_time: float = 0.001
@@ -157,6 +165,7 @@ class ResilienceConfig:
             "breaker_half_open_probes": self.breaker_half_open_probes,
             "hedge_enabled": self.hedge_enabled,
             "hedge_fraction": self.hedge_fraction,
+            "read_repair": self.read_repair,
             "per_hop_latency": self.per_hop_latency,
             "service_time": self.service_time,
             "failure_penalty": self.failure_penalty,

@@ -156,10 +156,10 @@ class ResilientNetwork:
                  rng: Optional[np.random.Generator] = None,
                  max_hops: Optional[int] = None) -> ResilientOutcome:
         if not self.config.enabled:
-            result = self.net.retrieve(data_id,
-                                       entry_switch=entry_switch,
-                                       copies=copies, rng=rng,
-                                       max_hops=max_hops)
+            result = self.net.retrieve(
+                data_id, entry_switch=entry_switch, copies=copies,
+                rng=rng, max_hops=max_hops,
+                read_repair=self.config.read_repair)
             return ResilientOutcome(kind="retrieve", data_id=data_id,
                                     ok=result.found, result=result,
                                     attempts=result.attempts)
@@ -613,6 +613,7 @@ class ResilientNetwork:
                     recorder.add_span(
                         "retrieve.hedge", start=clock, end=clock + lat,
                         parent=root, won=best is r2, forks=2)
+                self._maybe_read_repair(data_id, copies, recorder)
                 return clock + lat, best
             # Both forks failed; the client waited for the slower one.
             if root is not None:
@@ -634,10 +635,26 @@ class ResilientNetwork:
                 clock, recorder=recorder, root=root)
             clock += latency
             if result is not None and result.found:
+                self._maybe_read_repair(data_id, copies, recorder)
                 return clock, result
             if result is not None:
                 miss_result = result
         return clock, miss_result
+
+    def _maybe_read_repair(self, data_id: str, copies: int,
+                           recorder) -> None:
+        """Opt-in read-path anti-entropy: after a successful read,
+        synchronize the item's replicas to the newest stamp observed
+        among them.  A background write-back — it charges no latency
+        and records no request spans."""
+        cfg = self.config
+        if not cfg.read_repair or copies < 2:
+            return
+        repair = getattr(self.net, "read_repair", None)
+        if repair is None:
+            return
+        with self._quiet(recorder):
+            repair(data_id, copies)
 
     def _probe_retrieve(self, data_id: str, copy_index: int,
                         entry: int, attempt_no: int,

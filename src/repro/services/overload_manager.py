@@ -74,7 +74,9 @@ class OverloadManager:
             for server in self.net.server_map.get(switch, []):
                 if server.capacity is None or server.capacity == 0:
                     continue
-                utilization = server.load / server.capacity
+                # Bounded, nonzero capacity: the utilization property
+                # is a plain float here (no None/inf sentinels).
+                utilization = server.utilization
                 key = (switch, server.serial)
                 if key not in self._extended \
                         and utilization >= self.high_watermark:

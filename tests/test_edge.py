@@ -67,6 +67,20 @@ class TestEdgeServer:
         s.store("a")
         assert s.utilization == 0.25
 
+    def test_utilization_unbounded_empty_is_zero(self):
+        assert EdgeServer(switch=0, serial=0).utilization == 0.0
+
+    def test_utilization_unbounded_nonempty_is_none(self):
+        s = EdgeServer(switch=0, serial=0)
+        s.store("a")
+        assert s.utilization is None  # not NaN: no capacity to fill
+
+    def test_utilization_zero_capacity_loaded_is_inf(self):
+        s = EdgeServer(switch=0, serial=0, capacity=4)
+        s.store("a")
+        s.capacity = 0
+        assert s.utilization == float("inf")
+
     def test_server_id(self):
         s = EdgeServer(switch=7, serial=2)
         assert s.server_id == (7, 2)
