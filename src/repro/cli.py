@@ -24,6 +24,9 @@ File-backed workflows over a saved deployment snapshot::
     gred bench [--quick] [-o BENCH_micro.json]
                [--max-telemetry-overhead 0.15]
     gred churn [--sizes 50 100 200 400] [--max-touched 25]
+               [--regions 4 --max-foreign-touched 0]
+    gred federate [--quick] [-o FEDERATION_report.json]
+                  [--max-foreign-touched 0]
 
 (Installed as the ``gred`` console script; also runnable via
 ``python -m repro.cli``.)
@@ -350,6 +353,60 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit nonzero when the average switches "
                             "touched per join exceeds N at any size "
                             "(CI gate for delta locality)")
+    churn.add_argument("--regions", type=int, default=1,
+                       help="shard the control plane into this many "
+                            "regions (metro topology); joins then "
+                            "round-robin across regions and the "
+                            "report adds a per-region touched "
+                            "breakdown")
+    churn.add_argument("--max-foreign-touched", type=float, default=0,
+                       metavar="N",
+                       help="exit nonzero when a join touches more "
+                            "than N switches outside its home region "
+                            "(cross-shard locality gate; default 0, "
+                            "only meaningful with --regions > 1)")
+
+    federate = sub.add_parser(
+        "federate",
+        help="federation scaling experiment: per-shard recompute "
+             "time, per-join cost and cross-region traffic as the "
+             "switch count grows at constant region size; writes "
+             "FEDERATION_report.json")
+    federate.add_argument("--sizes", type=int, nargs="+",
+                          default=None, metavar="N",
+                          help="total switch counts to sweep "
+                               "(default: 1000 5000)")
+    federate.add_argument("--per-region", type=int, default=None,
+                          metavar="N",
+                          help="switches per region (default: 250)")
+    federate.add_argument("--servers", type=int, default=2,
+                          help="servers per switch")
+    federate.add_argument("--cvt-iterations", type=int, default=8)
+    federate.add_argument("--joins", type=int, default=8,
+                          help="switch joins, round-robin across "
+                               "regions")
+    federate.add_argument("--requests", type=int, default=256,
+                          help="data items placed and retrieved "
+                               "through the overlay")
+    federate.add_argument("--copies", type=int, default=2)
+    federate.add_argument("--seed", type=int, default=0)
+    federate.add_argument("--quick", action="store_true",
+                          help="tiny CI smoke preset (overrides the "
+                               "workload-shape flags)")
+    federate.add_argument("-o", "--output",
+                          default="FEDERATION_report.json",
+                          metavar="FILE",
+                          help="report path (default: "
+                               "FEDERATION_report.json)")
+    federate.add_argument("--json", action="store_true",
+                          help="print the full report instead of the "
+                               "summary table")
+    federate.add_argument("--max-foreign-touched", type=float,
+                          default=0, metavar="N",
+                          help="exit nonzero when churn ships more "
+                               "than N southbound messages into "
+                               "foreign regions (default 0: perfect "
+                               "isolation)")
 
     reconcile = sub.add_parser(
         "reconcile",
@@ -1065,6 +1122,7 @@ def _cmd_churn(args) -> int:
         num_joins=args.joins,
         cvt_iterations=args.cvt_iterations,
         seed=args.seed,
+        regions=args.regions,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -1073,11 +1131,16 @@ def _cmd_churn(args) -> int:
     else:
         from .experiments.common import print_table
 
-        print_table(report["rows"],
-                    ["switches", "avg_delta_messages",
-                     "avg_switches_touched",
-                     "avg_full_reinstall_messages",
-                     "route_cache_survival"],
+        columns = ["switches", "avg_delta_messages",
+                   "avg_switches_touched",
+                   "avg_full_reinstall_messages",
+                   "route_cache_survival"]
+        if args.regions > 1:
+            columns = ["switches", "regions", "avg_delta_messages",
+                       "avg_switches_touched", "avg_foreign_touched",
+                       "avg_foreign_messages",
+                       "avg_full_reinstall_messages"]
+        print_table(report["rows"], columns,
                     "churn: delta vs full-reinstall control traffic")
     print(f"wrote {args.output}")
     failures = []
@@ -1088,10 +1151,85 @@ def _cmd_churn(args) -> int:
                 f"avg switches touched per join at n={row['switches']} "
                 f"is {row['avg_switches_touched']:.1f} > "
                 f"--max-touched {args.max_touched:g}")
+        if args.max_foreign_touched is not None and \
+                row.get("avg_foreign_touched", 0) \
+                > args.max_foreign_touched:
+            failures.append(
+                f"churn at n={row['switches']} touched "
+                f"{row['avg_foreign_touched']:.1f} switch(es) outside "
+                f"the joining region > --max-foreign-touched "
+                f"{args.max_foreign_touched:g} (cross-shard locality "
+                f"leak)")
         if not row["untouched_generations_preserved"]:
             failures.append(
                 f"untouched switch generations were bumped at "
                 f"n={row['switches']} (scoped invalidation leak)")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_federate(args) -> int:
+    from .experiments.federation import run_federation_scaling
+
+    if args.quick:
+        report = run_federation_scaling(
+            total_switches=(48, 96), switches_per_region=12,
+            servers_per_switch=args.servers, cvt_iterations=4,
+            num_joins=4, num_requests=96, copies=args.copies,
+            seed=args.seed)
+    else:
+        report = run_federation_scaling(
+            total_switches=(tuple(args.sizes)
+                            if args.sizes is not None else (1000, 5000)),
+            switches_per_region=(args.per_region
+                                 if args.per_region is not None
+                                 else 250),
+            servers_per_switch=args.servers,
+            cvt_iterations=args.cvt_iterations,
+            num_joins=args.joins, num_requests=args.requests,
+            copies=args.copies, seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        from .experiments.common import print_table
+
+        print_table(report["rows"],
+                    ["total_switches", "regions",
+                     "mean_shard_recompute_s", "avg_join_messages",
+                     "foreign_messages", "cross_region_fraction",
+                     "retrieved_found"],
+                    "federation: flat per-shard cost, zero foreign "
+                    "churn traffic")
+        differential = report["single_region_differential"]
+        print("single-region differential vs monolith: "
+              + ", ".join(f"{key}={value}"
+                          for key, value in differential.items()
+                          if key != "switches"))
+    print(f"wrote {args.output}")
+    failures = []
+    for row in report["rows"]:
+        if args.max_foreign_touched is not None and \
+                row["foreign_messages"] > args.max_foreign_touched:
+            failures.append(
+                f"churn at n={row['total_switches']} shipped "
+                f"{row['foreign_messages']} southbound message(s) "
+                f"into foreign regions > --max-foreign-touched "
+                f"{args.max_foreign_touched:g}")
+        if row["retrieved_found"] != row["requests"]:
+            failures.append(
+                f"{row['requests'] - row['retrieved_found']} of "
+                f"{row['requests']} retrievals missed at "
+                f"n={row['total_switches']}")
+    differential = report["single_region_differential"]
+    for key, value in differential.items():
+        if key != "switches" and value is not True:
+            failures.append(
+                f"single-region differential mismatch: {key}={value} "
+                f"(1-region federation must be identical to the "
+                f"monolithic controller)")
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -1321,6 +1459,7 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
     "churn": _cmd_churn,
+    "federate": _cmd_federate,
     "reconcile": _cmd_reconcile,
     "scrub": _cmd_scrub,
 }

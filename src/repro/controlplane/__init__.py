@@ -9,7 +9,17 @@ from .controller import (
     ReconcileReport,
 )
 from .routing_index import RoutingIndex
-from .verification import Violation, verify_installed_state
+from .verification import (
+    Violation,
+    verify_installed_state,
+    verify_region_scope,
+)
+from .region import RegionError, RegionMap
+from .federation import (
+    FederatedController,
+    FederatedNetwork,
+    RegionShard,
+)
 from .southbound import (
     RecordingChannel,
     SouthboundMessage,
@@ -55,7 +65,13 @@ __all__ = [
     "average_table_entries",
     "table_entry_counts",
     "verify_installed_state",
+    "verify_region_scope",
     "Violation",
+    "RegionMap",
+    "RegionError",
+    "RegionShard",
+    "FederatedController",
+    "FederatedNetwork",
     "SouthboundMessage",
     "RecordingChannel",
     "compile_messages",

@@ -1,0 +1,804 @@
+"""Federated control plane: region shards under a gateway overlay.
+
+The monolithic :class:`~repro.controlplane.Controller` owns one global
+embedding, one DT and one routing index, so every cost scales with the
+total switch count.  The federation splits the network into *regions*:
+
+* each region gets its own **shard** — a full
+  :class:`~repro.core.GredNetwork` over the region's induced
+  sub-topology, with its own MDS embedding, DT, routing index,
+  plan/diff/apply pipeline and southbound transport (the incremental
+  and reliable-delivery machinery, reused unchanged per shard);
+* the regions themselves are embedded once at the top level: the
+  region adjacency graph (one node per region, one edge per designated
+  gateway link) is MDS-embedded into the unit square and indexed, so a
+  data position resolves **region-first** (nearest region site), then
+  locally inside that shard;
+* cross-region requests ride the designated gateway links: the entry
+  shard carries the request to its egress gateway, each overlay hop
+  crosses one gateway link, and the home shard routes the tail.
+
+Churn stays regional by construction: a join/leave mutates exactly one
+shard controller, so zero southbound messages reach any other region.
+A federation with a single region *is* the monolith — every data-path
+and control-plane call delegates verbatim to the one shard, which is
+built from the same topology, server map and seed as a monolithic
+``GredNetwork``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import utils
+from ..embedding import m_position
+from ..graph import Graph
+from ..graph.shortest_paths import all_pairs_hop_matrix, bfs_path
+from ..hashing import data_position, replica_id, replica_ids_flat
+from ..hashing.batch import positions_from_digests, sha256_digests
+from .region import RegionError, RegionMap
+from .routing_index import RoutingIndex
+from .southbound import Probe, RecordingChannel
+
+__all__ = [
+    "RegionShard",
+    "FederatedController",
+    "FederatedNetwork",
+]
+
+
+class RegionShard:
+    """One region of the federation: its id, members, gateways, and
+    the shard :class:`~repro.core.GredNetwork` that serves it."""
+
+    def __init__(self, region: int, net, members: Sequence[int],
+                 gateways: Sequence[int]) -> None:
+        self.region = region
+        self.net = net
+        self.members: FrozenSet[int] = frozenset(members)
+        self.gateways: List[int] = sorted(gateways)
+
+    @property
+    def controller(self):
+        return self.net.controller
+
+    def serving(self) -> bool:
+        """Whether any switch in this shard is alive (no fault state
+        attached means fully alive)."""
+        fault = self.net.fault_state
+        if fault is None:
+            return True
+        return any(fault.switch_alive(s) for s in self.net.switch_ids())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RegionShard(region={self.region}, "
+                f"switches={len(self.members)})")
+
+
+def _region_sites(region_graph: Graph) -> Dict[int, Tuple[float, float]]:
+    """Coarse top-level embedding: region sites in the unit square.
+
+    The region adjacency graph is MDS-embedded exactly like a shard's
+    switches — overlay hop counts play the role of physical hop counts
+    — so the nearest-site rule partitions the hash space into one
+    Voronoi cell per region.
+    """
+    rids = sorted(region_graph.nodes())
+    if len(rids) == 1:
+        return {rids[0]: (0.5, 0.5)}
+    matrix, order = all_pairs_hop_matrix(region_graph, order=rids)
+    points = m_position(matrix)
+    return {rid: points[i] for i, rid in enumerate(order)}
+
+
+class FederatedController:
+    """The federation's control plane: per-region shard controllers
+    plus the top-level gateway overlay.
+
+    All plan/diff/apply, generation, changelog and reliable-delivery
+    state lives in the shard controllers; this class adds region
+    resolution (:meth:`home_region`), overlay routing between regions,
+    and federation-wide views of the per-shard incremental state.
+    """
+
+    def __init__(self, region_map: RegionMap,
+                 shards: Dict[int, RegionShard]) -> None:
+        self.region_map = region_map
+        self.shards = shards
+        #: Live switch -> region view (updated on churn; the static
+        #: ``region_map`` keeps the construction-time assignment and
+        #: the gateway/overlay structure, which churn never changes).
+        self._assignment: Dict[int, int] = region_map.assignment
+        self._sites = _region_sites(region_map.region_graph)
+        self._region_index = RoutingIndex(sorted(self._sites),
+                                          self._sites)
+
+    # ------------------------------------------------------------------
+    # region resolution
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return len(self.shards)
+
+    @property
+    def sites(self) -> Dict[int, Tuple[float, float]]:
+        """Top-level embedding of the regions (copy)."""
+        return dict(self._sites)
+
+    def region_of(self, switch: int) -> int:
+        try:
+            return self._assignment[switch]
+        except KeyError:
+            raise RegionError(f"unknown switch {switch}") from None
+
+    def home_region(self, position: Tuple[float, float]) -> int:
+        """The region whose top-level site is nearest to ``position``
+        — where a data item with that hash position lives."""
+        if len(self.shards) == 1:
+            return next(iter(self.shards))
+        return self._region_index.closest(position)
+
+    def controller(self, region: int):
+        return self.shards[region].controller
+
+    # ------------------------------------------------------------------
+    # overlay routing
+    # ------------------------------------------------------------------
+    def overlay_path(self, src_region: int, dst_region: int,
+                     live_only: bool = True) -> Optional[List[int]]:
+        """Region-level path, avoiding non-serving transit regions."""
+        avoid: FrozenSet[int] = frozenset()
+        if live_only:
+            avoid = frozenset(
+                rid for rid, shard in self.shards.items()
+                if not shard.serving()
+            )
+        return self.region_map.overlay_path(src_region, dst_region,
+                                            avoid=avoid)
+
+    def overlay_hops(self, src_region: int, dst_region: int) -> int:
+        return self.region_map.overlay_hops(src_region, dst_region)
+
+    # ------------------------------------------------------------------
+    # federation-wide control-plane views
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> Dict[int, int]:
+        return {rid: s.controller.epoch for rid, s in self.shards.items()}
+
+    @property
+    def versions(self) -> Dict[int, int]:
+        return {rid: s.controller.version
+                for rid, s in self.shards.items()}
+
+    def generations(self) -> Dict[int, Dict[int, int]]:
+        return {rid: s.controller.generations
+                for rid, s in self.shards.items()}
+
+    def recompute(self, region: Optional[int] = None) -> None:
+        """Full recompute of one shard (or all of them).  Other shards
+        are untouched — their epochs, caches and installed state
+        survive."""
+        targets = [region] if region is not None else list(self.shards)
+        for rid in targets:
+            self.shards[rid].controller.recompute()
+
+    def reconcile(self, region: Optional[int] = None,
+                  max_sweeps: int = 8) -> Dict[int, Any]:
+        """Digest anti-entropy per shard; ``region`` restricts the
+        sweep to one shard so a restarted region heals without a
+        single message entering any other region."""
+        targets = [region] if region is not None else list(self.shards)
+        return {
+            rid: self.shards[rid].controller.reconcile(
+                max_sweeps=max_sweeps)
+            for rid in targets
+        }
+
+    def attach_channels(self) -> Dict[int, RecordingChannel]:
+        """One observing channel per shard controller; the per-region
+        channels are how churn locality is *measured* (foreign-region
+        message counts must stay zero)."""
+        channels: Dict[int, RecordingChannel] = {}
+        for rid, shard in self.shards.items():
+            channel = RecordingChannel()
+            shard.controller.southbound_channel = channel
+            channels[rid] = channel
+        return channels
+
+    def foreign_messages(self, channels: Dict[int, RecordingChannel],
+                         home_region: int) -> int:
+        """Rule messages recorded outside ``home_region`` (excluding
+        liveness probes)."""
+        return sum(
+            channel.count(exclude=(Probe,))
+            for rid, channel in channels.items() if rid != home_region
+        )
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> List[Any]:
+        """All shard invariants (1-8 per shard) plus invariant 9: no
+        installed rule references a switch outside its shard, except
+        that gateway switches may appear in the federation's overlay
+        table."""
+        from .verification import verify_installed_state, \
+            verify_region_scope
+
+        violations: List[Any] = []
+        for rid, shard in self.shards.items():
+            violations.extend(verify_installed_state(
+                shard.controller, fault_state=shard.net.fault_state))
+            members = set(shard.net.switch_ids())
+            violations.extend(verify_region_scope(
+                shard.controller, members, region=rid))
+        # The overlay table itself: every designated gateway endpoint
+        # must be a member of the region it is claimed for.
+        rm = self.region_map
+        for a in rm.region_ids:
+            for b in rm.region_graph.neighbors(a):
+                u, _ = rm.gateway(a, b)
+                if self._assignment.get(u) != a:
+                    from .verification import Violation
+
+                    violations.append(Violation(
+                        kind="gateway-scope", switch=u,
+                        detail=f"gateway {u} for region pair "
+                               f"({a}, {b}) is not a member of "
+                               f"region {a}",
+                    ))
+        return violations
+
+
+class FederatedNetwork:
+    """Data-path facade over a federation of region shards.
+
+    Parameters
+    ----------
+    topology:
+        Global switch graph including cross-region links.
+    assignment:
+        ``switch id -> region id``; when omitted,
+        :func:`repro.topology.partition_regions` auto-partitions the
+        topology into ``num_regions`` balanced connected regions.
+    num_regions:
+        Used only when ``assignment`` is omitted (default 1).
+    server_map / servers_per_switch / cvt_iterations /
+    samples_per_iteration / seed:
+        As in :class:`~repro.core.GredNetwork`; each shard ``r`` seeds
+        its embedding with ``seed + r`` so region 0 of a single-region
+        federation is byte-identical to the monolithic network.
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        assignment: Optional[Dict[int, int]] = None,
+        num_regions: int = 1,
+        server_map=None,
+        servers_per_switch: int = 10,
+        cvt_iterations: int = 50,
+        samples_per_iteration: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        from ..core import GredNetwork
+
+        if assignment is None:
+            from ..topology.regions import partition_regions
+
+            assignment = partition_regions(topology, num_regions)
+        self.region_map = RegionMap(topology, assignment)
+        self.seed = seed
+        shards: Dict[int, RegionShard] = {}
+        self.build_seconds: Dict[int, float] = {}
+        import time
+
+        for rid in self.region_map.region_ids:
+            members = self.region_map.members(rid)
+            # A single-region federation shares the caller's topology
+            # object, exactly like the monolith; multi-region shards
+            # own their induced sub-topology (intra-region links only).
+            sub = (topology if self.region_map.num_regions == 1
+                   else self.region_map.subtopology(rid))
+            shard_servers = None
+            if server_map is not None:
+                shard_servers = {sid: server_map[sid] for sid in members}
+            start = time.perf_counter()
+            net = GredNetwork(
+                sub,
+                server_map=shard_servers,
+                servers_per_switch=servers_per_switch,
+                cvt_iterations=cvt_iterations,
+                samples_per_iteration=samples_per_iteration,
+                seed=seed + rid,
+            )
+            self.build_seconds[rid] = time.perf_counter() - start
+            shards[rid] = RegionShard(rid, net, members,
+                                      self.region_map.gateways(rid))
+        self.shards = shards
+        self.controller = FederatedController(self.region_map, shards)
+        self._mono = (shards[self.region_map.region_ids[0]].net
+                      if len(shards) == 1 else None)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return len(self.shards)
+
+    def shard(self, region: int) -> RegionShard:
+        return self.shards[region]
+
+    @property
+    def topology(self) -> Graph:
+        """Union view: every shard's live topology plus the
+        cross-region gateway links."""
+        if self._mono is not None:
+            return self._mono.topology
+        union = Graph()
+        for shard in self.shards.values():
+            sub = shard.net.topology
+            for node in sub.nodes():
+                union.add_node(node)
+            for u, v, w in sub.edges():
+                union.add_edge(u, v, w)
+        for u, v, w in self.region_map.cross_links:
+            if union.has_node(u) and union.has_node(v):
+                union.add_edge(u, v, w)
+        return union
+
+    def switch_ids(self) -> List[int]:
+        if self._mono is not None:
+            return self._mono.switch_ids()
+        ids: List[int] = []
+        for rid in sorted(self.shards):
+            ids.extend(self.shards[rid].net.switch_ids())
+        return ids
+
+    def load_vector(self) -> List[int]:
+        if self._mono is not None:
+            return self._mono.load_vector()
+        loads: List[int] = []
+        for rid in sorted(self.shards):
+            loads.extend(self.shards[rid].net.load_vector())
+        return loads
+
+    def region_of(self, switch: int) -> int:
+        return self.controller.region_of(switch)
+
+    def home_region_of(self, data_id: str, copy_index: int = 0) -> int:
+        """The region where copy ``copy_index`` of ``data_id`` lives."""
+        pos = data_position(replica_id(data_id, copy_index))
+        return self.controller.home_region(pos)
+
+    # ------------------------------------------------------------------
+    # entry resolution (mirrors GredNetwork)
+    # ------------------------------------------------------------------
+    def _entry_pool(self) -> List[int]:
+        ids = []
+        for rid in sorted(self.shards):
+            shard = self.shards[rid]
+            fault = shard.net.fault_state
+            for s in shard.net.switch_ids():
+                if fault is None or fault.switch_alive(s):
+                    ids.append(s)
+        return ids
+
+    def _resolve_entry(self, entry_switch: Optional[int],
+                       rng: Optional[np.random.Generator]) -> int:
+        from ..core import GredError
+
+        if entry_switch is not None:
+            rid = self.controller._assignment.get(entry_switch)
+            if rid is None:
+                raise GredError(f"unknown entry switch {entry_switch}")
+            fault = self.shards[rid].net.fault_state
+            if fault is not None and not fault.switch_alive(entry_switch):
+                raise GredError(
+                    f"entry switch {entry_switch} has crashed; requests "
+                    f"must enter at a live access point"
+                )
+            return entry_switch
+        ids = self._entry_pool()
+        if not ids:
+            raise GredError("no live switch can serve as entry point")
+        stream = utils.rng(rng)
+        return ids[int(stream.integers(0, len(ids)))]
+
+    def _resolve_entries(self, count: int,
+                         entry_switches: Optional[Sequence[int]],
+                         rng: Optional[np.random.Generator]
+                         ) -> List[int]:
+        from ..core import GredError
+
+        if entry_switches is not None:
+            if len(entry_switches) != count:
+                raise GredError(
+                    f"entry_switches has {len(entry_switches)} entries "
+                    f"for {count} data ids"
+                )
+            return [self._resolve_entry(e, rng) for e in entry_switches]
+        faulted = any(s.net.fault_state is not None
+                      for s in self.shards.values())
+        if not faulted:
+            ids = self.switch_ids()
+            stream = utils.rng(rng)
+            draws = stream.integers(0, len(ids), size=count)
+            return [ids[v] for v in draws.tolist()]
+        return [self._resolve_entry(None, rng) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # gateway stitching
+    # ------------------------------------------------------------------
+    def _stitch(self, entry: int, home_region: int
+                ) -> Optional[Tuple[List[int], int, int]]:
+        """Carry a request from ``entry`` to the ingress gateway of
+        ``home_region``: ``(trace, ingress switch, region crossings)``,
+        or ``None`` when the overlay cannot reach the home region."""
+        src = self.region_of(entry)
+        path = self.controller.overlay_path(src, home_region)
+        if path is None:
+            return None
+        trace = [entry]
+        cur = entry
+        for a, b in zip(path, path[1:]):
+            egress, ingress = self.region_map.gateway(a, b)
+            if cur != egress:
+                leg = bfs_path(self.shards[a].net.topology, cur, egress)
+                trace.extend(leg[1:])
+            trace.append(ingress)
+            cur = ingress
+        return trace, cur, len(path) - 1
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, data_id: str, payload: Any = None,
+              entry_switch: Optional[int] = None, copies: int = 1,
+              rng: Optional[np.random.Generator] = None):
+        from ..core import GredError
+        from ..core.results import PlacementResult
+
+        if self._mono is not None:
+            return self._mono.place(data_id, payload=payload,
+                                    entry_switch=entry_switch,
+                                    copies=copies, rng=rng)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        entry = self._resolve_entry(entry_switch, rng)
+        records = [
+            self._place_copy(replica_id(data_id, i), payload, entry)
+            for i in range(copies)
+        ]
+        return PlacementResult(data_id=data_id, records=records)
+
+    def _place_copy(self, copy_id: str, payload: Any, entry: int):
+        from ..core import GredError
+        from ..core.results import PlacementRecord
+
+        home = self.controller.home_region(data_position(copy_id))
+        if home == self.region_of(entry):
+            return self.shards[home].net._place_one(copy_id, payload,
+                                                    entry)
+        stitched = self._stitch(entry, home)
+        if stitched is None:
+            raise GredError(
+                f"region {home} is unreachable over the gateway "
+                f"overlay; cannot place {copy_id}"
+            )
+        prefix, ingress, crossings = stitched
+        rec = self.shards[home].net._place_one(copy_id, payload, ingress)
+        return PlacementRecord(
+            data_id=copy_id,
+            entry_switch=entry,
+            destination_switch=rec.destination_switch,
+            server_id=rec.server_id,
+            physical_hops=len(prefix) - 1 + rec.physical_hops,
+            overlay_hops=rec.overlay_hops + crossings,
+            trace=prefix[:-1] + rec.trace,
+            extended=rec.extended,
+            hinted=rec.hinted,
+        )
+
+    def place_many(self, data_ids: Sequence[str],
+                   payloads: Optional[Sequence[Any]] = None,
+                   entry_switches: Optional[Sequence[int]] = None,
+                   copies: int = 1,
+                   rng: Optional[np.random.Generator] = None,
+                   workers: Optional[int] = None,
+                   digests: Optional[np.ndarray] = None):
+        """Batch placement, grouped by home region: intra-region
+        requests ride each shard's vectorized fast path; cross-region
+        requests are stitched through the gateway overlay."""
+        from ..core import GredError
+        from ..core.results import PlacementResult
+
+        if self._mono is not None:
+            return self._mono.place_many(
+                data_ids, payloads=payloads,
+                entry_switches=entry_switches, copies=copies, rng=rng,
+                workers=workers, digests=digests)
+        data_ids = list(data_ids)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        if payloads is not None and len(payloads) != len(data_ids):
+            raise GredError(
+                f"payloads has {len(payloads)} entries for "
+                f"{len(data_ids)} data ids"
+            )
+        entries = self._resolve_entries(len(data_ids), entry_switches,
+                                        rng)
+        flat_ids = replica_ids_flat(data_ids, copies)
+        if digests is None:
+            digests = sha256_digests(flat_ids)
+        positions = positions_from_digests(digests)
+        homes = [
+            self.controller.home_region(
+                (positions[f, 0], positions[f, 1]))
+            for f in range(len(flat_ids))
+        ]
+        records: List[Any] = [None] * len(flat_ids)
+        buckets: Dict[int, List[int]] = {}
+        for f, flat_id in enumerate(flat_ids):
+            entry = entries[f // copies]
+            if homes[f] == self.region_of(entry):
+                buckets.setdefault(homes[f], []).append(f)
+            else:
+                records[f] = self._place_copy(
+                    flat_id,
+                    payloads[f // copies] if payloads is not None
+                    else None,
+                    entry)
+        for rid in sorted(buckets):
+            flats = buckets[rid]
+            sub_digests = digests[np.asarray(flats, dtype=np.intp)]
+            results = self.shards[rid].net.place_many(
+                [flat_ids[f] for f in flats],
+                payloads=([payloads[f // copies] for f in flats]
+                          if payloads is not None else None),
+                entry_switches=[entries[f // copies] for f in flats],
+                copies=1,
+                workers=workers,
+                digests=sub_digests,
+            )
+            for f, result in zip(flats, results):
+                records[f] = result.records[0]
+        return [
+            PlacementResult(
+                data_id=data_id,
+                records=records[i * copies:(i + 1) * copies],
+            )
+            for i, data_id in enumerate(data_ids)
+        ]
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def retrieve(self, data_id: str,
+                 entry_switch: Optional[int] = None, copies: int = 1,
+                 rng: Optional[np.random.Generator] = None,
+                 max_hops: Optional[int] = None,
+                 read_repair: bool = False):
+        from ..core import GredError
+
+        if self._mono is not None:
+            return self._mono.retrieve(
+                data_id, entry_switch=entry_switch, copies=copies,
+                rng=rng, max_hops=max_hops, read_repair=read_repair)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        entry = self._resolve_entry(entry_switch, rng)
+        homes = [self.home_region_of(data_id, i) for i in range(copies)]
+        entry_region = self.region_of(entry)
+        if all(h == entry_region for h in homes):
+            return self.shards[entry_region].net.retrieve(
+                data_id, entry_switch=entry, copies=copies,
+                max_hops=max_hops, read_repair=read_repair)
+        return self._retrieve_federated(data_id, entry, copies, homes,
+                                        max_hops)
+
+    def _retrieve_federated(self, data_id: str, entry: int, copies: int,
+                            homes: List[int],
+                            max_hops: Optional[int]):
+        """Region-nearest-first failover walk across shards."""
+        from ..core.results import RetrievalResult
+
+        entry_region = self.region_of(entry)
+        order = sorted(
+            range(copies),
+            key=lambda i: (
+                self.controller.overlay_hops(entry_region, homes[i]), i)
+        )
+        attempts = 0
+        last_miss: Optional[RetrievalResult] = None
+        for i in order:
+            attempts += 1
+            result = self._probe_copy(data_id, i, homes[i], entry,
+                                      attempts, max_hops)
+            if result is None:
+                continue
+            if result.found:
+                return result
+            last_miss = result
+        if last_miss is not None:
+            return last_miss
+        return RetrievalResult(
+            data_id=data_id, found=False, payload=None,
+            entry_switch=entry, destination_switch=None, server_id=None,
+            request_hops=0, response_hops=0, trace=[],
+            copy_used=order[-1], forked=False, attempts=attempts,
+        )
+
+    def _probe_copy(self, data_id: str, copy_index: int, home: int,
+                    entry: int, attempts: int,
+                    max_hops: Optional[int]):
+        from ..core.results import RetrievalResult
+
+        if home == self.region_of(entry):
+            return self.shards[home].net.probe_replica(
+                data_id, copy_index, entry, max_hops=max_hops,
+                attempts=attempts)
+        if not self.shards[home].serving():
+            return None
+        stitched = self._stitch(entry, home)
+        if stitched is None:
+            return None
+        prefix, ingress, crossings = stitched
+        result = self.shards[home].net.probe_replica(
+            data_id, copy_index, ingress, max_hops=max_hops,
+            attempts=attempts)
+        if result is None:
+            return None
+        prefix_hops = len(prefix) - 1
+        return RetrievalResult(
+            data_id=data_id,
+            found=result.found,
+            payload=result.payload,
+            entry_switch=entry,
+            destination_switch=result.destination_switch,
+            server_id=result.server_id,
+            request_hops=result.request_hops + prefix_hops,
+            response_hops=(result.response_hops + prefix_hops
+                           if result.found else 0),
+            trace=prefix[:-1] + result.trace,
+            copy_used=copy_index,
+            forked=result.forked,
+            attempts=attempts,
+        )
+
+    def retrieve_many(self, data_ids: Sequence[str],
+                      entry_switches: Optional[Sequence[int]] = None,
+                      copies: int = 1,
+                      rng: Optional[np.random.Generator] = None,
+                      max_hops: Optional[int] = None,
+                      workers: Optional[int] = None,
+                      digests: Optional[np.ndarray] = None):
+        """Batch retrieval, grouped by home region: items whose every
+        replica lives in the entry's own region ride that shard's
+        vectorized fast path; the rest take the stitched cross-region
+        walk."""
+        from ..core import GredError
+
+        if self._mono is not None:
+            return self._mono.retrieve_many(
+                data_ids, entry_switches=entry_switches, copies=copies,
+                rng=rng, max_hops=max_hops, workers=workers,
+                digests=digests)
+        data_ids = list(data_ids)
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        entries = self._resolve_entries(len(data_ids), entry_switches,
+                                        rng)
+        flat_ids = replica_ids_flat(data_ids, copies)
+        if digests is None:
+            digests = sha256_digests(flat_ids)
+        positions = positions_from_digests(digests)
+        results: List[Any] = [None] * len(data_ids)
+        buckets: Dict[int, List[int]] = {}
+        for i, data_id in enumerate(data_ids):
+            entry_region = self.region_of(entries[i])
+            homes = [
+                self.controller.home_region(
+                    (positions[i * copies + c, 0],
+                     positions[i * copies + c, 1]))
+                for c in range(copies)
+            ]
+            if all(h == entry_region for h in homes):
+                buckets.setdefault(entry_region, []).append(i)
+            else:
+                results[i] = self._retrieve_federated(
+                    data_id, entries[i], copies, homes, max_hops)
+        for rid in sorted(buckets):
+            items = buckets[rid]
+            flats = [i * copies + c for i in items
+                     for c in range(copies)]
+            sub_digests = digests[np.asarray(flats, dtype=np.intp)]
+            shard_results = self.shards[rid].net.retrieve_many(
+                [data_ids[i] for i in items],
+                entry_switches=[entries[i] for i in items],
+                copies=copies,
+                max_hops=max_hops,
+                workers=workers,
+                digests=sub_digests,
+            )
+            for i, result in zip(items, shard_results):
+                results[i] = result
+        return results
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, data_id: str, copies: int = 1,
+               entry_switch: Optional[int] = None) -> int:
+        if self._mono is not None:
+            return self._mono.delete(data_id, copies=copies,
+                                     entry_switch=entry_switch)
+        entry = self._resolve_entry(entry_switch, None)
+        removed = 0
+        for i in range(copies):
+            copy_id = replica_id(data_id, i)
+            home = self.controller.home_region(data_position(copy_id))
+            if home == self.region_of(entry):
+                local_entry = entry
+            else:
+                stitched = self._stitch(entry, home)
+                if stitched is None:
+                    continue
+                local_entry = stitched[1]
+            removed += self.shards[home].net.delete(
+                copy_id, copies=1, entry_switch=local_entry)
+        return removed
+
+    # ------------------------------------------------------------------
+    # churn (always single-region by construction)
+    # ------------------------------------------------------------------
+    def add_switch(self, switch_id: int, links: Sequence[int],
+                   servers_per_switch: int = 0,
+                   servers=None, region: Optional[int] = None) -> int:
+        """A switch joins one region.  Every link peer must live in
+        that region (a joiner cannot span regions — new gateway links
+        are a topology build-time decision), so the join mutates
+        exactly one shard controller and ships zero southbound
+        messages anywhere else."""
+        from ..core import GredError
+
+        link_regions = {self.region_of(p) for p in links}
+        if region is None:
+            if len(link_regions) != 1:
+                raise GredError(
+                    f"join of {switch_id} spans regions "
+                    f"{sorted(link_regions)}; a joining switch must "
+                    f"link into exactly one region"
+                )
+            region = link_regions.pop()
+        elif link_regions - {region}:
+            raise GredError(
+                f"join of {switch_id} into region {region} has link "
+                f"peers in {sorted(link_regions - {region})}"
+            )
+        migrated = self.shards[region].net.add_switch(
+            switch_id, links, servers_per_switch=servers_per_switch,
+            servers=servers)
+        self.controller._assignment[switch_id] = region
+        return migrated
+
+    def remove_switch(self, switch_id: int) -> int:
+        """A switch leaves its region gracefully (items re-placed
+        within the shard).  Gateway switches pin the overlay and
+        cannot leave."""
+        from ..core import GredError
+
+        region = self.region_of(switch_id)
+        if switch_id in self.shards[region].gateways:
+            raise GredError(
+                f"switch {switch_id} is a designated gateway of region "
+                f"{region} and cannot leave"
+            )
+        moved = self.shards[region].net.remove_switch(switch_id)
+        del self.controller._assignment[switch_id]
+        return moved

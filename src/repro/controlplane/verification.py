@@ -31,6 +31,12 @@ Checked invariants:
    mismatch means southbound faults (loss, reordering, stale delayed
    messages) left divergent state that ``Controller.reconcile`` has
    not yet repaired.
+9. (federation, :func:`verify_region_scope`) no installed rule on a
+   shard's switch references a switch outside that shard — greedy
+   candidates, DT neighbors, relay tuples, ports and extension
+   targets must all stay region-local.  Only the federation's own
+   overlay table may name gateway switches of other regions; shard
+   rule tables never do.
 """
 
 from __future__ import annotations
@@ -230,4 +236,44 @@ def _verify_relay_chains(controller: Controller) -> List[Violation]:
                     "broken-relay-chain", switch_id,
                     f"chain toward {entry.dest} via {entry.succ} never "
                     f"reaches its destination"))
+    return violations
+
+
+def verify_region_scope(controller: Controller, members,
+                        region: int = 0) -> List[Violation]:
+    """Invariant 9: every switch reference installed on a shard stays
+    inside that shard.
+
+    ``members`` is the shard's switch set.  Any installed greedy
+    candidate, DT neighbor, relay tuple endpoint, port-map neighbor or
+    extension target outside it is a ``region-scope`` violation: a
+    shard controller that leaks references to another region would
+    re-couple the shards and break churn isolation.  (Gateway switches
+    are themselves shard members; the *overlay* table that names
+    gateways of other regions lives in the federation, never in a
+    shard's rule tables.)
+    """
+    allowed = set(members)
+    violations: List[Violation] = []
+    for switch_id, switch in controller.switches.items():
+        foreign = set()
+        table = switch.table
+        foreign.update(n for n in table.physical_neighbors()
+                       if n not in allowed)
+        foreign.update(n for n in switch.physical_neighbor_positions
+                       if n not in allowed)
+        foreign.update(n for n in switch.dt_neighbor_positions
+                       if n not in allowed)
+        for entry in table.virtual_entries():
+            for ref in (entry.sour, entry.pred, entry.succ, entry.dest):
+                if ref is not None and ref not in allowed:
+                    foreign.add(ref)
+        for ext in table.extensions():
+            if ext.target_switch not in allowed:
+                foreign.add(ext.target_switch)
+        for ref in sorted(foreign):
+            violations.append(Violation(
+                "region-scope", switch_id,
+                f"installed state references switch {ref} outside "
+                f"region {region}"))
     return violations

@@ -1019,6 +1019,37 @@ class GredNetwork:
                         end=base + (k + 1) * 1e-6, parent=handle.span,
                         switch=sid)
 
+    def prehash(self, data_ids: Sequence[str],
+                copies: int = 1) -> np.ndarray:
+        """Pre-hash a batch once for reuse across calls.
+
+        Returns the ``(len(data_ids) * copies, 32) uint8`` SHA-256
+        digest array of every replica id, in the flat order
+        :meth:`place_many` and :meth:`retrieve_many` consume; pass it
+        back via their ``digests`` parameter to skip re-hashing (the
+        digest feeds both the position and the server serial, so this
+        is the entire per-identifier hashing cost).
+        """
+        if copies < 1:
+            raise GredError(f"copies must be >= 1, got {copies}")
+        return sha256_digests(replica_ids_flat(list(data_ids), copies))
+
+    @staticmethod
+    def _check_digests(digests: Optional[np.ndarray],
+                       expected: int) -> Optional[np.ndarray]:
+        """Validate a caller-supplied digest array (shape ``(k, 32)``
+        uint8, one row per flat replica id)."""
+        if digests is None:
+            return None
+        digests = np.asarray(digests)
+        if digests.shape != (expected, 32) or \
+                digests.dtype != np.uint8:
+            raise GredError(
+                f"digests must be a ({expected}, 32) uint8 array, got "
+                f"{digests.dtype} {digests.shape}"
+            )
+        return digests
+
     def _resolve_entries(self, count: int,
                          entry_switches: Optional[Sequence[int]],
                          rng: Optional[np.random.Generator]
@@ -1055,6 +1086,7 @@ class GredNetwork:
         copies: int = 1,
         rng: Optional[np.random.Generator] = None,
         workers: Optional[int] = None,
+        digests: Optional[np.ndarray] = None,
     ) -> List[PlacementResult]:
         """Place a batch of items; equivalent to calling :meth:`place`
         per item in order, but vectorized.
@@ -1084,6 +1116,13 @@ class GredNetwork:
             memory`` (results stay byte-identical to the
             single-process path).  ``None``/``1`` routes in-process;
             the scalar fallback ignores it.
+        digests:
+            Optional pre-hashed replica digests from :meth:`prehash`
+            (``(len(data_ids) * copies, 32) uint8``).  Hashing is the
+            one per-request cost that cannot be cached, so a workload
+            that places and then retrieves the same identifiers hashes
+            once and passes the array to both calls.  Ignored by the
+            scalar fallback (which re-hashes exactly).
         """
         data_ids = list(data_ids)
         if copies < 1:
@@ -1113,7 +1152,9 @@ class GredNetwork:
         flat_ids = replica_ids_flat(data_ids, copies)
         flat_entries = (entries if copies == 1 else
                         [e for e in entries for _ in range(copies)])
-        digests = sha256_digests(flat_ids)
+        digests = self._check_digests(digests, len(flat_ids))
+        if digests is None:
+            digests = sha256_digests(flat_ids)
         positions = positions_from_digests(digests)
         serial_u64s = serials_from_digests(digests)
         state = self._fast_state()
@@ -1295,14 +1336,16 @@ class GredNetwork:
         rng: Optional[np.random.Generator] = None,
         max_hops: Optional[int] = None,
         workers: Optional[int] = None,
+        digests: Optional[np.ndarray] = None,
     ) -> List[RetrievalResult]:
         """Retrieve a batch of items; equivalent to calling
         :meth:`retrieve` per item in order, but vectorized.
 
         Shares the fast-path machinery (and its fallback conditions)
         with :meth:`place_many`, including worker-sharded routing via
-        ``workers``; response hop counts come from a per-epoch BFS
-        distance cache instead of a fresh traversal per request.
+        ``workers`` and pre-hashed ``digests`` from :meth:`prehash`;
+        response hop counts come from a per-epoch BFS distance cache
+        instead of a fresh traversal per request.
         """
         data_ids = list(data_ids)
         if copies < 1:
@@ -1326,7 +1369,9 @@ class GredNetwork:
         flat_ids = replica_ids_flat(data_ids, copies)
         flat_entries = (entries if copies == 1 else
                         [e for e in entries for _ in range(copies)])
-        digests = sha256_digests(flat_ids)
+        digests = self._check_digests(digests, len(flat_ids))
+        if digests is None:
+            digests = sha256_digests(flat_ids)
         positions = positions_from_digests(digests)
         serial_u64s = serials_from_digests(digests)
         state = self._fast_state()

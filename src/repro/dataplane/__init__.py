@@ -14,6 +14,7 @@ from .fastpath import (
     FASTPATH_GATES,
     batch_fastpath_blockers,
     fastpath_usable,
+    federated_blockers,
 )
 from .forwarding import RouteResult, route_packet
 from .shard import PlaneSnapshot, ShardPool
@@ -36,6 +37,7 @@ __all__ = [
     "FASTPATH_GATES",
     "batch_fastpath_blockers",
     "fastpath_usable",
+    "federated_blockers",
     "PlaneSnapshot",
     "ShardPool",
     "Tracer",

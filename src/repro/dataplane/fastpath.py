@@ -87,6 +87,23 @@ def fastpath_usable(net) -> bool:
     return not any(gate(net) for gate, _ in FASTPATH_GATES)
 
 
+def federated_blockers(fed) -> Dict[int, List[str]]:
+    """Per-region fast-path blockers of a federation.
+
+    The federation has no global compiled plane — each region shard
+    carries its own ``_FastPathState`` — so batch eligibility is a
+    per-shard question: a fault injected into one region stands that
+    shard down to the scalar reference path while every other region
+    keeps its vectorized plane.  Returns ``region id -> blocker
+    reasons`` (all empty = every shard batch-eligible), the federated
+    twin of :func:`batch_fastpath_blockers`.
+    """
+    return {
+        rid: batch_fastpath_blockers(shard.net)
+        for rid, shard in sorted(fed.shards.items())
+    }
+
+
 #: ``route_batch`` hands stragglers to the scalar walker once the
 #: active set is this small — whole-batch numpy dispatch no longer
 #: amortizes over a handful of in-flight requests.

@@ -31,6 +31,7 @@ from .ablations import (
 from .control_churn import run_control_churn
 from .convergence import run_convergence
 from .durability import run_durability
+from .federation import run_federation_scaling, single_region_differential
 from .extensions import (
     run_adaptive_replication,
     run_failure_availability,
@@ -71,6 +72,8 @@ __all__ = [
     "run_control_churn",
     "run_convergence",
     "run_durability",
+    "run_federation_scaling",
+    "single_region_differential",
     "run_adaptive_replication",
     "run_ght_comparison",
     "run_topology_families",

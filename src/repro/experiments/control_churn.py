@@ -192,6 +192,7 @@ def run_churn_scaling(
     num_joins: int = 5,
     cvt_iterations: int = 30,
     seed: int = 0,
+    regions: int = 1,
 ) -> Dict:
     """Churn locality across network sizes: delta vs full reinstall.
 
@@ -215,11 +216,28 @@ def run_churn_scaling(
       survived the joins' scoped eviction;
     * ``untouched_generations_preserved`` — no un-messaged switch had
       its generation counter bumped.
+
+    With ``regions > 1`` the same workload runs against a
+    :class:`~repro.controlplane.FederatedNetwork` over a metro
+    topology: joins round-robin across regions, per-region recording
+    channels split the southbound traffic into home vs foreign, and
+    each row gains ``per_region_touched`` (per join event: which
+    regions saw messages and how many switches each) plus
+    ``avg_foreign_touched`` / ``avg_foreign_messages`` — the
+    cross-shard locality gate of ``gred churn --max-foreign-touched``
+    (both must be exactly zero).  The fast-path cache fields are the
+    monolith's and are ``None`` in federated rows.
     """
     from ..controlplane import RecordingChannel, compile_messages
     from ..controlplane.southbound import Probe
     from ..core import GredNetwork
 
+    if regions < 1:
+        raise ValueError(f"regions must be >= 1, got {regions}")
+    if regions > 1:
+        return _federated_churn_scaling(
+            sizes, servers_per_switch, num_joins, cvt_iterations,
+            seed, regions)
     rows: List[Dict] = []
     for num_switches in sizes:
         topology = build_topology(num_switches, 3, seed)
@@ -298,8 +316,11 @@ def run_churn_scaling(
                     if cached_before else None)
         rows.append({
             "switches": num_switches,
+            "regions": 1,
             "avg_delta_messages": _mean(delta_messages),
             "avg_switches_touched": _mean(touched_counts),
+            "avg_foreign_touched": 0.0,
+            "avg_foreign_messages": 0.0,
             "avg_full_reinstall_messages": _mean(full_messages),
             "avg_semantic_switches_touched": _mean(semantic_touched),
             "avg_semantic_entries_changed": _mean(semantic_entries),
@@ -319,6 +340,145 @@ def run_churn_scaling(
         "num_joins": num_joins,
         "cvt_iterations": cvt_iterations,
         "seed": seed,
+        "regions": regions,
+        "rows": rows,
+    }
+
+
+def _federated_churn_scaling(
+    sizes: Sequence[int],
+    servers_per_switch: int,
+    num_joins: int,
+    cvt_iterations: int,
+    seed: int,
+    regions: int,
+) -> Dict:
+    """The ``regions > 1`` arm of :func:`run_churn_scaling`.
+
+    Each size becomes a metro federation (``size // regions`` switches
+    per region); every join homes into one region and the per-region
+    recording channels prove the cross-shard locality claim: all
+    southbound traffic lands in the home region, zero elsewhere.
+    """
+    from ..controlplane import (FederatedNetwork, compile_messages)
+    from ..controlplane.southbound import Probe
+    from ..topology import federated_topology
+
+    rows: List[Dict] = []
+    for num_switches in sizes:
+        per_region = max(4, num_switches // regions)
+        topology, assignment = federated_topology(
+            regions, per_region, min_degree=3, seed=seed)
+        fed = FederatedNetwork(
+            topology, assignment=assignment,
+            servers_per_switch=servers_per_switch,
+            cvt_iterations=cvt_iterations, seed=seed)
+        channels = fed.controller.attach_channels()
+        index_builds_before = {
+            rid: shard.controller.index_builds
+            for rid, shard in fed.shards.items()
+        }
+        # Warm every shard's planes so the joins exercise the scoped
+        # invalidation paths, exactly like the monolithic arm.
+        ids = [f"churn/{num_switches}/{i}" for i in range(256)]
+        fed.place_many(ids, rng=np.random.default_rng(seed + 2))
+        rng = np.random.default_rng(seed + 1)
+        region_ids = sorted(fed.shards)
+        delta_messages: List[int] = []
+        touched_counts: List[int] = []
+        foreign_touched: List[int] = []
+        foreign_messages: List[int] = []
+        full_messages: List[int] = []
+        semantic_touched: List[int] = []
+        semantic_entries: List[int] = []
+        join_events: List[Dict] = []
+        generations_preserved = True
+        for j in range(num_joins):
+            rid = region_ids[j % regions]
+            home = fed.shard(rid).net.controller
+            before = {
+                sid: _gred_switch_state(sw)
+                for sid, sw in home.switches.items()
+            }
+            generations_before = home.generations
+            members = fed.shard(rid).net.switch_ids()
+            peers = [int(members[int(v)]) for v in
+                     rng.choice(len(members), size=2, replace=False)]
+            for channel in channels.values():
+                channel.clear()
+            new_id = 100_000 + j
+            fed.add_switch(
+                new_id, peers,
+                servers=[EdgeServer(new_id, s)
+                         for s in range(servers_per_switch)],
+            )
+            per_region_touched = {
+                str(other): len(channels[other].per_switch(
+                    exclude=(Probe,)))
+                for other in region_ids
+                if channels[other].count(exclude=(Probe,))
+            }
+            delta_messages.append(
+                channels[rid].count(exclude=(Probe,)))
+            touched = set(channels[rid].per_switch(exclude=(Probe,)))
+            touched_counts.append(len(touched))
+            foreign_touched.append(sum(
+                count for other, count in per_region_touched.items()
+                if other != str(rid)))
+            foreign_messages.append(sum(
+                channels[other].count(exclude=(Probe,))
+                for other in region_ids if other != rid))
+            join_events.append({
+                "join": j,
+                "home_region": rid,
+                "touched_per_region": per_region_touched,
+            })
+            # The full-reinstall oracle is per home shard: the
+            # pre-refactor path would clear and reinstall that whole
+            # region (never the federation — regions were the unit of
+            # blast radius even before the delta pipeline).
+            full_messages.append(len(compile_messages(
+                home.topology, home.positions, home.dt_adjacency())))
+            after = {
+                sid: _gred_switch_state(sw)
+                for sid, sw in home.switches.items()
+            }
+            touched_sem, entries_sem = _diff_states(before, after)
+            semantic_touched.append(touched_sem)
+            semantic_entries.append(entries_sem)
+            generations_after = home.generations
+            for sid, generation in generations_before.items():
+                if sid not in touched and \
+                        generations_after.get(sid) != generation:
+                    generations_preserved = False
+        index_builds = sum(
+            shard.controller.index_builds - index_builds_before[rid]
+            for rid, shard in fed.shards.items())
+        rows.append({
+            "switches": num_switches,
+            "regions": regions,
+            "avg_delta_messages": _mean(delta_messages),
+            "avg_switches_touched": _mean(touched_counts),
+            "avg_foreign_touched": _mean(foreign_touched),
+            "avg_foreign_messages": _mean(foreign_messages),
+            "avg_full_reinstall_messages": _mean(full_messages),
+            "avg_semantic_switches_touched": _mean(semantic_touched),
+            "avg_semantic_entries_changed": _mean(semantic_entries),
+            "index_builds_during_joins": index_builds,
+            "router_reused": None,
+            "avg_router_recompiles": None,
+            "route_cache_survival": None,
+            "untouched_generations_preserved": generations_preserved,
+            "join_events": join_events,
+        })
+    return {
+        "format": CHURN_FORMAT,
+        "sizes": list(sizes),
+        "servers_per_switch": servers_per_switch,
+        "num_joins": num_joins,
+        "cvt_iterations": cvt_iterations,
+        "seed": seed,
+        "regions": regions,
         "rows": rows,
     }
 

@@ -42,6 +42,20 @@ class FaultInjector:
         self.rng = np.random.default_rng(seed)
         self.applied: List[FaultEvent] = []
 
+    @classmethod
+    def for_region(cls, fed, region: int,
+                   seed: int = 0) -> "FaultInjector":
+        """An injector scoped to one region of a
+        :class:`~repro.controlplane.FederatedNetwork`.
+
+        Faults attach to that region's shard network only: its fault
+        state, its degraded routing, its fast-path stand-down.  Every
+        other shard keeps a clean (absent) fault state, which is what
+        lets a region-wide partition degrade one region while the rest
+        of the federation keeps serving.
+        """
+        return cls(fed.shard(region).net, seed=seed)
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------

@@ -1,19 +1,31 @@
 """Snapshot serialization: save/restore a full GRED deployment."""
 
 from .snapshot import (
+    FEDERATION_FORMAT,
     SNAPSHOT_FORMAT,
     SnapshotError,
+    from_federation_snapshot,
     from_snapshot,
+    load_federation,
     load_network,
+    restore_shard,
+    save_federation,
     save_network,
+    to_federation_snapshot,
     to_snapshot,
 )
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "FEDERATION_FORMAT",
     "SnapshotError",
     "to_snapshot",
     "from_snapshot",
     "save_network",
     "load_network",
+    "to_federation_snapshot",
+    "from_federation_snapshot",
+    "save_federation",
+    "load_federation",
+    "restore_shard",
 ]

@@ -18,6 +18,11 @@ from .brite_io import (
     save_brite,
     write_brite,
 )
+from .regions import (
+    federated_topology,
+    partition_regions,
+    region_members,
+)
 from .testbed import (
     TESTBED_NUM_SWITCHES,
     TESTBED_SERVERS_PER_SWITCH,
@@ -35,6 +40,9 @@ __all__ = [
     "complete_graph",
     "random_regular_graph",
     "random_geometric_graph",
+    "partition_regions",
+    "federated_topology",
+    "region_members",
     "testbed_topology",
     "testbed_ring_topology",
     "TESTBED_NUM_SWITCHES",

@@ -350,6 +350,47 @@ class TestChurn:
         payload = json.loads(stdout[:stdout.rindex("}") + 1])
         assert payload["format"] == "gred-churn-v1"
 
+    def test_churn_federated_regions(self, tmp_path, capsys):
+        out = str(tmp_path / "churn.json")
+        code = main(["churn", "--sizes", "24", "--joins", "2",
+                     "--cvt-iterations", "3", "--seed", "0",
+                     "--regions", "3", "--max-foreign-touched", "0",
+                     "-o", out])
+        assert code == 0
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["regions"] == 3
+        row = report["rows"][0]
+        assert row["regions"] == 3
+        assert row["avg_foreign_touched"] == 0
+        assert row["avg_foreign_messages"] == 0
+        assert len(row["join_events"]) == 2
+        for event in row["join_events"]:
+            touched = set(event["touched_per_region"])
+            assert touched <= {str(event["home_region"])}
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestFederate:
+    def test_federate_quick_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "federation.json")
+        code = main(["federate", "--quick", "--seed", "0",
+                     "--max-foreign-touched", "0", "-o", out])
+        assert code == 0
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["format"] == "gred-federate-v1"
+        assert len(report["rows"]) == 2
+        for row in report["rows"]:
+            assert row["regions"] >= 4
+            assert row["foreign_messages"] == 0
+            assert row["retrieved_found"] == row["requests"]
+        differential = report["single_region_differential"]
+        assert all(value is True
+                   for key, value in differential.items()
+                   if key != "switches"), differential
+        assert "wrote" in capsys.readouterr().out
+
 
 class TestTraceRecording:
     def test_trace_spans_out_round_trips(self, net_file, tmp_path,
